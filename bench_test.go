@@ -1,0 +1,154 @@
+// Package gonoc_test holds the repository-level benchmark harness: one
+// benchmark per experiment table/figure in DESIGN.md §3 / EXPERIMENTS.md.
+// Each benchmark runs the corresponding experiment end to end and reports
+// the headline simulated-cycle metrics alongside wall-clock ns/op, so
+// `go test -bench=. -benchmem` regenerates every result.
+package gonoc_test
+
+import (
+	"testing"
+
+	"gonoc/internal/experiments"
+	"gonoc/internal/noctypes"
+	"gonoc/internal/soc"
+	"gonoc/internal/transport"
+)
+
+// BenchmarkFig1MixedNoC is E1's load half: the full seven-socket mixed
+// SoC on the layered NoC (Fig 1), self-checking workload.
+func BenchmarkFig1MixedNoC(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		s := soc.BuildNoC(soc.Config{Seed: int64(i + 1), RequestsPerMaster: 10})
+		c, err := s.Run(5_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = c
+	}
+	b.ReportMetric(float64(cycles), "simcycles")
+}
+
+// BenchmarkFig2BridgedBus is E2's baseline: the same IP set on the
+// bridged reference bus (Fig 2).
+func BenchmarkFig2BridgedBus(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		s := soc.BuildBus(soc.Config{Seed: int64(i + 1), RequestsPerMaster: 10})
+		c, err := s.Run(20_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = c
+	}
+	b.ReportMetric(float64(cycles), "simcycles")
+}
+
+// BenchmarkE1CompatibilityMatrix regenerates the feature matrix.
+func BenchmarkE1CompatibilityMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E1CompatibilityMatrix(int64(i + 1))
+		if len(tbl.Rows()) != 7 {
+			b.Fatal("matrix incomplete")
+		}
+	}
+}
+
+// BenchmarkE3SwitchingMode regenerates the wormhole-vs-SAF invisibility
+// result, per mode.
+func BenchmarkE3SwitchingMode(b *testing.B) {
+	for _, mode := range []transport.SwitchingMode{transport.Wormhole, transport.StoreAndForward} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cfg := soc.Config{Seed: 3, RequestsPerMaster: 10}
+				cfg.Net.Mode = mode
+				cfg.Net.BufDepth = 64
+				s := soc.BuildNoC(cfg)
+				c, err := s.Run(5_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = c
+			}
+			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkE4Ordering regenerates the three-ordering-models table.
+func BenchmarkE4Ordering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E4Ordering(int64(i + 1))
+		if len(tbl.Rows()) != 3 {
+			b.Fatal("ordering table incomplete")
+		}
+	}
+}
+
+// BenchmarkE5GateCount regenerates the NIU gate-scaling table.
+func BenchmarkE5GateCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E5GateScaling()
+		if len(tbl.Rows()) != 7 {
+			b.Fatal("gate table incomplete")
+		}
+	}
+}
+
+// BenchmarkE6Exclusive regenerates the LOCK-vs-exclusive-service
+// interference measurement and reports the throughput split.
+func BenchmarkE6Exclusive(b *testing.B) {
+	var res experiments.E6Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.E6ExclusiveVsLock(int64(i + 1))
+	}
+	b.ReportMetric(res.BaselineTput, "bg-base/kcyc")
+	b.ReportMetric(res.LockTput, "bg-lock/kcyc")
+	b.ReportMetric(res.ExclTput, "bg-excl/kcyc")
+}
+
+// BenchmarkE7QoS regenerates the per-priority latency table and reports
+// the urgent-class advantage.
+func BenchmarkE7QoS(b *testing.B) {
+	var res experiments.E7Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.E7QoS(int64(i + 1))
+	}
+	b.ReportMetric(res.MeanLatency[true][noctypes.PrioUrgent], "urgent-lat-cyc")
+	b.ReportMetric(res.MeanLatency[true][noctypes.PrioLow], "low-lat-cyc")
+}
+
+// BenchmarkE8Physical regenerates the bandwidth/CDC series and reports
+// full-width link throughput.
+func BenchmarkE8Physical(b *testing.B) {
+	var res experiments.E8Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.E8Physical()
+	}
+	b.ReportMetric(res.FlitsPerKCycle[8], "flits/kcyc@w8")
+	b.ReportMetric(res.FlitsPerKCycle[1], "flits/kcyc@w1")
+}
+
+// BenchmarkE9ServiceAblation regenerates the exclusive-service ablation.
+func BenchmarkE9ServiceAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.E9ServiceAblation(int64(i + 1))
+		if len(tbl.Rows()) != 2 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+// BenchmarkFabricPacketRate measures raw simulator speed: packets moved
+// through a 4x4 mesh per wall-clock second (throughput of the simulator
+// itself, useful for sizing larger studies).
+func BenchmarkFabricPacketRate(b *testing.B) {
+	// One long-lived network reused across iterations.
+	s := soc.BuildNoC(soc.Config{Seed: 1, Quiet: true, Topology: soc.Mesh})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Clk.RunCycles(100)
+	}
+	b.ReportMetric(float64(s.Net.Injected()), "pkts")
+}

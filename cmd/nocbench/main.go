@@ -1,0 +1,63 @@
+// Command nocbench runs the full reproduction suite — every experiment in
+// DESIGN.md §3 — and prints the paper-style tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	nocbench [-seed N] [-requests N] [-only E1,E3,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"gonoc/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "root random seed")
+	requests := flag.Int("requests", 25, "write/read-back pairs per master for E2/E3")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	if sel("E1") {
+		fmt.Println(experiments.E1CompatibilityMatrix(*seed).Render())
+	}
+	if sel("E2") {
+		for _, t := range experiments.E2Performance(*seed, *requests) {
+			fmt.Println(t.Render())
+		}
+	}
+	if sel("E3") {
+		fmt.Println(experiments.E3SwitchingModes(*seed, *requests).Render())
+	}
+	if sel("E4") {
+		fmt.Println(experiments.E4Ordering(*seed).Render())
+	}
+	if sel("E5") {
+		fmt.Println(experiments.E5GateScaling().Render())
+	}
+	if sel("E6") {
+		fmt.Println(experiments.E6ExclusiveVsLock(*seed).Table.Render())
+	}
+	if sel("E7") {
+		fmt.Println(experiments.E7QoS(*seed).Table.Render())
+	}
+	if sel("E8") {
+		for _, t := range experiments.E8Physical().Tables {
+			fmt.Println(t.Render())
+		}
+	}
+	if sel("E9") {
+		fmt.Println(experiments.E9ServiceAblation(*seed).Render())
+	}
+}

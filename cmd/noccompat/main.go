@@ -1,0 +1,16 @@
+// Command noccompat prints the VC compatibility matrix (experiment
+// E1/Fig 1 vs Fig 2): which socket features survive each interconnect.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"gonoc/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	fmt.Println(experiments.E1CompatibilityMatrix(*seed).Render())
+}

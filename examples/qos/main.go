@@ -1,0 +1,74 @@
+// QoS: the transport layer's quality-of-service knob (paper §1). Three
+// masters flood one target with low / default / urgent traffic; with QoS
+// arbitration on, urgent packets cut through congestion; off, everyone
+// queues equally. Transaction-layer code is identical in both runs —
+// layer independence again.
+package main
+
+import (
+	"fmt"
+
+	"gonoc/internal/noctypes"
+	"gonoc/internal/sim"
+	"gonoc/internal/stats"
+	"gonoc/internal/transport"
+)
+
+func run(qos bool) map[noctypes.Priority]*stats.Latency {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+	nodes := []noctypes.NodeID{1, 2, 3, 9}
+	net := transport.NewCrossbar(clk, transport.NetConfig{QoS: qos, MaxPendingPkts: 8}, nodes)
+
+	lat := map[noctypes.Priority]*stats.Latency{
+		noctypes.PrioLow: {}, noctypes.PrioDefault: {}, noctypes.PrioUrgent: {},
+	}
+	net.OnTransit = func(r transport.TransitRecord) {
+		if l, ok := lat[r.Pkt.Priority]; ok {
+			l.Record(r.TotalLatency())
+		}
+	}
+	mk := func(src noctypes.NodeID, pri noctypes.Priority) *transport.Packet {
+		return &transport.Packet{
+			Header:  transport.Header{Kind: transport.KindReq, Dst: 9, Src: src, Priority: pri},
+			Payload: make([]byte, 32),
+		}
+	}
+	for c := 0; c < 3000; c++ {
+		net.Endpoint(1).TrySend(mk(1, noctypes.PrioLow))
+		net.Endpoint(2).TrySend(mk(2, noctypes.PrioDefault))
+		net.Endpoint(3).TrySend(mk(3, noctypes.PrioUrgent))
+		clk.RunCycles(1)
+		for {
+			if _, ok := net.Endpoint(9).Recv(); !ok {
+				break
+			}
+		}
+	}
+	for c := 0; c < 100000 && !net.Drained(); c++ {
+		clk.RunCycles(1)
+		for {
+			if _, ok := net.Endpoint(9).Recv(); !ok {
+				break
+			}
+		}
+	}
+	return lat
+}
+
+func main() {
+	t := stats.NewTable("QoS at a congested switch output (3 classes, saturating load)",
+		"arbitration", "class", "mean latency (cyc)", "p95", "packets")
+	for _, qos := range []bool{false, true} {
+		name := "flat round-robin"
+		if qos {
+			name = "priority (QoS)"
+		}
+		lat := run(qos)
+		for _, p := range []noctypes.Priority{noctypes.PrioLow, noctypes.PrioDefault, noctypes.PrioUrgent} {
+			t.AddRow(name, p.String(), lat[p].Mean(), lat[p].Percentile(95), lat[p].Count())
+		}
+	}
+	fmt.Println(t.Render())
+	fmt.Println("urgent traffic latency collapses under QoS; the packets' payloads never change.")
+}

@@ -1,0 +1,94 @@
+package area
+
+import (
+	"testing"
+
+	"gonoc/internal/core"
+	"gonoc/internal/transport"
+)
+
+func TestMasterNIUGatesMonotoneInOutstanding(t *testing.T) {
+	for _, proto := range []Protocol{ProtoAHB, ProtoAXI, ProtoOCP, ProtoPVCI, ProtoBVCI, ProtoAVCI, ProtoProp} {
+		prev := -1
+		for _, out := range []int{1, 2, 4, 8, 16, 32} {
+			g := MasterNIUGates(proto, core.IDOrdered, 4, out, 4)
+			if g <= prev {
+				t.Fatalf("%s: gates not monotone at out=%d (%d <= %d)", proto, out, g, prev)
+			}
+			prev = g
+		}
+	}
+}
+
+func TestMasterNIUGatesMonotoneInTags(t *testing.T) {
+	prev := -1
+	for _, tags := range []int{1, 2, 4, 8} {
+		g := MasterNIUGates(ProtoAXI, core.IDOrdered, tags, 8, 4)
+		if g <= prev {
+			t.Fatalf("gates not monotone in tags at %d", tags)
+		}
+		prev = g
+	}
+}
+
+func TestOrderingHardwareCost(t *testing.T) {
+	// ID-ordered tag CAMs cost more than thread counters, which cost
+	// more than a fully-ordered NIU's single context.
+	id := MasterNIUGates(ProtoAXI, core.IDOrdered, 4, 8, 4)
+	th := MasterNIUGates(ProtoAXI, core.ThreadOrdered, 4, 8, 4)
+	fo := MasterNIUGates(ProtoAXI, core.FullyOrdered, 4, 8, 4)
+	if !(id > th && th > fo) {
+		t.Fatalf("ordering cost hierarchy broken: id=%d th=%d fo=%d", id, th, fo)
+	}
+}
+
+func TestCheapNIUBeatsBridge(t *testing.T) {
+	// §2's economics: a minimal NIU should undercut a bridge for the
+	// same protocol (a bridge pays for two socket front-ends).
+	for _, proto := range []Protocol{ProtoAHB, ProtoPVCI, ProtoBVCI, ProtoOCP, ProtoAVCI} {
+		niu := MasterNIUGates(proto, core.FullyOrdered, 1, 1, 1)
+		bridge := BridgeGates(proto)
+		if niu >= bridge {
+			t.Errorf("%s: minimal NIU (%d) not cheaper than bridge (%d)", proto, niu, bridge)
+		}
+	}
+}
+
+func TestSlaveNIUExclusiveCost(t *testing.T) {
+	off := SlaveNIUGates(ProtoAXI, 4, false, 0)
+	on := SlaveNIUGates(ProtoAXI, 4, true, 8)
+	if on <= off {
+		t.Fatal("exclusive service added no gates")
+	}
+	if on-off != ExclusiveMonitorGates(8) {
+		t.Fatalf("service delta %d != monitor gates %d", on-off, ExclusiveMonitorGates(8))
+	}
+}
+
+func TestExclusiveMonitorScaling(t *testing.T) {
+	if ExclusiveMonitorGates(8) != 2*ExclusiveMonitorGates(4) {
+		t.Fatal("monitor gates not linear in entries")
+	}
+	if ExclusiveMonitorGates(0) != 0 {
+		t.Fatal("zero entries should cost zero")
+	}
+}
+
+func TestRouterGates(t *testing.T) {
+	cfg := transport.NetConfig{FlitBytes: 8, BufDepth: 8}
+	small := RouterGates(cfg, 5, 16)
+	big := RouterGates(cfg, 11, 16)
+	if big <= small {
+		t.Fatal("router gates not monotone in ports")
+	}
+	deep := cfg
+	deep.BufDepth = 32
+	if RouterGates(deep, 5, 16) <= small {
+		t.Fatal("router gates not monotone in buffer depth")
+	}
+	qos := cfg
+	qos.QoS = true
+	if RouterGates(qos, 5, 16) <= small {
+		t.Fatal("QoS arbitration should cost gates")
+	}
+}

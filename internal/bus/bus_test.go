@@ -1,0 +1,362 @@
+package bus
+
+import (
+	"bytes"
+	"testing"
+
+	"gonoc/internal/core"
+	"gonoc/internal/mem"
+	"gonoc/internal/protocols/ahb"
+	"gonoc/internal/protocols/axi"
+	"gonoc/internal/protocols/ocp"
+	"gonoc/internal/protocols/prop"
+	"gonoc/internal/protocols/vci"
+	"gonoc/internal/sim"
+)
+
+const memBase = 0x1000_0000
+
+type busRig struct {
+	k     *sim.Kernel
+	clk   *sim.Clock
+	b     *Bus
+	amap  *core.AddressMap
+	store *mem.Backing
+}
+
+func newBusRig(arb Arbitration) *busRig {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "bus", sim.Nanosecond, 0)
+	amap := core.NewAddressMap()
+	amap.MustAdd("mem", memBase, 1<<20, 100)
+	amap.Freeze()
+	r := &busRig{k: k, clk: clk, amap: amap, store: mem.NewBacking(1 << 20)}
+	r.b = New(clk, amap, Config{Arb: arb})
+	return r
+}
+
+// addAHBMemory attaches a native AHB memory slave at node 100.
+func (r *busRig) addAHBMemory(waits int) {
+	port := ahb.NewPort(r.clk, "slv", 2)
+	ahb.NewMemory(r.clk, port, r.store, memBase, ahb.MemoryConfig{WaitStates: waits})
+	r.b.AddSlave(100, port)
+}
+
+func (r *busRig) run(t *testing.T, max int, done func() bool) {
+	t.Helper()
+	for c := 0; c < max; c++ {
+		if done() {
+			return
+		}
+		r.clk.RunCycles(1)
+	}
+	t.Fatal("bus condition not reached")
+}
+
+func TestNativeAHBMasterOnBus(t *testing.T) {
+	r := newBusRig(RoundRobin)
+	r.addAHBMemory(1)
+	port := ahb.NewPort(r.clk, "m0", 2)
+	ip := ahb.NewMaster(r.clk, port, 1)
+	r.b.AddMaster(port)
+
+	want := []byte{1, 2, 3, 4}
+	var wr ahb.Resp = 0xFF
+	ip.Write(memBase+0x10, 4, ahb.BurstSingle, want, func(resp ahb.Resp) { wr = resp })
+	r.run(t, 200, func() bool { return wr != 0xFF })
+	var got []byte
+	ip.Read(memBase+0x10, 4, ahb.BurstSingle, 0, func(res ahb.ReadResult) { got = res.Data })
+	r.run(t, 200, func() bool { return got != nil })
+	if !bytes.Equal(got, want) {
+		t.Fatalf("bus round trip: %v", got)
+	}
+}
+
+func TestBusDefaultSlaveErrors(t *testing.T) {
+	r := newBusRig(RoundRobin)
+	r.addAHBMemory(0)
+	port := ahb.NewPort(r.clk, "m0", 2)
+	ip := ahb.NewMaster(r.clk, port, 1)
+	r.b.AddMaster(port)
+
+	var rr ahb.Resp = 0xFF
+	ip.Read(0xDEAD_0000, 4, ahb.BurstSingle, 0, func(res ahb.ReadResult) { rr = res.Resp })
+	r.run(t, 200, func() bool { return rr != 0xFF })
+	if rr != ahb.RespError {
+		t.Fatalf("default slave resp = %v", rr)
+	}
+	if r.b.Stats().DecodeErrors != 1 {
+		t.Fatal("decode error not counted")
+	}
+}
+
+func TestBusSerializesMasters(t *testing.T) {
+	r := newBusRig(RoundRobin)
+	r.addAHBMemory(3)
+	portA := ahb.NewPort(r.clk, "mA", 2)
+	ipA := ahb.NewMaster(r.clk, portA, 1)
+	r.b.AddMaster(portA)
+	portB := ahb.NewPort(r.clk, "mB", 2)
+	ipB := ahb.NewMaster(r.clk, portB, 1)
+	r.b.AddMaster(portB)
+
+	done := 0
+	for i := 0; i < 4; i++ {
+		ipA.Read(memBase+uint64(i*8), 4, ahb.BurstSingle, 0, func(ahb.ReadResult) { done++ })
+		ipB.Read(memBase+uint64(i*8+4), 4, ahb.BurstSingle, 0, func(ahb.ReadResult) { done++ })
+	}
+	r.run(t, 2000, func() bool { return done == 8 })
+	s := r.b.Stats()
+	if s.Grants[0] != 4 || s.Grants[1] != 4 {
+		t.Fatalf("grants: %v", s.Grants)
+	}
+	if s.BusyCycles == 0 {
+		t.Fatal("no busy accounting")
+	}
+}
+
+func TestBusLockHoldsGrant(t *testing.T) {
+	r := newBusRig(RoundRobin)
+	r.addAHBMemory(0)
+	portA := ahb.NewPort(r.clk, "mA", 2)
+	ipA := ahb.NewMaster(r.clk, portA, 1)
+	r.b.AddMaster(portA)
+	portB := ahb.NewPort(r.clk, "mB", 2)
+	ipB := ahb.NewMaster(r.clk, portB, 1)
+	r.b.AddMaster(portB)
+
+	// Seed, then A locks and holds while B tries to write.
+	seeded := false
+	ipA.Write(memBase+0x20, 4, ahb.BurstSingle, []byte{5, 0, 0, 0}, func(ahb.Resp) { seeded = true })
+	r.run(t, 200, func() bool { return seeded })
+
+	var lockedVal []byte
+	ipA.ReadLocked(memBase+0x20, 4, func(res ahb.ReadResult) { lockedVal = res.Data })
+	r.run(t, 200, func() bool { return lockedVal != nil })
+
+	bDone := false
+	ipB.Write(memBase+0x20, 4, ahb.BurstSingle, []byte{99, 0, 0, 0}, func(ahb.Resp) { bDone = true })
+	for c := 0; c < 50; c++ {
+		r.clk.RunCycles(1)
+	}
+	if bDone {
+		t.Fatal("victim write completed while bus locked")
+	}
+	if r.b.LockOwner() != 0 {
+		t.Fatalf("lock owner = %d", r.b.LockOwner())
+	}
+
+	aDone := false
+	ipA.WriteUnlock(memBase+0x20, 4, []byte{lockedVal[0] + 1, 0, 0, 0}, func(ahb.Resp) { aDone = true })
+	r.run(t, 500, func() bool { return aDone && bDone })
+	if got := r.store.Read(0x20, 4); got[0] != 99 {
+		t.Fatalf("final value %d, want 99", got[0])
+	}
+}
+
+func TestAXIBridgeRoundTripAndDemotion(t *testing.T) {
+	r := newBusRig(RoundRobin)
+	r.addAHBMemory(1)
+	port := axi.NewPort(r.clk, "m.axi", 4)
+	ip := axi.NewMaster(r.clk, port, nil)
+	br := NewAXIBridge(r.clk, r.b, port, BridgeConfig{Latency: 2})
+
+	want := []byte{9, 8, 7, 6, 5, 4, 3, 2}
+	var wr axi.Resp = 0xFF
+	ip.Write(3, memBase+0x40, 4, axi.BurstIncr, want, func(resp axi.Resp) { wr = resp })
+	r.run(t, 500, func() bool { return wr != 0xFF })
+	if wr != axi.RespOKAY {
+		t.Fatalf("bridged write resp = %v", wr)
+	}
+	var got []byte
+	ip.Read(5, memBase+0x40, 4, 2, axi.BurstIncr, func(res axi.ReadResult) { got = res.Data })
+	r.run(t, 500, func() bool { return got != nil })
+	if !bytes.Equal(got, want) {
+		t.Fatalf("bridged read back: %v", got)
+	}
+
+	// Exclusive access cannot cross: demoted to OKAY, counted.
+	var exRsp axi.Resp = 0xFF
+	ip.ReadExclusive(1, memBase+0x40, 4, 1, axi.BurstIncr, func(res axi.ReadResult) { exRsp = res.Resp })
+	r.run(t, 500, func() bool { return exRsp != 0xFF })
+	if exRsp != axi.RespOKAY {
+		t.Fatalf("bridged exclusive read = %v, want OKAY (demoted)", exRsp)
+	}
+	if br.Stats().Demoted == 0 {
+		t.Fatal("demotion not counted")
+	}
+}
+
+func TestOCPBridgeLazySyncRefused(t *testing.T) {
+	r := newBusRig(RoundRobin)
+	r.addAHBMemory(0)
+	port := ocp.NewPort(r.clk, "m.ocp", 4)
+	ip := ocp.NewMaster(r.clk, port)
+	NewOCPBridge(r.clk, r.b, port, BridgeConfig{})
+
+	var wrc ocp.SResp
+	ip.WriteConditional(0, memBase+0x50, 4, []byte{1, 1, 1, 1}, func(s ocp.SResp) { wrc = s })
+	r.run(t, 500, func() bool { return wrc != 0 })
+	if wrc != ocp.RespFAIL {
+		t.Fatalf("bridged WRC = %v, want FAIL", wrc)
+	}
+	// Plain traffic still works.
+	var wr ocp.SResp
+	ip.WriteNonPosted(0, memBase+0x54, 4, ocp.SeqIncr, []byte{2, 2, 2, 2}, func(s ocp.SResp) { wr = s })
+	r.run(t, 500, func() bool { return wr != 0 })
+	if wr != ocp.RespDVA {
+		t.Fatalf("bridged WRNP = %v", wr)
+	}
+	var got []byte
+	ip.Read(0, memBase+0x54, 4, 1, ocp.SeqIncr, func(res ocp.ReadResult) { got = res.Data })
+	r.run(t, 500, func() bool { return got != nil })
+	if !bytes.Equal(got, []byte{2, 2, 2, 2}) {
+		t.Fatalf("bridged OCP read: %v", got)
+	}
+}
+
+func TestVCIBridges(t *testing.T) {
+	r := newBusRig(RoundRobin)
+	r.addAHBMemory(0)
+
+	pport := vci.NewPPort(r.clk, "m.pvci", 2)
+	pip := vci.NewPMaster(r.clk, pport)
+	NewPVCIBridge(r.clk, r.b, pport, BridgeConfig{})
+
+	bport := vci.NewBPort(r.clk, "m.bvci", 2)
+	bip := vci.NewBMaster(r.clk, bport, 1)
+	NewBVCIBridge(r.clk, r.b, bport, BridgeConfig{})
+
+	aport := vci.NewAPort(r.clk, "m.avci", 2)
+	aip := vci.NewAMaster(r.clk, aport)
+	NewAVCIBridge(r.clk, r.b, aport, BridgeConfig{})
+
+	done := 0
+	pip.Write(memBase+0x60, []byte{1, 1, 1, 1}, func(bool) { done++ })
+	bip.Write(memBase+0x70, 4, []byte{2, 2, 2, 2, 3, 3, 3, 3}, func(bool) { done++ })
+	aip.Write(9, memBase+0x80, 4, []byte{4, 4, 4, 4}, func(bool) { done++ })
+	r.run(t, 2000, func() bool { return done == 3 })
+
+	var pv, bv, av []byte
+	pip.Read(memBase+0x60, 4, func(d []byte, _ bool) { pv = d })
+	bip.Read(memBase+0x70, 4, 2, false, func(d []byte, _ bool) { bv = d })
+	aip.Read(2, memBase+0x80, 4, 1, func(d []byte, _ bool) { av = d })
+	r.run(t, 2000, func() bool { return pv != nil && bv != nil && av != nil })
+	if !bytes.Equal(pv, []byte{1, 1, 1, 1}) ||
+		!bytes.Equal(bv, []byte{2, 2, 2, 2, 3, 3, 3, 3}) ||
+		!bytes.Equal(av, []byte{4, 4, 4, 4}) {
+		t.Fatalf("VCI bridge round trips: %v %v %v", pv, bv, av)
+	}
+}
+
+func TestPropBridgeStreams(t *testing.T) {
+	r := newBusRig(RoundRobin)
+	r.addAHBMemory(0)
+	port := prop.NewPort(r.clk, "m.prop", 8)
+	ip := prop.NewMaster(r.clk, port)
+	NewPropBridge(r.clk, r.b, port, BridgeConfig{})
+
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	ok := false
+	ip.StreamWrite(1, memBase+0x100, data, func(o bool) { ok = o })
+	r.run(t, 3000, func() bool { return ok })
+	var got []byte
+	ip.StreamRead(2, memBase+0x100, 100, func(d []byte) { got = d })
+	r.run(t, 3000, func() bool { return got != nil })
+	if !bytes.Equal(got, data) {
+		t.Fatal("prop bridge stream round trip failed")
+	}
+}
+
+func TestSlaveBridges(t *testing.T) {
+	// Bus with an AHB master and three bridged foreign slaves.
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "bus", sim.Nanosecond, 0)
+	amap := core.NewAddressMap()
+	amap.MustAdd("axi", 0x1000_0000, 0x1000, 1)
+	amap.MustAdd("ocp", 0x2000_0000, 0x1000, 2)
+	amap.MustAdd("bvci", 0x3000_0000, 0x1000, 3)
+	amap.Freeze()
+	b := New(clk, amap, Config{})
+
+	axiStore := mem.NewBacking(0x1000)
+	axiPort := axi.NewPort(clk, "s.axi", 4)
+	axi.NewMemory(clk, axiPort, axiStore, 0x1000_0000, axi.MemoryConfig{Latency: 1})
+	NewAXISlaveBridge(clk, b, 1, axiPort, BridgeConfig{})
+
+	ocpStore := mem.NewBacking(0x1000)
+	ocpPort := ocp.NewPort(clk, "s.ocp", 4)
+	ocp.NewMemory(clk, ocpPort, ocpStore, 0x2000_0000, ocp.MemoryConfig{Threads: 1})
+	NewOCPSlaveBridge(clk, b, 2, ocpPort, BridgeConfig{})
+
+	bvciStore := mem.NewBacking(0x1000)
+	bvciPort := vci.NewBPort(clk, "s.bvci", 4)
+	vci.NewBMemory(clk, bvciPort, bvciStore, 0x3000_0000, 1)
+	NewBVCISlaveBridge(clk, b, 3, bvciPort, BridgeConfig{})
+
+	mport := ahb.NewPort(clk, "m0", 2)
+	ip := ahb.NewMaster(clk, mport, 1)
+	b.AddMaster(mport)
+
+	run := func(max int, done func() bool) {
+		for c := 0; c < max; c++ {
+			if done() {
+				return
+			}
+			clk.RunCycles(1)
+		}
+		t.Fatal("condition not reached")
+	}
+
+	done := 0
+	ip.Write(0x1000_0010, 4, ahb.BurstSingle, []byte{0xA, 0, 0, 0}, func(ahb.Resp) { done++ })
+	ip.Write(0x2000_0010, 4, ahb.BurstSingle, []byte{0xB, 0, 0, 0}, func(ahb.Resp) { done++ })
+	ip.Write(0x3000_0010, 4, ahb.BurstSingle, []byte{0xC, 0, 0, 0}, func(ahb.Resp) { done++ })
+	run(3000, func() bool { return done == 3 })
+
+	var a, o, v []byte
+	ip.Read(0x1000_0010, 4, ahb.BurstSingle, 0, func(res ahb.ReadResult) { a = res.Data })
+	run(3000, func() bool { return a != nil })
+	ip.Read(0x2000_0010, 4, ahb.BurstSingle, 0, func(res ahb.ReadResult) { o = res.Data })
+	run(3000, func() bool { return o != nil })
+	ip.Read(0x3000_0010, 4, ahb.BurstSingle, 0, func(res ahb.ReadResult) { v = res.Data })
+	run(3000, func() bool { return v != nil })
+	if a[0] != 0xA || o[0] != 0xB || v[0] != 0xC {
+		t.Fatalf("slave bridge round trips: %v %v %v", a, o, v)
+	}
+}
+
+func TestBridgeSerializationSlowerThanNative(t *testing.T) {
+	// The same 8 reads take longer through a bridge (latency + single
+	// outstanding) than natively — the paper's bridge-penalty claim in
+	// unit form.
+	elapsed := func(bridged bool) int64 {
+		r := newBusRig(RoundRobin)
+		r.addAHBMemory(1)
+		done := 0
+		if bridged {
+			port := axi.NewPort(r.clk, "m.axi", 4)
+			ip := axi.NewMaster(r.clk, port, nil)
+			NewAXIBridge(r.clk, r.b, port, BridgeConfig{Latency: 2})
+			for i := 0; i < 8; i++ {
+				ip.Read(i, memBase+uint64(i*8), 4, 1, axi.BurstIncr, func(axi.ReadResult) { done++ })
+			}
+		} else {
+			port := ahb.NewPort(r.clk, "m0", 2)
+			ip := ahb.NewMaster(r.clk, port, 2)
+			r.b.AddMaster(port)
+			for i := 0; i < 8; i++ {
+				ip.Read(memBase+uint64(i*8), 4, ahb.BurstSingle, 0, func(ahb.ReadResult) { done++ })
+			}
+		}
+		r.run(t, 5000, func() bool { return done == 8 })
+		return r.clk.Cycle()
+	}
+	native, bridged := elapsed(false), elapsed(true)
+	if bridged <= native {
+		t.Fatalf("bridge not slower: native=%d bridged=%d cycles", native, bridged)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gonoc/internal/noctypes"
+)
+
+// Region maps an address range to a slave NIU. Ranges are [Base, Base+Size).
+type Region struct {
+	Name string
+	Base uint64
+	Size uint64
+	Node noctypes.NodeID
+}
+
+// End returns the exclusive upper bound of the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// AddressMap is the system memory map used by master-side NIUs to derive
+// the packet destination field (the paper's SlvAddr) from a transaction
+// address. It is immutable after Freeze.
+type AddressMap struct {
+	regions []Region
+	frozen  bool
+}
+
+// NewAddressMap returns an empty map.
+func NewAddressMap() *AddressMap { return &AddressMap{} }
+
+// Add registers a region. It returns an error on overlap, zero size, or
+// wrap-around, or if the map is frozen.
+func (m *AddressMap) Add(name string, base, size uint64, node noctypes.NodeID) error {
+	if m.frozen {
+		return fmt.Errorf("core: address map is frozen")
+	}
+	if size == 0 {
+		return fmt.Errorf("core: region %q has zero size", name)
+	}
+	if base+size < base {
+		return fmt.Errorf("core: region %q wraps the address space", name)
+	}
+	nr := Region{Name: name, Base: base, Size: size, Node: node}
+	for _, r := range m.regions {
+		if nr.Base < r.End() && r.Base < nr.End() {
+			return fmt.Errorf("core: region %q [%#x,%#x) overlaps %q [%#x,%#x)",
+				name, nr.Base, nr.End(), r.Name, r.Base, r.End())
+		}
+	}
+	m.regions = append(m.regions, nr)
+	return nil
+}
+
+// MustAdd is Add that panics on error; for test and example setup.
+func (m *AddressMap) MustAdd(name string, base, size uint64, node noctypes.NodeID) {
+	if err := m.Add(name, base, size, node); err != nil {
+		panic(err)
+	}
+}
+
+// Freeze sorts the map for binary search and prevents further changes.
+func (m *AddressMap) Freeze() {
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Base < m.regions[j].Base })
+	m.frozen = true
+}
+
+// Decode resolves an address to (slave node, offset within region).
+// ok is false if no region contains the address — the NoC answers such
+// requests with StErrDecode, like a default slave.
+func (m *AddressMap) Decode(addr uint64) (node noctypes.NodeID, offset uint64, ok bool) {
+	if m.frozen {
+		i := sort.Search(len(m.regions), func(i int) bool { return m.regions[i].End() > addr })
+		if i < len(m.regions) && m.regions[i].Base <= addr {
+			r := m.regions[i]
+			return r.Node, addr - r.Base, true
+		}
+		return noctypes.NodeInvalid, 0, false
+	}
+	for _, r := range m.regions {
+		if r.Base <= addr && addr < r.End() {
+			return r.Node, addr - r.Base, true
+		}
+	}
+	return noctypes.NodeInvalid, 0, false
+}
+
+// Regions returns a copy of the registered regions.
+func (m *AddressMap) Regions() []Region {
+	out := make([]Region, len(m.regions))
+	copy(out, m.regions)
+	return out
+}
+
+// NodeFor returns the region named name's node, for test convenience.
+func (m *AddressMap) NodeFor(name string) (noctypes.NodeID, bool) {
+	for _, r := range m.regions {
+		if r.Name == name {
+			return r.Node, true
+		}
+	}
+	return noctypes.NodeInvalid, false
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"gonoc/internal/noctypes"
+)
+
+func TestAddressMapDecode(t *testing.T) {
+	m := NewAddressMap()
+	m.MustAdd("ram", 0x0000, 0x1000, 10)
+	m.MustAdd("rom", 0x2000, 0x800, 11)
+	m.MustAdd("regs", 0xF000, 0x100, 12)
+	m.Freeze()
+
+	cases := []struct {
+		addr   uint64
+		node   noctypes.NodeID
+		offset uint64
+		ok     bool
+	}{
+		{0x0000, 10, 0, true},
+		{0x0FFF, 10, 0xFFF, true},
+		{0x1000, noctypes.NodeInvalid, 0, false}, // hole
+		{0x2000, 11, 0, true},
+		{0x27FF, 11, 0x7FF, true},
+		{0x2800, noctypes.NodeInvalid, 0, false},
+		{0xF080, 12, 0x80, true},
+		{0xFFFFFFFF, noctypes.NodeInvalid, 0, false},
+	}
+	for _, c := range cases {
+		node, off, ok := m.Decode(c.addr)
+		if node != c.node || off != c.offset || ok != c.ok {
+			t.Errorf("Decode(%#x) = (%v,%#x,%v), want (%v,%#x,%v)",
+				c.addr, node, off, ok, c.node, c.offset, c.ok)
+		}
+	}
+}
+
+func TestAddressMapDecodeUnfrozen(t *testing.T) {
+	m := NewAddressMap()
+	m.MustAdd("a", 0x100, 0x100, 1)
+	if node, off, ok := m.Decode(0x180); !ok || node != 1 || off != 0x80 {
+		t.Fatalf("unfrozen Decode = (%v,%#x,%v)", node, off, ok)
+	}
+}
+
+func TestAddressMapOverlap(t *testing.T) {
+	m := NewAddressMap()
+	m.MustAdd("a", 0x1000, 0x1000, 1)
+	cases := []struct{ base, size uint64 }{
+		{0x1800, 0x100},  // inside
+		{0x0800, 0x1000}, // straddles start
+		{0x1FFF, 0x10},   // straddles end
+		{0x1000, 0x1000}, // identical
+	}
+	for _, c := range cases {
+		if err := m.Add("b", c.base, c.size, 2); err == nil {
+			t.Errorf("Add(%#x,%#x) accepted overlapping region", c.base, c.size)
+		}
+	}
+	// Adjacent regions are fine.
+	if err := m.Add("c", 0x2000, 0x100, 3); err != nil {
+		t.Errorf("adjacent region rejected: %v", err)
+	}
+}
+
+func TestAddressMapBadRegions(t *testing.T) {
+	m := NewAddressMap()
+	if err := m.Add("zero", 0x100, 0, 1); err == nil {
+		t.Error("zero-size region accepted")
+	}
+	if err := m.Add("wrap", ^uint64(0)-10, 100, 1); err == nil {
+		t.Error("wrapping region accepted")
+	}
+	m.Freeze()
+	if err := m.Add("late", 0, 0x10, 1); err == nil {
+		t.Error("Add after Freeze accepted")
+	}
+}
+
+func TestAddressMapNodeFor(t *testing.T) {
+	m := NewAddressMap()
+	m.MustAdd("ram", 0, 0x100, 42)
+	if n, ok := m.NodeFor("ram"); !ok || n != 42 {
+		t.Fatalf("NodeFor(ram) = %v,%v", n, ok)
+	}
+	if _, ok := m.NodeFor("nope"); ok {
+		t.Fatal("NodeFor(nope) found something")
+	}
+	if len(m.Regions()) != 1 {
+		t.Fatal("Regions() wrong length")
+	}
+}

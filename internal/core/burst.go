@@ -1,0 +1,45 @@
+package core
+
+// BeatAddr returns the byte address of beat i (0-based) of a burst, for
+// all supported burst kinds. Target models use it to execute multi-beat
+// transactions against backing storage.
+//
+//   - BurstIncr: addr, addr+size, addr+2*size, ...
+//   - BurstWrap: increments but wraps within an aligned window of
+//     len*size bytes containing the start address (AHB WRAP4/8/16,
+//     AXI WRAP semantics).
+//   - BurstFixed: every beat hits the start address (FIFO register).
+func BeatAddr(burst BurstKind, addr uint64, size uint8, length uint16, i int) uint64 {
+	s := uint64(size)
+	switch burst {
+	case BurstFixed:
+		return addr
+	case BurstWrap:
+		window := uint64(length) * s
+		if window == 0 || window&(window-1) != 0 {
+			// Non-power-of-two window: degrade to INCR, matching what
+			// real fabrics do with illegal wrap lengths.
+			return addr + uint64(i)*s
+		}
+		base := addr &^ (window - 1)
+		return base + (addr+uint64(i)*s-base)%window
+	default: // BurstIncr
+		return addr + uint64(i)*s
+	}
+}
+
+// BurstSpan returns the inclusive low and exclusive high byte addresses a
+// burst touches (used by exclusive-monitor overlap checks).
+func BurstSpan(burst BurstKind, addr uint64, size uint8, length uint16) (lo, hi uint64) {
+	lo, hi = addr, addr
+	for i := 0; i < int(length); i++ {
+		a := BeatAddr(burst, addr, size, length, i)
+		if a < lo {
+			lo = a
+		}
+		if a+uint64(size) > hi {
+			hi = a + uint64(size)
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,140 @@
+// Package core implements the paper's primary contribution: the VC-neutral
+// NoC transaction layer. It defines the communication primitives available
+// to IP blocks plugged into the NoC (requests, responses, the
+// SlvAddr/MstAddr/Tag header triple), the ordering models that adapt those
+// primitives to fully-ordered (AHB, PVCI, BVCI), thread-ordered (OCP) and
+// ID-ordered (AXI, AVCI) sockets, the NIU transaction state tables, the
+// address map, and the "NoC services" mechanism (exclusive access as a
+// single user-defined packet bit plus NIU state).
+//
+// Nothing in this package knows how packets are switched or clocked:
+// the transaction layer is transport-unaware, mirroring the paper's layer
+// independence.
+package core
+
+import "fmt"
+
+// Cmd is a transaction-layer command.
+type Cmd uint8
+
+// Transaction-layer command set. The first four are the portable core;
+// the exclusive pair implements AXI "exclusive access" / OCP "lazy
+// synchronization" as a NoC service; the locked pair models the legacy
+// AHB/VCI READEX-LOCK style that (per the paper, §3) unavoidably impacts
+// the transport layer.
+const (
+	CmdRead      Cmd = iota // read burst
+	CmdWrite                // non-posted write burst (response expected)
+	CmdWritePost            // posted write burst (no response; OCP-style)
+	CmdReadEx               // exclusive read (AXI excl. read / OCP ReadLinked)
+	CmdWriteEx              // exclusive write (AXI excl. write / OCP WriteConditional)
+	CmdReadLock             // legacy locked read (AHB HLOCK / VCI READEX)
+	CmdWriteUnlk            // write that releases a legacy lock sequence
+	numCmds
+)
+
+// String renders a Cmd.
+func (c Cmd) String() string {
+	switch c {
+	case CmdRead:
+		return "READ"
+	case CmdWrite:
+		return "WRITE"
+	case CmdWritePost:
+		return "WRITEPOST"
+	case CmdReadEx:
+		return "READEX"
+	case CmdWriteEx:
+		return "WRITEEX"
+	case CmdReadLock:
+		return "READLOCK"
+	case CmdWriteUnlk:
+		return "WRITEUNLK"
+	default:
+		return fmt.Sprintf("CMD(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is a defined command.
+func (c Cmd) Valid() bool { return c < numCmds }
+
+// IsRead reports whether the command returns data.
+func (c Cmd) IsRead() bool { return c == CmdRead || c == CmdReadEx || c == CmdReadLock }
+
+// IsWrite reports whether the command carries write data.
+func (c Cmd) IsWrite() bool {
+	return c == CmdWrite || c == CmdWritePost || c == CmdWriteEx || c == CmdWriteUnlk
+}
+
+// ExpectsResponse reports whether a response packet is returned.
+func (c Cmd) ExpectsResponse() bool { return c != CmdWritePost }
+
+// Status is a transaction-layer response status.
+type Status uint8
+
+// Response statuses.
+const (
+	StOK             Status = iota // success
+	StExOK                         // exclusive access succeeded (write took effect)
+	StExFail                       // exclusive access failed (write did not take effect)
+	StErrDecode                    // no target at address
+	StErrSlave                     // target signalled an error
+	StErrUnsupported               // target/NIU cannot perform the command
+	numStatuses
+)
+
+// String renders a Status.
+func (s Status) String() string {
+	switch s {
+	case StOK:
+		return "OK"
+	case StExOK:
+		return "EXOK"
+	case StExFail:
+		return "EXFAIL"
+	case StErrDecode:
+		return "ERR_DECODE"
+	case StErrSlave:
+		return "ERR_SLAVE"
+	case StErrUnsupported:
+		return "ERR_UNSUPPORTED"
+	default:
+		return fmt.Sprintf("STATUS(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether s is a defined status.
+func (s Status) Valid() bool { return s < numStatuses }
+
+// OK reports whether the status indicates the transaction succeeded
+// (including a successful exclusive).
+func (s Status) OK() bool { return s == StOK || s == StExOK }
+
+// BurstKind describes address progression across burst beats.
+type BurstKind uint8
+
+// Burst kinds, covering the union of the sockets' burst vocabularies:
+// AHB INCR/WRAP, AXI INCR/WRAP/FIXED, OCP INCR/WRAP/STRM.
+const (
+	BurstIncr  BurstKind = iota // incrementing addresses
+	BurstWrap                   // wrapping at Len*Size boundary
+	BurstFixed                  // same address every beat (FIFO port)
+	numBursts
+)
+
+// String renders a BurstKind.
+func (b BurstKind) String() string {
+	switch b {
+	case BurstIncr:
+		return "INCR"
+	case BurstWrap:
+		return "WRAP"
+	case BurstFixed:
+		return "FIXED"
+	default:
+		return fmt.Sprintf("BURST(%d)", uint8(b))
+	}
+}
+
+// Valid reports whether b is a defined burst kind.
+func (b BurstKind) Valid() bool { return b < numBursts }

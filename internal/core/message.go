@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"gonoc/internal/noctypes"
+)
+
+// Request is the transaction-layer request primitive: what a master-side
+// NIU produces from a socket transaction and what a slave-side NIU
+// executes against its target.
+//
+// Src is the paper's MstAddr, Dst its SlvAddr, Tag its Tag. These three
+// fields — plus Priority and the service/lock bits — are the only parts
+// the transport layer ever sees (copied into the packet header); the rest
+// travels as opaque payload bytes.
+type Request struct {
+	Cmd   Cmd
+	Addr  uint64 // byte address within the global map
+	Size  uint8  // bytes per beat (1, 2, 4, 8)
+	Len   uint16 // number of beats (>= 1)
+	Burst BurstKind
+
+	Data []byte // write payload, Len*Size bytes (writes only)
+	BE   []byte // optional per-byte write enables, same length as Data
+
+	Exclusive bool // NoC service bit: AXI exclusive / OCP lazy sync
+	Locked    bool // legacy lock sequence member (transport-visible)
+	Unlock    bool // last member of a legacy lock sequence
+	Posted    bool // no response expected (must match Cmd.ExpectsResponse)
+
+	Src      noctypes.NodeID // MstAddr: issuing NIU
+	Dst      noctypes.NodeID // SlvAddr: target NIU
+	Tag      noctypes.Tag
+	Priority noctypes.Priority
+
+	// Seq is a per-master issue sequence number used by ordering checks
+	// and statistics. It is not part of the wire format.
+	Seq uint64
+}
+
+// Bytes returns the total data bytes moved by the transaction.
+func (r *Request) Bytes() int { return int(r.Len) * int(r.Size) }
+
+// Validate checks internal consistency of the request.
+func (r *Request) Validate() error {
+	if !r.Cmd.Valid() {
+		return fmt.Errorf("core: invalid command %d", uint8(r.Cmd))
+	}
+	if !r.Burst.Valid() {
+		return fmt.Errorf("core: invalid burst kind %d", uint8(r.Burst))
+	}
+	switch r.Size {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("core: invalid beat size %d", r.Size)
+	}
+	if r.Len == 0 {
+		return fmt.Errorf("core: burst length must be >= 1")
+	}
+	if r.Cmd.IsWrite() {
+		if len(r.Data) != r.Bytes() {
+			return fmt.Errorf("core: %s carries %d data bytes, want %d", r.Cmd, len(r.Data), r.Bytes())
+		}
+		if r.BE != nil && len(r.BE) != len(r.Data) {
+			return fmt.Errorf("core: byte-enable length %d != data length %d", len(r.BE), len(r.Data))
+		}
+	} else if len(r.Data) != 0 {
+		return fmt.Errorf("core: %s must not carry data", r.Cmd)
+	}
+	if r.Posted != !r.Cmd.ExpectsResponse() {
+		return fmt.Errorf("core: Posted=%v inconsistent with %s", r.Posted, r.Cmd)
+	}
+	if r.Exclusive && !(r.Cmd == CmdReadEx || r.Cmd == CmdWriteEx) {
+		return fmt.Errorf("core: Exclusive bit set on %s", r.Cmd)
+	}
+	if (r.Cmd == CmdReadEx || r.Cmd == CmdWriteEx) && !r.Exclusive {
+		return fmt.Errorf("core: %s requires Exclusive bit", r.Cmd)
+	}
+	if r.Unlock && !r.Locked {
+		return fmt.Errorf("core: Unlock without Locked")
+	}
+	return nil
+}
+
+// String renders a compact description of the request.
+func (r *Request) String() string {
+	return fmt.Sprintf("%s@%#x len=%d size=%d %s %s->%s %s",
+		r.Cmd, r.Addr, r.Len, r.Size, r.Burst, r.Src, r.Dst, r.Tag)
+}
+
+// Response is the transaction-layer response primitive, routed back from
+// the slave-side NIU to the master-side NIU using the request's MstAddr as
+// the packet destination.
+type Response struct {
+	Status Status
+	Data   []byte // read data (reads only)
+
+	Src      noctypes.NodeID // responding NIU (the slave)
+	Dst      noctypes.NodeID // the original MstAddr
+	Tag      noctypes.Tag
+	Priority noctypes.Priority
+
+	// Seq echoes the request's Seq for ordering checks; not wire-visible
+	// beyond the payload echo.
+	Seq uint64
+}
+
+// Validate checks internal consistency of the response.
+func (p *Response) Validate() error {
+	if !p.Status.Valid() {
+		return fmt.Errorf("core: invalid status %d", uint8(p.Status))
+	}
+	return nil
+}
+
+// String renders a compact description of the response.
+func (p *Response) String() string {
+	return fmt.Sprintf("RSP %s %dB %s->%s %s", p.Status, len(p.Data), p.Src, p.Dst, p.Tag)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"gonoc/internal/noctypes"
+)
+
+// noID converts a small int to a NodeID for test brevity.
+func noID(i int) noctypes.NodeID { return noctypes.NodeID(i) }
+
+func TestOrderCheckerFullyOrdered(t *testing.T) {
+	c := NewOrderChecker(FullyOrdered)
+	c.Issued(0, 1)
+	c.Issued(5, 2) // scope id ignored for fully-ordered
+	if err := c.Completed(9, 1); err != nil {
+		t.Fatalf("in-order completion rejected: %v", err)
+	}
+	if err := c.Completed(9, 2); err != nil {
+		t.Fatalf("in-order completion rejected: %v", err)
+	}
+}
+
+func TestOrderCheckerFullyOrderedViolation(t *testing.T) {
+	c := NewOrderChecker(FullyOrdered)
+	c.Issued(0, 1)
+	c.Issued(0, 2)
+	if err := c.Completed(0, 2); err == nil {
+		t.Fatal("out-of-order completion accepted for fully-ordered model")
+	}
+}
+
+func TestOrderCheckerThreadOrdered(t *testing.T) {
+	c := NewOrderChecker(ThreadOrdered)
+	c.Issued(0, 1)
+	c.Issued(1, 2)
+	c.Issued(0, 3)
+	// Thread 1 completes before thread 0 — legal.
+	if err := c.Completed(1, 2); err != nil {
+		t.Fatalf("cross-thread reorder rejected: %v", err)
+	}
+	// Within thread 0, seq 3 before seq 1 — violation.
+	if err := c.Completed(0, 3); err == nil {
+		t.Fatal("within-thread reorder accepted")
+	}
+	if err := c.Completed(0, 1); err != nil {
+		t.Fatalf("in-order within thread rejected: %v", err)
+	}
+}
+
+func TestOrderCheckerIDOrdered(t *testing.T) {
+	c := NewOrderChecker(IDOrdered)
+	c.Issued(7, 10)
+	c.Issued(8, 11)
+	c.Issued(7, 12)
+	if err := c.Completed(8, 11); err != nil {
+		t.Fatalf("cross-ID reorder rejected: %v", err)
+	}
+	if err := c.Completed(7, 10); err != nil {
+		t.Fatalf("per-ID order rejected: %v", err)
+	}
+	if err := c.Completed(7, 12); err != nil {
+		t.Fatalf("per-ID order rejected: %v", err)
+	}
+	if c.Checked() != 3 {
+		t.Fatalf("Checked = %d", c.Checked())
+	}
+	if c.CrossScopeReorders() != 1 {
+		t.Fatalf("CrossScopeReorders = %d, want 1 (11 then 10)", c.CrossScopeReorders())
+	}
+}
+
+func TestOrderCheckerUnknownCompletion(t *testing.T) {
+	c := NewOrderChecker(IDOrdered)
+	if err := c.Completed(3, 1); err == nil {
+		t.Fatal("completion with nothing outstanding accepted")
+	}
+}
+
+func TestOrderCheckerOutstanding(t *testing.T) {
+	c := NewOrderChecker(ThreadOrdered)
+	c.Issued(0, 1)
+	c.Issued(1, 2)
+	if c.Outstanding() != 2 {
+		t.Fatalf("Outstanding = %d", c.Outstanding())
+	}
+	c.Completed(0, 1)
+	if c.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d", c.Outstanding())
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"gonoc/internal/noctypes"
+)
+
+// OrderingModel classifies a socket's response-ordering contract — the
+// paper's three flavours that the single SlvAddr/MstAddr/Tag header must
+// adapt to (§3).
+type OrderingModel uint8
+
+const (
+	// FullyOrdered: responses return strictly in request order
+	// (AHB 2.0, PVCI, BVCI).
+	FullyOrdered OrderingModel = iota
+	// ThreadOrdered: ordered within a thread, unordered across threads
+	// (OCP with MThreadID).
+	ThreadOrdered
+	// IDOrdered: ordered per transaction ID, unordered across IDs
+	// (AXI ARID/AWID, AVCI TID).
+	IDOrdered
+)
+
+// String renders an OrderingModel.
+func (m OrderingModel) String() string {
+	switch m {
+	case FullyOrdered:
+		return "fully-ordered"
+	case ThreadOrdered:
+		return "thread-ordered"
+	case IDOrdered:
+		return "id-ordered"
+	default:
+		return fmt.Sprintf("ordering(%d)", uint8(m))
+	}
+}
+
+// TagPolicy implements the paper's "careful assignment policy" that maps
+// socket-level ordering handles (nothing for AHB, MThreadID for OCP,
+// ARID/AWID/TID for AXI/AVCI) onto the NoC Tag field.
+//
+// The policy is sized by NumTags — the number of hardware tag contexts the
+// NIU implements. This is the knob the paper describes as "scaling their
+// gate count to their expected performance": a cheap NIU has one tag
+// (everything serializes), an aggressive one has many.
+type TagPolicy struct {
+	Model   OrderingModel
+	NumTags int
+
+	// IDOrdered dynamic allocation state: protocol ID -> tag, plus a
+	// refcount per tag so a tag frees only when its last outstanding
+	// transaction completes. Two different protocol IDs never share a tag
+	// (sharing would over-order them); the same ID always reuses its tag
+	// (preserving the socket's per-ID order guarantee).
+	idToTag map[int]noctypes.Tag
+	tagRef  []int
+	tagToID []int
+}
+
+// NewTagPolicy returns a policy with numTags hardware contexts.
+func NewTagPolicy(model OrderingModel, numTags int) *TagPolicy {
+	if numTags <= 0 {
+		panic(fmt.Sprintf("core: NumTags must be positive, got %d", numTags))
+	}
+	p := &TagPolicy{Model: model, NumTags: numTags}
+	if model == IDOrdered {
+		p.idToTag = make(map[int]noctypes.Tag)
+		p.tagRef = make([]int, numTags)
+		p.tagToID = make([]int, numTags)
+		for i := range p.tagToID {
+			p.tagToID[i] = -1
+		}
+	}
+	return p
+}
+
+// Map assigns a NoC tag for a new transaction with the given socket-level
+// ordering handle (thread ID or transaction ID; ignored for FullyOrdered).
+// ok=false means no tag context is available this cycle and the NIU must
+// back-pressure the socket — the graceful degradation the paper describes
+// for low-gate-count NIUs.
+func (p *TagPolicy) Map(protoID int) (tag noctypes.Tag, ok bool) {
+	switch p.Model {
+	case FullyOrdered:
+		return 0, true
+	case ThreadOrdered:
+		// Threads are physical contexts: thread i uses tag i. A thread
+		// beyond the provisioned count cannot be accepted at all —
+		// configuring enough tags is part of NIU sizing.
+		if protoID < 0 || protoID >= p.NumTags {
+			return 0, false
+		}
+		return noctypes.Tag(protoID), true
+	case IDOrdered:
+		if t, exists := p.idToTag[protoID]; exists {
+			p.tagRef[t]++
+			return t, true
+		}
+		for i := 0; i < p.NumTags; i++ {
+			if p.tagRef[i] == 0 {
+				t := noctypes.Tag(i)
+				p.idToTag[protoID] = t
+				p.tagToID[i] = protoID
+				p.tagRef[i] = 1
+				return t, true
+			}
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+// Release returns a tag context when a transaction completes. For
+// IDOrdered policies the mapping dissolves when the refcount reaches zero.
+func (p *TagPolicy) Release(tag noctypes.Tag) {
+	if p.Model != IDOrdered {
+		return
+	}
+	i := int(tag)
+	if i < 0 || i >= p.NumTags || p.tagRef[i] == 0 {
+		panic(fmt.Sprintf("core: Release of unallocated %v", tag))
+	}
+	p.tagRef[i]--
+	if p.tagRef[i] == 0 {
+		delete(p.idToTag, p.tagToID[i])
+		p.tagToID[i] = -1
+	}
+}
+
+// ProtoIDFor reverse-maps a tag to the socket-level ID it currently
+// carries (IDOrdered), the thread number (ThreadOrdered), or 0.
+func (p *TagPolicy) ProtoIDFor(tag noctypes.Tag) int {
+	switch p.Model {
+	case ThreadOrdered:
+		return int(tag)
+	case IDOrdered:
+		i := int(tag)
+		if i >= 0 && i < p.NumTags {
+			return p.tagToID[i]
+		}
+		return -1
+	default:
+		return 0
+	}
+}
+
+// InUse returns the number of tag contexts currently allocated
+// (IDOrdered) or the configured count otherwise; used by the area model.
+func (p *TagPolicy) InUse() int {
+	if p.Model != IDOrdered {
+		return 0
+	}
+	n := 0
+	for _, r := range p.tagRef {
+		if r > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gonoc/internal/noctypes"
+)
+
+func TestTagPolicyFullyOrdered(t *testing.T) {
+	p := NewTagPolicy(FullyOrdered, 1)
+	for i := 0; i < 10; i++ {
+		tag, ok := p.Map(i) // protoID irrelevant
+		if !ok || tag != 0 {
+			t.Fatalf("FullyOrdered Map(%d) = %v,%v, want 0,true", i, tag, ok)
+		}
+	}
+}
+
+func TestTagPolicyThreadOrdered(t *testing.T) {
+	p := NewTagPolicy(ThreadOrdered, 4)
+	for th := 0; th < 4; th++ {
+		tag, ok := p.Map(th)
+		if !ok || tag != noctypes.Tag(th) {
+			t.Fatalf("thread %d -> %v,%v, want tag%d,true", th, tag, ok, th)
+		}
+	}
+	if _, ok := p.Map(4); ok {
+		t.Fatal("thread beyond provisioned count accepted")
+	}
+	if _, ok := p.Map(-1); ok {
+		t.Fatal("negative thread accepted")
+	}
+}
+
+func TestTagPolicyIDOrderedReuse(t *testing.T) {
+	p := NewTagPolicy(IDOrdered, 2)
+	t1, ok := p.Map(100)
+	if !ok {
+		t.Fatal("first Map failed")
+	}
+	t2, ok := p.Map(100) // same ID: must reuse the same tag
+	if !ok || t2 != t1 {
+		t.Fatalf("same ID mapped to %v then %v", t1, t2)
+	}
+	t3, ok := p.Map(200) // different ID: must get a different tag
+	if !ok || t3 == t1 {
+		t.Fatalf("distinct IDs share tag %v", t3)
+	}
+	// Both tags busy: a third ID must be refused (backpressure).
+	if _, ok := p.Map(300); ok {
+		t.Fatal("third ID accepted with all tags busy")
+	}
+	// Release one of ID 100's two transactions: mapping persists.
+	p.Release(t1)
+	if _, ok := p.Map(300); ok {
+		t.Fatal("ID 300 accepted while tags still held")
+	}
+	p.Release(t1) // refcount hits zero; tag frees
+	t4, ok := p.Map(300)
+	if !ok || t4 != t1 {
+		t.Fatalf("freed tag not reused: got %v,%v", t4, ok)
+	}
+}
+
+func TestTagPolicyReleasePanics(t *testing.T) {
+	p := NewTagPolicy(IDOrdered, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of unallocated tag did not panic")
+		}
+	}()
+	p.Release(0)
+}
+
+func TestTagPolicyProtoIDFor(t *testing.T) {
+	p := NewTagPolicy(IDOrdered, 2)
+	tag, _ := p.Map(77)
+	if got := p.ProtoIDFor(tag); got != 77 {
+		t.Fatalf("ProtoIDFor(%v) = %d, want 77", tag, got)
+	}
+	pt := NewTagPolicy(ThreadOrdered, 4)
+	if got := pt.ProtoIDFor(3); got != 3 {
+		t.Fatalf("thread ProtoIDFor(3) = %d", got)
+	}
+}
+
+// Property: under any interleaving of Map/Release, two live protocol IDs
+// never share a tag, and the number of live tags never exceeds NumTags.
+func TestQuickTagPolicyNoAliasing(t *testing.T) {
+	prop := func(ops []uint16, numTagsRaw uint8) bool {
+		numTags := int(numTagsRaw%6) + 1
+		p := NewTagPolicy(IDOrdered, numTags)
+		type live struct {
+			id  int
+			tag noctypes.Tag
+		}
+		var lives []live
+		for _, op := range ops {
+			id := int(op % 8)
+			if op%3 == 0 && len(lives) > 0 {
+				// release a random-ish live transaction
+				i := int(op) % len(lives)
+				p.Release(lives[i].tag)
+				lives = append(lives[:i], lives[i+1:]...)
+				continue
+			}
+			if tag, ok := p.Map(id); ok {
+				lives = append(lives, live{id, tag})
+			}
+		}
+		// Check invariant: same tag => same ID.
+		tagOwner := map[noctypes.Tag]int{}
+		for _, l := range lives {
+			if owner, seen := tagOwner[l.tag]; seen && owner != l.id {
+				return false
+			}
+			tagOwner[l.tag] = l.id
+		}
+		return len(tagOwner) <= numTags && p.InUse() == len(tagOwner)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderingModelString(t *testing.T) {
+	for _, m := range []OrderingModel{FullyOrdered, ThreadOrdered, IDOrdered} {
+		if m.String() == "" {
+			t.Errorf("empty String for model %d", m)
+		}
+	}
+}

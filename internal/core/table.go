@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"gonoc/internal/noctypes"
+)
+
+// TableConfig sizes an NIU's transaction state table — the paper's
+// "standard NIU state lookup tables (which track for example that a Load
+// request is waiting for a response)".
+//
+// MaxOutstanding and MaxTargets are the two scaling knobs §3 names: an NIU
+// may support "one or many simultaneously outstanding transactions and/or
+// targets, scaling their gate count to their expected performance".
+type TableConfig struct {
+	// MaxOutstanding bounds simultaneously in-flight transactions.
+	MaxOutstanding int
+	// MaxTargets bounds distinct slave nodes with in-flight transactions.
+	// 1 means the NIU blocks when the socket switches targets — the
+	// cheapest way to keep a fully-ordered socket correct without a
+	// reorder buffer.
+	MaxTargets int
+}
+
+// Validate checks the configuration.
+func (c TableConfig) Validate() error {
+	if c.MaxOutstanding <= 0 {
+		return fmt.Errorf("core: MaxOutstanding must be >= 1, got %d", c.MaxOutstanding)
+	}
+	if c.MaxTargets <= 0 {
+		return fmt.Errorf("core: MaxTargets must be >= 1, got %d", c.MaxTargets)
+	}
+	return nil
+}
+
+// Entry is one outstanding transaction tracked by the NIU.
+type Entry struct {
+	Tag   noctypes.Tag
+	Dst   noctypes.NodeID
+	Cmd   Cmd
+	Seq   uint64
+	Issue int64 // cycle of issue, for latency statistics
+	Meta  any   // NIU-private socket context (AXI ID, OCP thread, ...)
+}
+
+// Table tracks outstanding transactions with per-tag FIFO order. The
+// transport layer guarantees per-(MstAddr,Tag) in-order delivery, so the
+// oldest entry for a tag is, by construction, the one a response for that
+// tag belongs to.
+type Table struct {
+	cfg     TableConfig
+	perTag  map[noctypes.Tag][]*Entry
+	targets map[noctypes.NodeID]int
+	count   int
+	peak    int
+	issued  uint64
+}
+
+// NewTable returns an empty table; cfg must validate.
+func NewTable(cfg TableConfig) *Table {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Table{
+		cfg:     cfg,
+		perTag:  make(map[noctypes.Tag][]*Entry),
+		targets: make(map[noctypes.NodeID]int),
+	}
+}
+
+// Config returns the table's configuration.
+func (t *Table) Config() TableConfig { return t.cfg }
+
+// CanIssue reports whether a transaction with the given tag and target can
+// be accepted now (capacity and target-set checks). Refusal means the NIU
+// back-pressures its socket.
+//
+// Beyond the sizing limits, CanIssue enforces the same-tag/same-target
+// hazard rule: the fabric only guarantees per-(MstAddr,Tag) order along
+// one path, so a tag with transactions in flight to slave A must drain
+// before it may address slave B. This is the NoC materialization of the
+// AXI "same ID to different slaves" stall, and it is what keeps a cheap
+// fully-ordered (single-tag) NIU correct with any MaxTargets setting.
+func (t *Table) CanIssue(tag noctypes.Tag, dst noctypes.NodeID) bool {
+	if t.count >= t.cfg.MaxOutstanding {
+		return false
+	}
+	if q := t.perTag[tag]; len(q) > 0 && q[len(q)-1].Dst != dst {
+		return false
+	}
+	if _, known := t.targets[dst]; !known && len(t.targets) >= t.cfg.MaxTargets {
+		return false
+	}
+	return true
+}
+
+// Issue records a new outstanding transaction. It panics if CanIssue is
+// false — callers must check first (the check/act split mirrors the
+// ready/valid handshake of the hardware).
+func (t *Table) Issue(e *Entry) {
+	if !t.CanIssue(e.Tag, e.Dst) {
+		panic(fmt.Sprintf("core: Issue without CanIssue (tag=%v dst=%v count=%d)", e.Tag, e.Dst, t.count))
+	}
+	t.perTag[e.Tag] = append(t.perTag[e.Tag], e)
+	t.targets[e.Dst]++
+	t.count++
+	t.issued++
+	if t.count > t.peak {
+		t.peak = t.count
+	}
+}
+
+// Complete retires the oldest outstanding transaction for tag and returns
+// its entry. It returns an error if no transaction with that tag is
+// outstanding — which, given transport per-tag ordering, indicates a
+// protocol violation somewhere upstream.
+func (t *Table) Complete(tag noctypes.Tag) (*Entry, error) {
+	q := t.perTag[tag]
+	if len(q) == 0 {
+		return nil, fmt.Errorf("core: response for %v with no outstanding transaction", tag)
+	}
+	e := q[0]
+	if len(q) == 1 {
+		delete(t.perTag, tag)
+	} else {
+		t.perTag[tag] = q[1:]
+	}
+	t.targets[e.Dst]--
+	if t.targets[e.Dst] == 0 {
+		delete(t.targets, e.Dst)
+	}
+	t.count--
+	return e, nil
+}
+
+// Outstanding returns the number of in-flight transactions.
+func (t *Table) Outstanding() int { return t.count }
+
+// OutstandingForTag returns in-flight transactions for one tag.
+func (t *Table) OutstandingForTag(tag noctypes.Tag) int { return len(t.perTag[tag]) }
+
+// OldestForTag returns the entry a response for tag will retire, or nil.
+func (t *Table) OldestForTag(tag noctypes.Tag) *Entry {
+	if q := t.perTag[tag]; len(q) > 0 {
+		return q[0]
+	}
+	return nil
+}
+
+// ActiveTargets returns the number of distinct targets in flight.
+func (t *Table) ActiveTargets() int { return len(t.targets) }
+
+// Peak returns the highest simultaneous occupancy observed.
+func (t *Table) Peak() int { return t.peak }
+
+// Issued returns the cumulative number of issued transactions.
+func (t *Table) Issued() uint64 { return t.issued }

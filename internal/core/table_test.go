@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"gonoc/internal/noctypes"
+)
+
+func TestTableIssueComplete(t *testing.T) {
+	tb := NewTable(TableConfig{MaxOutstanding: 4, MaxTargets: 2})
+	if !tb.CanIssue(0, 10) {
+		t.Fatal("empty table refuses issue")
+	}
+	tb.Issue(&Entry{Tag: 0, Dst: 10, Cmd: CmdRead, Seq: 1})
+	tb.Issue(&Entry{Tag: 0, Dst: 10, Cmd: CmdRead, Seq: 2})
+	if tb.Outstanding() != 2 {
+		t.Fatalf("Outstanding = %d", tb.Outstanding())
+	}
+	e, err := tb.Complete(0)
+	if err != nil || e.Seq != 1 {
+		t.Fatalf("Complete returned seq %d err %v, want oldest (1)", e.Seq, err)
+	}
+	e, err = tb.Complete(0)
+	if err != nil || e.Seq != 2 {
+		t.Fatalf("second Complete: %v %v", e, err)
+	}
+	if _, err := tb.Complete(0); err == nil {
+		t.Fatal("Complete on empty tag succeeded")
+	}
+}
+
+func TestTableMaxOutstanding(t *testing.T) {
+	tb := NewTable(TableConfig{MaxOutstanding: 2, MaxTargets: 8})
+	tb.Issue(&Entry{Tag: 0, Dst: 1})
+	tb.Issue(&Entry{Tag: 1, Dst: 2})
+	if tb.CanIssue(2, 3) {
+		t.Fatal("table over capacity accepted")
+	}
+	if _, err := tb.Complete(0); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.CanIssue(2, 3) {
+		t.Fatal("capacity not restored after Complete")
+	}
+}
+
+func TestTableMaxTargets(t *testing.T) {
+	tb := NewTable(TableConfig{MaxOutstanding: 8, MaxTargets: 1})
+	tb.Issue(&Entry{Tag: 0, Dst: 10, Seq: 1})
+	// Same target: fine.
+	if !tb.CanIssue(0, 10) {
+		t.Fatal("same-target issue refused")
+	}
+	// Different target: must be refused while node 10 is in flight.
+	if tb.CanIssue(0, 11) {
+		t.Fatal("second target accepted with MaxTargets=1")
+	}
+	tb.Issue(&Entry{Tag: 0, Dst: 10, Seq: 2})
+	if _, err := tb.Complete(0); err != nil {
+		t.Fatal(err)
+	}
+	// One txn to node 10 still in flight: still blocked.
+	if tb.CanIssue(0, 11) {
+		t.Fatal("target switch allowed while old target in flight")
+	}
+	if _, err := tb.Complete(0); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.CanIssue(0, 11) {
+		t.Fatal("target switch blocked after drain")
+	}
+}
+
+func TestTableIssueWithoutCanIssuePanics(t *testing.T) {
+	tb := NewTable(TableConfig{MaxOutstanding: 1, MaxTargets: 1})
+	tb.Issue(&Entry{Tag: 0, Dst: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Issue beyond capacity did not panic")
+		}
+	}()
+	tb.Issue(&Entry{Tag: 0, Dst: 1})
+}
+
+func TestTablePerTagFIFO(t *testing.T) {
+	tb := NewTable(TableConfig{MaxOutstanding: 8, MaxTargets: 8})
+	tb.Issue(&Entry{Tag: 1, Dst: 1, Seq: 100})
+	tb.Issue(&Entry{Tag: 2, Dst: 2, Seq: 200})
+	tb.Issue(&Entry{Tag: 1, Dst: 1, Seq: 101})
+	// Tag 2 completes out of global order — allowed, distinct tag.
+	if e, err := tb.Complete(2); err != nil || e.Seq != 200 {
+		t.Fatalf("Complete(2): %+v, %v", e, err)
+	}
+	if e, err := tb.Complete(1); err != nil || e.Seq != 100 {
+		t.Fatalf("Complete(1): %+v, %v (per-tag FIFO broken)", e, err)
+	}
+	if e := tb.OldestForTag(1); e == nil || e.Seq != 101 {
+		t.Fatalf("OldestForTag(1) = %+v", e)
+	}
+	if tb.OldestForTag(9) != nil {
+		t.Fatal("OldestForTag on empty tag non-nil")
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	tb := NewTable(TableConfig{MaxOutstanding: 4, MaxTargets: 4})
+	tb.Issue(&Entry{Tag: 0, Dst: 1})
+	tb.Issue(&Entry{Tag: 2, Dst: 2})
+	tb.Issue(&Entry{Tag: 1, Dst: 1})
+	if tb.Peak() != 3 || tb.Issued() != 3 || tb.ActiveTargets() != 2 {
+		t.Fatalf("stats: peak=%d issued=%d targets=%d", tb.Peak(), tb.Issued(), tb.ActiveTargets())
+	}
+	tb.Complete(0)
+	tb.Complete(2)
+	tb.Complete(1)
+	if tb.Outstanding() != 0 || tb.ActiveTargets() != 0 {
+		t.Fatal("table not empty after completing all")
+	}
+	if tb.Peak() != 3 {
+		t.Fatal("peak forgot its high-water mark")
+	}
+}
+
+// TestTableSameTagTargetHazard: a tag with transactions in flight to one
+// slave must not address another (the fabric orders per-tag traffic only
+// along one path). This is the AXI same-ID-to-different-slave stall.
+func TestTableSameTagTargetHazard(t *testing.T) {
+	tb := NewTable(TableConfig{MaxOutstanding: 8, MaxTargets: 8})
+	tb.Issue(&Entry{Tag: 0, Dst: 1, Seq: 1})
+	if tb.CanIssue(0, 2) {
+		t.Fatal("same tag admitted to a second target while in flight")
+	}
+	// A different tag may address the second target immediately.
+	if !tb.CanIssue(1, 2) {
+		t.Fatal("independent tag blocked by another tag's hazard")
+	}
+	// Drain tag 0; the target switch becomes legal.
+	if _, err := tb.Complete(0); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.CanIssue(0, 2) {
+		t.Fatal("target switch still blocked after drain")
+	}
+}
+
+func TestTableConfigValidate(t *testing.T) {
+	if err := (TableConfig{MaxOutstanding: 0, MaxTargets: 1}).Validate(); err == nil {
+		t.Error("MaxOutstanding=0 accepted")
+	}
+	if err := (TableConfig{MaxOutstanding: 1, MaxTargets: 0}).Validate(); err == nil {
+		t.Error("MaxTargets=0 accepted")
+	}
+	var _ = noctypes.NodeInvalid
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gonoc/internal/noctypes"
+)
+
+// Wire format. Requests and responses are genuinely serialized to bytes at
+// the NIU boundary: the transport layer carries only these opaque payloads
+// plus the header triple. The format is little-endian and versioned by the
+// leading magic nibble so decode errors are loud.
+
+const (
+	reqMagic  = 0xA0
+	rspMagic  = 0xB0
+	reqHdrLen = 16
+	rspHdrLen = 16
+)
+
+// Request payload flags.
+const (
+	flagExclusive = 1 << 0
+	flagLocked    = 1 << 1
+	flagUnlock    = 1 << 2
+	flagPosted    = 1 << 3
+	flagHasBE     = 1 << 4
+)
+
+// Response payload flags: none currently; reserved.
+
+// EncodeRequest serializes a request into transport payload bytes.
+func EncodeRequest(r *Request) []byte {
+	n := reqHdrLen + len(r.Data)
+	if r.BE != nil {
+		n += len(r.BE)
+	}
+	buf := make([]byte, n)
+	buf[0] = reqMagic | byte(r.Cmd)
+	var fl byte
+	if r.Exclusive {
+		fl |= flagExclusive
+	}
+	if r.Locked {
+		fl |= flagLocked
+	}
+	if r.Unlock {
+		fl |= flagUnlock
+	}
+	if r.Posted {
+		fl |= flagPosted
+	}
+	if r.BE != nil {
+		fl |= flagHasBE
+	}
+	buf[1] = fl
+	buf[2] = r.Size
+	buf[3] = byte(r.Burst)
+	binary.LittleEndian.PutUint16(buf[4:6], r.Len)
+	binary.LittleEndian.PutUint16(buf[6:8], uint16(r.Priority))
+	binary.LittleEndian.PutUint64(buf[8:16], r.Addr)
+	copy(buf[reqHdrLen:], r.Data)
+	if r.BE != nil {
+		copy(buf[reqHdrLen+len(r.Data):], r.BE)
+	}
+	return buf
+}
+
+// DecodeRequest parses transport payload bytes into a request. Header
+// fields carried outside the payload (Src, Dst, Tag, Seq) must be filled
+// in by the caller from the packet header.
+func DecodeRequest(buf []byte) (*Request, error) {
+	if len(buf) < reqHdrLen {
+		return nil, fmt.Errorf("core: request payload too short (%d bytes)", len(buf))
+	}
+	if buf[0]&0xF0 != reqMagic {
+		return nil, fmt.Errorf("core: bad request magic %#x", buf[0])
+	}
+	r := &Request{
+		Cmd:   Cmd(buf[0] & 0x0F),
+		Size:  buf[2],
+		Burst: BurstKind(buf[3]),
+		Len:   binary.LittleEndian.Uint16(buf[4:6]),
+	}
+	fl := buf[1]
+	r.Exclusive = fl&flagExclusive != 0
+	r.Locked = fl&flagLocked != 0
+	r.Unlock = fl&flagUnlock != 0
+	r.Posted = fl&flagPosted != 0
+	r.Priority = noctypes.Priority(binary.LittleEndian.Uint16(buf[6:8]))
+	r.Addr = binary.LittleEndian.Uint64(buf[8:16])
+
+	rest := buf[reqHdrLen:]
+	if r.Cmd.IsWrite() {
+		want := r.Bytes()
+		if fl&flagHasBE != 0 {
+			if len(rest) != 2*want {
+				return nil, fmt.Errorf("core: write payload %d bytes, want %d data + %d BE", len(rest), want, want)
+			}
+			r.Data = append([]byte(nil), rest[:want]...)
+			r.BE = append([]byte(nil), rest[want:]...)
+		} else {
+			if len(rest) != want {
+				return nil, fmt.Errorf("core: write payload %d bytes, want %d", len(rest), want)
+			}
+			r.Data = append([]byte(nil), rest...)
+		}
+	} else if len(rest) != 0 {
+		return nil, fmt.Errorf("core: read request carries %d payload bytes", len(rest))
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// EncodeResponse serializes a response into transport payload bytes.
+func EncodeResponse(p *Response) []byte {
+	buf := make([]byte, rspHdrLen+len(p.Data))
+	buf[0] = rspMagic | byte(p.Status)
+	binary.LittleEndian.PutUint32(buf[2:6], uint32(len(p.Data)))
+	// Bytes 6..16 are reserved. Note deliberately absent: no sequence
+	// number travels on the wire — per-(MstAddr,Tag) FIFO ordering lets the
+	// master NIU recover request identity from its state table, which is
+	// exactly the paper's low-gate-count ordering argument.
+	copy(buf[rspHdrLen:], p.Data)
+	return buf
+}
+
+// DecodeResponse parses transport payload bytes into a response.
+func DecodeResponse(buf []byte) (*Response, error) {
+	if len(buf) < rspHdrLen {
+		return nil, fmt.Errorf("core: response payload too short (%d bytes)", len(buf))
+	}
+	if buf[0]&0xF0 != rspMagic {
+		return nil, fmt.Errorf("core: bad response magic %#x", buf[0])
+	}
+	p := &Response{Status: Status(buf[0] & 0x0F)}
+	n := binary.LittleEndian.Uint32(buf[2:6])
+	if int(n) != len(buf)-rspHdrLen {
+		return nil, fmt.Errorf("core: response declares %d data bytes, carries %d", n, len(buf)-rspHdrLen)
+	}
+	if n > 0 {
+		p.Data = append([]byte(nil), buf[rspHdrLen:]...)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

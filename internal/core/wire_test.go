@@ -1,0 +1,231 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"gonoc/internal/noctypes"
+)
+
+func validRequest(cmd Cmd, addr uint64, size uint8, length uint16, burst BurstKind) *Request {
+	r := &Request{
+		Cmd: cmd, Addr: addr, Size: size, Len: length, Burst: burst,
+		Src: 1, Dst: 2, Tag: 3, Priority: noctypes.PrioDefault,
+	}
+	if cmd.IsWrite() {
+		r.Data = make([]byte, r.Bytes())
+		for i := range r.Data {
+			r.Data[i] = byte(i * 7)
+		}
+	}
+	switch cmd {
+	case CmdReadEx, CmdWriteEx:
+		r.Exclusive = true
+	case CmdReadLock:
+		r.Locked = true
+	case CmdWriteUnlk:
+		r.Locked, r.Unlock = true, true
+	case CmdWritePost:
+		r.Posted = true
+	}
+	return r
+}
+
+func TestRequestRoundTripAllCommands(t *testing.T) {
+	for c := CmdRead; c < numCmds; c++ {
+		r := validRequest(c, 0x1000, 4, 4, BurstIncr)
+		if err := r.Validate(); err != nil {
+			t.Fatalf("%s: validRequest is invalid: %v", c, err)
+		}
+		buf := EncodeRequest(r)
+		got, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c, err)
+		}
+		// Wire does not carry Src/Dst/Tag/Seq; copy for comparison.
+		got.Src, got.Dst, got.Tag, got.Seq = r.Src, r.Dst, r.Tag, r.Seq
+		if !reflect.DeepEqual(r, got) {
+			t.Fatalf("%s: round trip mismatch:\n in: %+v\nout: %+v", c, r, got)
+		}
+	}
+}
+
+func TestRequestRoundTripByteEnables(t *testing.T) {
+	r := validRequest(CmdWrite, 0x40, 2, 3, BurstIncr)
+	r.BE = []byte{0xFF, 0x00, 0xFF, 0xFF, 0x00, 0xFF}
+	buf := EncodeRequest(r)
+	got, err := DecodeRequest(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(got.BE, r.BE) {
+		t.Fatalf("BE mismatch: %v vs %v", got.BE, r.BE)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, st := range []Status{StOK, StExOK, StExFail, StErrDecode, StErrSlave, StErrUnsupported} {
+		p := &Response{Status: st, Data: []byte{1, 2, 3, 4}, Src: 5, Dst: 6, Tag: 7}
+		buf := EncodeResponse(p)
+		got, err := DecodeResponse(buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", st, err)
+		}
+		if got.Status != st || !bytes.Equal(got.Data, p.Data) {
+			t.Fatalf("%s: round trip mismatch: %+v", st, got)
+		}
+	}
+}
+
+func TestResponseRoundTripEmpty(t *testing.T) {
+	p := &Response{Status: StOK}
+	got, err := DecodeResponse(EncodeResponse(p))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Status != StOK || len(got.Data) != 0 {
+		t.Fatalf("empty response mismatch: %+v", got)
+	}
+}
+
+func TestDecodeRequestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"short", []byte{0xA0, 0, 0}},
+		{"bad magic", append([]byte{0x50}, make([]byte, 20)...)},
+		{"read with payload", func() []byte {
+			b := EncodeRequest(validRequest(CmdRead, 0, 4, 1, BurstIncr))
+			return append(b, 0xAB)
+		}()},
+		{"write short data", func() []byte {
+			b := EncodeRequest(validRequest(CmdWrite, 0, 4, 2, BurstIncr))
+			return b[:len(b)-1]
+		}()},
+	}
+	for _, c := range cases {
+		if _, err := DecodeRequest(c.buf); err == nil {
+			t.Errorf("%s: decode succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestDecodeResponseErrors(t *testing.T) {
+	if _, err := DecodeResponse([]byte{0xB0}); err == nil {
+		t.Error("short response decoded")
+	}
+	if _, err := DecodeResponse(append([]byte{0x10}, make([]byte, 20)...)); err == nil {
+		t.Error("bad magic response decoded")
+	}
+	good := EncodeResponse(&Response{Status: StOK, Data: []byte{1, 2}})
+	if _, err := DecodeResponse(good[:len(good)-1]); err == nil {
+		t.Error("truncated response decoded")
+	}
+}
+
+// Property: encode/decode is the identity on valid requests.
+func TestQuickRequestRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cmds := []Cmd{CmdRead, CmdWrite, CmdWritePost, CmdReadEx, CmdWriteEx, CmdReadLock, CmdWriteUnlk}
+		sizes := []uint8{1, 2, 4, 8}
+		bursts := []BurstKind{BurstIncr, BurstWrap, BurstFixed}
+		r := validRequest(
+			cmds[rng.Intn(len(cmds))],
+			rng.Uint64()>>8,
+			sizes[rng.Intn(len(sizes))],
+			uint16(rng.Intn(16)+1),
+			bursts[rng.Intn(len(bursts))],
+		)
+		if r.Cmd.IsWrite() {
+			rng.Read(r.Data)
+			if rng.Intn(2) == 0 {
+				r.BE = make([]byte, len(r.Data))
+				rng.Read(r.BE)
+			}
+		}
+		r.Priority = noctypes.Priority(rng.Intn(int(noctypes.NumPriorities)))
+		buf := EncodeRequest(r)
+		got, err := DecodeRequest(buf)
+		if err != nil {
+			return false
+		}
+		got.Src, got.Dst, got.Tag, got.Seq = r.Src, r.Dst, r.Tag, r.Seq
+		return reflect.DeepEqual(r, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DecodeRequest never panics on arbitrary bytes.
+func TestQuickDecodeRobustness(t *testing.T) {
+	prop := func(buf []byte) bool {
+		_, _ = DecodeRequest(buf)
+		_, _ = DecodeResponse(buf)
+		return true // no panic is the property
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	bad := []*Request{
+		{Cmd: Cmd(99), Size: 4, Len: 1},
+		{Cmd: CmdRead, Size: 3, Len: 1},
+		{Cmd: CmdRead, Size: 4, Len: 0},
+		{Cmd: CmdRead, Size: 4, Len: 1, Burst: BurstKind(9)},
+		{Cmd: CmdWrite, Size: 4, Len: 1, Data: []byte{1}},                        // short data
+		{Cmd: CmdRead, Size: 4, Len: 1, Data: []byte{1, 2, 3, 4}},                // read with data
+		{Cmd: CmdWrite, Size: 1, Len: 1, Data: []byte{1}, BE: []byte{1, 2}},      // BE length
+		{Cmd: CmdRead, Size: 4, Len: 1, Exclusive: true},                         // excl bit on READ
+		{Cmd: CmdReadEx, Size: 4, Len: 1},                                        // READEX without bit
+		{Cmd: CmdWritePost, Size: 1, Len: 1, Data: []byte{0}},                    // posted flag unset
+		{Cmd: CmdRead, Size: 4, Len: 1, Unlock: true},                            // unlock w/o lock
+		{Cmd: CmdWrite, Size: 4, Len: 1, Data: []byte{1, 2, 3, 4}, Posted: true}, // posted on WRITE
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d (%s): Validate accepted invalid request", i, r.Cmd)
+		}
+	}
+}
+
+func TestCmdPredicates(t *testing.T) {
+	if !CmdRead.IsRead() || CmdRead.IsWrite() {
+		t.Error("CmdRead predicates wrong")
+	}
+	if !CmdWritePost.IsWrite() || CmdWritePost.ExpectsResponse() {
+		t.Error("CmdWritePost predicates wrong")
+	}
+	if !CmdReadEx.IsRead() || !CmdWriteEx.IsWrite() {
+		t.Error("exclusive predicates wrong")
+	}
+	if !CmdReadLock.IsRead() || !CmdWriteUnlk.IsWrite() {
+		t.Error("lock predicates wrong")
+	}
+	for c := CmdRead; c < numCmds; c++ {
+		if c.String() == "" || !c.Valid() {
+			t.Errorf("cmd %d: bad String/Valid", uint8(c))
+		}
+	}
+	if Cmd(200).Valid() {
+		t.Error("Cmd(200) should be invalid")
+	}
+}
+
+func TestStatusPredicates(t *testing.T) {
+	if !StOK.OK() || !StExOK.OK() {
+		t.Error("OK statuses misclassified")
+	}
+	for _, s := range []Status{StExFail, StErrDecode, StErrSlave, StErrUnsupported} {
+		if s.OK() {
+			t.Errorf("%s misclassified as OK", s)
+		}
+	}
+}

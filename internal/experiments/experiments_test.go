@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"gonoc/internal/noctypes"
+)
+
+// cellFloat parses a numeric table cell (tolerating a trailing "x").
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSpace(s), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad numeric cell %q: %v", s, err)
+	}
+	return v
+}
+
+// The experiment suite doubles as the repository's acceptance tests: each
+// test asserts the *shape* the paper claims, not absolute numbers.
+
+func TestE1MatrixShape(t *testing.T) {
+	tbl := E1CompatibilityMatrix(11)
+	rows := tbl.Rows()
+	if len(rows) != 7 {
+		t.Fatalf("matrix has %d rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if r[1] != "yes" {
+			t.Errorf("NoC fails feature %q: %v", r[0], r)
+		}
+	}
+	// The bridged bus must lose at least these features.
+	mustLose := map[string]bool{
+		"AXI out-of-order responses (IDs)":   true,
+		"OCP posted writes (non-blocking)":   true,
+		"AXI exclusive access (EXOKAY)":      true,
+		"OCP lazy synchronization":           true,
+		"FIXED-burst semantics to AHB slave": true,
+	}
+	for _, r := range rows {
+		if mustLose[r[0]] && r[2] != "NO" {
+			t.Errorf("bridged bus unexpectedly supports %q: %v", r[0], r)
+		}
+	}
+	// Both must support locked atomic RMW.
+	for _, r := range rows {
+		if r[0] == "AHB locked atomic RMW" && (r[1] != "yes" || r[2] != "yes") {
+			t.Errorf("locked RMW row wrong: %v", r)
+		}
+	}
+}
+
+func TestE2BridgePenaltyShape(t *testing.T) {
+	tabs := E2Performance(7, 12)
+	lat := tabs[0].Rows()
+	if len(lat) != 7 {
+		t.Fatalf("latency table rows = %d", len(lat))
+	}
+	worse := 0
+	for _, r := range lat {
+		// col 5 is bus/NoC mean ratio
+		if ratio := cellFloat(t, r[5]); ratio > 1.0 {
+			worse++
+		}
+	}
+	if worse < 5 {
+		t.Fatalf("bridged bus should be slower for most masters; only %d/7 worse", worse)
+	}
+}
+
+func TestE3TransactionInvisibility(t *testing.T) {
+	tbl := E3SwitchingModes(5, 10)
+	rows := tbl.Rows()
+	if len(rows) != 2 {
+		t.Fatal("E3 should have two rows")
+	}
+	for _, r := range rows {
+		if r[4] != "yes" {
+			t.Fatalf("stores differ across switching modes: %v", r)
+		}
+	}
+	if rows[0][5] != rows[1][5] {
+		t.Fatalf("completion counts differ: %v vs %v", rows[0], rows[1])
+	}
+}
+
+func TestE4OrderingModels(t *testing.T) {
+	tbl := E4Ordering(3)
+	rows := tbl.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("E4 rows = %d", len(rows))
+	}
+	// AXI and OCP rows must show legal cross-scope reordering; AHB none.
+	if rows[0][4] == "0" {
+		t.Error("AXI: no cross-ID reordering observed; fabric over-serializes")
+	}
+	if rows[1][4] == "0" {
+		t.Error("OCP: no cross-thread reordering observed")
+	}
+	if rows[2][4] != "0" {
+		t.Errorf("AHB: cross-scope reorders on a fully-ordered socket: %v", rows[2])
+	}
+}
+
+func TestE5GateScalingMonotonic(t *testing.T) {
+	tbl := E5GateScaling()
+	for _, r := range tbl.Rows() {
+		var prev float64 = -1
+		for i := 2; i <= 6; i++ {
+			g := cellFloat(t, r[i])
+			if g <= prev {
+				t.Fatalf("%s: gates not strictly increasing with outstanding: %v", r[0], r)
+			}
+			prev = g
+		}
+	}
+}
+
+func TestE6LockHurtsExclusiveDoesNot(t *testing.T) {
+	res := E6ExclusiveVsLock(13)
+	if res.BaselineTput <= 0 {
+		t.Fatal("no baseline throughput")
+	}
+	// Lock mode must cost background throughput noticeably more than the
+	// exclusive service.
+	if res.LockTput >= res.ExclTput {
+		t.Fatalf("lock tput %.2f not worse than exclusive %.2f", res.LockTput, res.ExclTput)
+	}
+	if res.ExclTput < 0.7*res.BaselineTput {
+		t.Fatalf("exclusive service degraded background too much: %.2f vs baseline %.2f",
+			res.ExclTput, res.BaselineTput)
+	}
+	if res.LockTput > 0.8*res.BaselineTput {
+		t.Fatalf("lock barely affected background (%.2f vs %.2f); transport impact not visible",
+			res.LockTput, res.BaselineTput)
+	}
+}
+
+func TestE7QoSShape(t *testing.T) {
+	res := E7QoS(1)
+	on := res.MeanLatency[true]
+	if on[noctypes.PrioUrgent] >= on[noctypes.PrioLow] {
+		t.Fatalf("QoS on: urgent (%.1f) not faster than low (%.1f)",
+			on[noctypes.PrioUrgent], on[noctypes.PrioLow])
+	}
+	off := res.MeanLatency[false]
+	ratio := off[noctypes.PrioUrgent] / off[noctypes.PrioLow]
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("QoS off: classes should be comparable, ratio=%.2f", ratio)
+	}
+}
+
+func TestE8PhysicalShape(t *testing.T) {
+	res := E8Physical()
+	// Throughput should halve (roughly) with each width halving.
+	w8, w4, w2, w1 := res.FlitsPerKCycle[8], res.FlitsPerKCycle[4], res.FlitsPerKCycle[2], res.FlitsPerKCycle[1]
+	if !(w8 > w4 && w4 > w2 && w2 > w1) {
+		t.Fatalf("bandwidth not monotone in width: %v", res.FlitsPerKCycle)
+	}
+	if w8/w1 < 6 || w8/w1 > 10 {
+		t.Fatalf("8x width should give ~8x flits: got %.1fx", w8/w1)
+	}
+}
+
+func TestE9AblationShape(t *testing.T) {
+	tbl := E9ServiceAblation(2)
+	rows := tbl.Rows()
+	if rows[0][2] != "yes" {
+		t.Fatalf("service ON should produce EXOKAY: %v", rows[0])
+	}
+	if rows[1][2] != "NO" {
+		t.Fatalf("service OFF should demote: %v", rows[1])
+	}
+	if rows[0][1] == "0" {
+		t.Fatal("monitor gates should be nonzero when the service is on")
+	}
+}

@@ -1,0 +1,92 @@
+// Package mem provides the byte-addressable backing store shared by all
+// memory-target IP models. It is deliberately protocol-free: each socket's
+// memory slave wraps one Backing and speaks its own protocol on top.
+package mem
+
+import "fmt"
+
+const pageBits = 12 // 4 KiB pages
+const pageSize = 1 << pageBits
+
+// Backing is a sparse byte-addressable memory. Unwritten bytes read as
+// zero. Not safe for concurrent use; the simulator is single-threaded by
+// design.
+type Backing struct {
+	pages         map[uint64][]byte
+	size          uint64 // address-space bound; 0 = unbounded
+	reads, writes uint64
+}
+
+// NewBacking returns a store bounded to size bytes (0 = unbounded).
+func NewBacking(size uint64) *Backing {
+	return &Backing{pages: make(map[uint64][]byte), size: size}
+}
+
+// Size returns the configured bound (0 = unbounded).
+func (b *Backing) Size() uint64 { return b.size }
+
+// InBounds reports whether [addr, addr+n) lies within the store.
+func (b *Backing) InBounds(addr uint64, n int) bool {
+	if n < 0 {
+		return false
+	}
+	end := addr + uint64(n)
+	if end < addr {
+		return false
+	}
+	return b.size == 0 || end <= b.size
+}
+
+func (b *Backing) page(addr uint64, create bool) []byte {
+	key := addr >> pageBits
+	p, ok := b.pages[key]
+	if !ok && create {
+		p = make([]byte, pageSize)
+		b.pages[key] = p
+	}
+	return p
+}
+
+// Read copies n bytes starting at addr.
+func (b *Backing) Read(addr uint64, n int) []byte {
+	if !b.InBounds(addr, n) {
+		panic(fmt.Sprintf("mem: read [%#x,+%d) out of bounds (size %#x)", addr, n, b.size))
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		p := b.page(addr+uint64(i), false)
+		off := int((addr + uint64(i)) & (pageSize - 1))
+		chunk := pageSize - off
+		if chunk > n-i {
+			chunk = n - i
+		}
+		if p != nil {
+			copy(out[i:i+chunk], p[off:off+chunk])
+		}
+		i += chunk
+	}
+	b.reads++
+	return out
+}
+
+// Write stores data at addr. If be is non-nil, only bytes with a non-zero
+// byte-enable are written.
+func (b *Backing) Write(addr uint64, data, be []byte) {
+	if !b.InBounds(addr, len(data)) {
+		panic(fmt.Sprintf("mem: write [%#x,+%d) out of bounds (size %#x)", addr, len(data), b.size))
+	}
+	if be != nil && len(be) != len(data) {
+		panic(fmt.Sprintf("mem: byte-enable length %d != data length %d", len(be), len(data)))
+	}
+	for i := range data {
+		if be != nil && be[i] == 0 {
+			continue
+		}
+		p := b.page(addr+uint64(i), true)
+		p[(addr+uint64(i))&(pageSize-1)] = data[i]
+	}
+	b.writes++
+}
+
+// Accesses returns cumulative read and write operation counts.
+func (b *Backing) Accesses() (reads, writes uint64) { return b.reads, b.writes }

@@ -1,0 +1,107 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadZeroFill(t *testing.T) {
+	b := NewBacking(0x1000)
+	got := b.Read(0x100, 16)
+	for _, v := range got {
+		if v != 0 {
+			t.Fatalf("unwritten memory not zero: %v", got)
+		}
+	}
+}
+
+func TestWriteReadBack(t *testing.T) {
+	b := NewBacking(0x10000)
+	data := []byte{1, 2, 3, 4, 5}
+	b.Write(0x42, data, nil)
+	if got := b.Read(0x42, 5); !bytes.Equal(got, data) {
+		t.Fatalf("read back %v", got)
+	}
+	r, w := b.Accesses()
+	if r != 1 || w != 1 {
+		t.Fatalf("access counts %d/%d", r, w)
+	}
+}
+
+func TestWriteAcrossPageBoundary(t *testing.T) {
+	b := NewBacking(0x10000)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	addr := uint64(pageSize - 32) // straddles the first page boundary
+	b.Write(addr, data, nil)
+	if got := b.Read(addr, 64); !bytes.Equal(got, data) {
+		t.Fatal("cross-page write corrupted")
+	}
+}
+
+func TestByteEnables(t *testing.T) {
+	b := NewBacking(0x1000)
+	b.Write(0x10, []byte{0xAA, 0xBB, 0xCC, 0xDD}, nil)
+	b.Write(0x10, []byte{0x11, 0x22, 0x33, 0x44}, []byte{0xFF, 0, 0, 0xFF})
+	want := []byte{0x11, 0xBB, 0xCC, 0x44}
+	if got := b.Read(0x10, 4); !bytes.Equal(got, want) {
+		t.Fatalf("BE write = %v, want %v", got, want)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	b := NewBacking(0x100)
+	if !b.InBounds(0xFF, 1) || b.InBounds(0xFF, 2) {
+		t.Fatal("InBounds edge wrong")
+	}
+	if b.InBounds(^uint64(0), 8) {
+		t.Fatal("wrap-around accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds read did not panic")
+		}
+	}()
+	b.Read(0x100, 1)
+}
+
+func TestUnboundedBacking(t *testing.T) {
+	b := NewBacking(0)
+	b.Write(1<<40, []byte{7}, nil)
+	if got := b.Read(1<<40, 1); got[0] != 7 {
+		t.Fatal("unbounded write lost")
+	}
+}
+
+func TestBadBELengthPanics(t *testing.T) {
+	b := NewBacking(0x100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched BE length did not panic")
+		}
+	}()
+	b.Write(0, []byte{1, 2}, []byte{0xFF})
+}
+
+// Property: a write followed by a read of the same span returns the
+// written bytes (with full enables), regardless of page alignment.
+func TestQuickWriteReadIdentity(t *testing.T) {
+	b := NewBacking(1 << 20)
+	prop := func(addrRaw uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		addr := uint64(addrRaw) % (1<<20 - 512)
+		b.Write(addr, data, nil)
+		return bytes.Equal(b.Read(addr, len(data)), data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

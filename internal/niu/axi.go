@@ -1,0 +1,317 @@
+package niu
+
+import (
+	"fmt"
+
+	"gonoc/internal/core"
+	"gonoc/internal/noctypes"
+	"gonoc/internal/protocols/axi"
+	"gonoc/internal/sim"
+	"gonoc/internal/transport"
+)
+
+// axiProtoID qualifies an AXI transaction ID with its direction: read and
+// write channels have independent ID spaces and independent ordering.
+func axiProtoID(id int, write bool) int {
+	p := id << 1
+	if write {
+		p |= 1
+	}
+	return p
+}
+
+func axiBurstToCore(b axi.Burst) core.BurstKind {
+	switch b {
+	case axi.BurstFixed:
+		return core.BurstFixed
+	case axi.BurstWrap:
+		return core.BurstWrap
+	default:
+		return core.BurstIncr
+	}
+}
+
+func coreBurstToAXI(b core.BurstKind) axi.Burst {
+	switch b {
+	case core.BurstFixed:
+		return axi.BurstFixed
+	case core.BurstWrap:
+		return axi.BurstWrap
+	default:
+		return axi.BurstIncr
+	}
+}
+
+// axiRespFor maps a transaction status onto the AXI response vocabulary.
+func axiRespFor(st core.Status) axi.Resp {
+	switch st {
+	case core.StOK:
+		return axi.RespOKAY
+	case core.StExOK:
+		return axi.RespEXOKAY
+	case core.StExFail:
+		return axi.RespOKAY // failed exclusive: OKAY, not EXOKAY
+	case core.StErrDecode:
+		return axi.RespDECERR
+	default:
+		return axi.RespSLVERR
+	}
+}
+
+// AXIMaster is the master-side NIU for an AXI socket: the IP's AXI master
+// engine connects to the other end of the port.
+type AXIMaster struct {
+	*masterBase
+	port *axi.Port
+
+	wQ      []axi.WBeat // buffered write data awaiting its AW
+	rStream []axiRead   // completed reads streaming R beats
+	rBeat   int
+	bQ      []axi.BBeat
+}
+
+type axiRead struct {
+	id    int
+	data  []byte
+	size  int
+	beats int
+	resp  axi.Resp
+}
+
+type axiMeta struct {
+	id    int
+	write bool
+	size  uint8
+	beats int
+	excl  bool
+}
+
+// NewAXIMaster creates the NIU and registers it on clk. AXI's natural
+// ordering model is ID-ordered.
+func NewAXIMaster(clk *sim.Clock, net *transport.Network, amap *core.AddressMap, port *axi.Port, cfg MasterConfig) *AXIMaster {
+	n := &AXIMaster{masterBase: newMasterBase(net, amap, cfg, core.IDOrdered), port: port}
+	clk.Register(n)
+	return n
+}
+
+// Eval implements sim.Clocked.
+func (n *AXIMaster) Eval(cycle int64) {
+	n.pumpResponses()
+	n.streamR()
+	n.pumpB()
+	n.acceptAR(cycle)
+	n.acceptWrites(cycle)
+}
+
+// Update implements sim.Clocked.
+func (n *AXIMaster) Update(cycle int64) {}
+
+func (n *AXIMaster) pumpResponses() {
+	rsp, entry := n.recvResponse()
+	if rsp == nil {
+		return
+	}
+	meta := entry.Meta.(axiMeta)
+	if meta.write {
+		n.bQ = append(n.bQ, axi.BBeat{ID: meta.id, Resp: axiRespFor(rsp.Status)})
+		return
+	}
+	data := rsp.Data
+	want := meta.beats * int(meta.size)
+	if len(data) < want {
+		data = append(data, make([]byte, want-len(data))...) // error responses carry no data
+	}
+	n.rStream = append(n.rStream, axiRead{
+		id: meta.id, data: data, size: int(meta.size), beats: meta.beats,
+		resp: axiRespFor(rsp.Status),
+	})
+}
+
+func (n *AXIMaster) streamR() {
+	if len(n.rStream) == 0 || !n.port.R.CanPush(1) {
+		return
+	}
+	r := &n.rStream[0]
+	lo := n.rBeat * r.size
+	last := n.rBeat == r.beats-1
+	n.port.R.Push(axi.RBeat{ID: r.id, Data: r.data[lo : lo+r.size], Resp: r.resp, Last: last})
+	if last {
+		n.rStream = n.rStream[1:]
+		n.rBeat = 0
+	} else {
+		n.rBeat++
+	}
+}
+
+func (n *AXIMaster) pumpB() {
+	if len(n.bQ) > 0 && n.port.B.CanPush(1) {
+		n.port.B.Push(n.bQ[0])
+		n.bQ = n.bQ[1:]
+	}
+}
+
+// priorityFor maps the AXI QoS signal onto the NoC priority, defaulting
+// to the NIU's configured priority.
+func (n *AXIMaster) priorityFor(qos uint8) noctypes.Priority {
+	if qos == 0 {
+		return n.cfg.Priority
+	}
+	if qos > 3 {
+		qos = 3
+	}
+	return noctypes.Priority(qos)
+}
+
+func (n *AXIMaster) acceptAR(cycle int64) {
+	ar, ok := n.port.AR.Peek()
+	if !ok {
+		return
+	}
+	cmd := core.CmdRead
+	excl := false
+	if ar.Lock && n.cfg.Services.Exclusive {
+		cmd = core.CmdReadEx
+		excl = true
+	} // exclusive demoted to plain read when the service is off (AXI: OKAY)
+	req := &core.Request{
+		Cmd: cmd, Addr: ar.Addr, Size: ar.Size, Len: uint16(ar.Beats()),
+		Burst: axiBurstToCore(ar.Burst), Exclusive: excl,
+		Priority: n.priorityFor(ar.QoS),
+	}
+	meta := axiMeta{id: ar.ID, write: false, size: ar.Size, beats: ar.Beats(), excl: excl}
+	switch n.tryIssue(req, axiProtoID(ar.ID, false), meta, cycle) {
+	case issueOK:
+		n.port.AR.Pop()
+	case issueDecodeErr:
+		n.port.AR.Pop()
+		n.rStream = append(n.rStream, axiRead{
+			id: ar.ID, data: make([]byte, ar.Beats()*int(ar.Size)),
+			size: int(ar.Size), beats: ar.Beats(), resp: axi.RespDECERR,
+		})
+	case issueStall, issueUnsupported:
+		// retry next cycle (unsupported cannot happen for reads)
+	}
+}
+
+func (n *AXIMaster) acceptWrites(cycle int64) {
+	// Buffer write data as it arrives.
+	if w, ok := n.port.W.Pop(); ok {
+		n.wQ = append(n.wQ, w)
+	}
+	aw, ok := n.port.AW.Peek()
+	if !ok {
+		return
+	}
+	// The head AW needs all its beats buffered before the burst converts
+	// to one transaction-layer request.
+	need := aw.Beats()
+	have := -1
+	for i, w := range n.wQ {
+		if w.Last {
+			have = i + 1
+			break
+		}
+	}
+	if have < 0 {
+		return // last beat not yet arrived
+	}
+	if have != need {
+		panic(fmt.Sprintf("niu: %v: WLAST after %d beats, AWLEN wants %d", n.cfg.Node, have, need))
+	}
+	data := make([]byte, 0, need*int(aw.Size))
+	be := make([]byte, 0, need*int(aw.Size))
+	hasStrb := false
+	for i := 0; i < need; i++ {
+		w := n.wQ[i]
+		data = append(data, w.Data...)
+		if w.Strb != nil {
+			hasStrb = true
+			be = append(be, w.Strb...)
+		} else {
+			for range w.Data {
+				be = append(be, 0xFF)
+			}
+		}
+	}
+	cmd := core.CmdWrite
+	excl := false
+	if aw.Lock && n.cfg.Services.Exclusive {
+		cmd = core.CmdWriteEx
+		excl = true
+	}
+	req := &core.Request{
+		Cmd: cmd, Addr: aw.Addr, Size: aw.Size, Len: uint16(need),
+		Burst: axiBurstToCore(aw.Burst), Data: data, Exclusive: excl,
+		Priority: n.priorityFor(aw.QoS),
+	}
+	if hasStrb {
+		req.BE = be
+	}
+	meta := axiMeta{id: aw.ID, write: true, size: aw.Size, beats: need, excl: excl}
+	switch n.tryIssue(req, axiProtoID(aw.ID, true), meta, cycle) {
+	case issueOK:
+		n.port.AW.Pop()
+		n.wQ = n.wQ[need:]
+	case issueDecodeErr:
+		n.port.AW.Pop()
+		n.wQ = n.wQ[need:]
+		n.bQ = append(n.bQ, axi.BBeat{ID: aw.ID, Resp: axi.RespDECERR})
+	case issueStall, issueUnsupported:
+	}
+}
+
+// AXISlave is the slave-side NIU for an AXI target IP: it executes
+// transaction-layer requests by driving the target's socket with an
+// embedded AXI master engine.
+type AXISlave struct {
+	*slaveBase
+	eng *axi.Master
+}
+
+// NewAXISlave creates the NIU (and its embedded engine) on clk.
+func NewAXISlave(clk *sim.Clock, net *transport.Network, port *axi.Port, cfg SlaveConfig) *AXISlave {
+	n := &AXISlave{
+		slaveBase: newSlaveBase(net, cfg),
+		eng:       axi.NewMaster(clk, port, nil),
+	}
+	clk.Register(n)
+	return n
+}
+
+// Eval implements sim.Clocked.
+func (n *AXISlave) Eval(cycle int64) {
+	n.drainResponses()
+	req, ok := n.recvRequest()
+	if !ok {
+		return
+	}
+	if early := n.execCheck(req); early != nil {
+		n.respond(req, early)
+		return
+	}
+	engID := int(req.Src)<<8 | int(req.Tag)
+	r := req // capture
+	switch {
+	case req.Cmd.IsRead():
+		n.eng.Read(engID, req.Addr, req.Size, int(req.Len), coreBurstToAXI(req.Burst),
+			func(res axi.ReadResult) {
+				st := statusFor(r, res.Resp == axi.RespSLVERR || res.Resp == axi.RespDECERR)
+				n.respond(r, &core.Response{Status: st, Data: res.Data})
+			})
+	case req.Cmd == core.CmdWritePost:
+		n.eng.Write(engID, req.Addr, req.Size, coreBurstToAXI(req.Burst), req.Data, nil)
+	default: // all response-carrying writes (incl. resolved exclusives)
+		cb := func(resp axi.Resp) {
+			st := statusFor(r, resp == axi.RespSLVERR || resp == axi.RespDECERR)
+			n.respond(r, &core.Response{Status: st})
+		}
+		if r.BE != nil {
+			n.eng.WriteStrobed(engID, req.Addr, req.Size, coreBurstToAXI(req.Burst), req.Data, req.BE, cb)
+		} else {
+			n.eng.Write(engID, req.Addr, req.Size, coreBurstToAXI(req.Burst), req.Data, cb)
+		}
+	}
+}
+
+// Update implements sim.Clocked.
+func (n *AXISlave) Update(cycle int64) {}

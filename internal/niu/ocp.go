@@ -1,0 +1,332 @@
+package niu
+
+import (
+	"fmt"
+
+	"gonoc/internal/core"
+	"gonoc/internal/protocols/ocp"
+	"gonoc/internal/sim"
+	"gonoc/internal/transport"
+)
+
+func ocpSeqToCore(s ocp.BurstSeq) core.BurstKind {
+	switch s {
+	case ocp.SeqWrap:
+		return core.BurstWrap
+	case ocp.SeqStrm:
+		return core.BurstFixed
+	default:
+		return core.BurstIncr
+	}
+}
+
+func coreBurstToOCP(b core.BurstKind) ocp.BurstSeq {
+	switch b {
+	case core.BurstWrap:
+		return ocp.SeqWrap
+	case core.BurstFixed:
+		return ocp.SeqStrm
+	default:
+		return ocp.SeqIncr
+	}
+}
+
+// ocpRespFor maps a transaction status onto OCP SResp.
+func ocpRespFor(st core.Status) ocp.SResp {
+	switch st {
+	case core.StOK, core.StExOK:
+		return ocp.RespDVA
+	case core.StExFail:
+		return ocp.RespFAIL
+	default:
+		return ocp.RespERR
+	}
+}
+
+// OCPMaster is the master-side NIU for an OCP socket: thread-ordered,
+// with posted writes and lazy synchronization.
+type OCPMaster struct {
+	*masterBase
+	port *ocp.Port
+
+	asm     map[int]*ocpAsm // per-thread request-burst assembly
+	rspQ    []ocpRspStream
+	rspBeat int
+}
+
+type ocpAsm struct {
+	first ocp.ReqBeat
+	data  []byte
+	be    []byte
+	beats int
+}
+
+type ocpRspStream struct {
+	thread int
+	cmd    core.Cmd
+	data   []byte
+	size   int
+	beats  int
+	resp   ocp.SResp
+}
+
+type ocpMeta struct {
+	thread int
+	cmd    core.Cmd
+	size   uint8
+	beats  int
+}
+
+// NewOCPMaster creates the NIU and registers it on clk. OCP's natural
+// ordering model is thread-ordered.
+func NewOCPMaster(clk *sim.Clock, net *transport.Network, amap *core.AddressMap, port *ocp.Port, cfg MasterConfig) *OCPMaster {
+	n := &OCPMaster{
+		masterBase: newMasterBase(net, amap, cfg, core.ThreadOrdered),
+		port:       port,
+		asm:        make(map[int]*ocpAsm),
+	}
+	clk.Register(n)
+	return n
+}
+
+// Eval implements sim.Clocked.
+func (n *OCPMaster) Eval(cycle int64) {
+	n.pumpResponses()
+	n.streamResp()
+	n.acceptRequests(cycle)
+}
+
+// Update implements sim.Clocked.
+func (n *OCPMaster) Update(cycle int64) {}
+
+func (n *OCPMaster) pumpResponses() {
+	rsp, entry := n.recvResponse()
+	if rsp == nil {
+		return
+	}
+	meta := entry.Meta.(ocpMeta)
+	st := ocpRespFor(rsp.Status)
+	if meta.cmd.IsRead() {
+		want := meta.beats * int(meta.size)
+		data := rsp.Data
+		if len(data) < want {
+			data = append(data, make([]byte, want-len(data))...)
+		}
+		n.rspQ = append(n.rspQ, ocpRspStream{
+			thread: meta.thread, cmd: meta.cmd, data: data,
+			size: int(meta.size), beats: meta.beats, resp: st,
+		})
+		return
+	}
+	// Writes answer with a single response beat.
+	n.rspQ = append(n.rspQ, ocpRspStream{thread: meta.thread, cmd: meta.cmd, beats: 1, resp: st})
+}
+
+func (n *OCPMaster) streamResp() {
+	if len(n.rspQ) == 0 || !n.port.Resp.CanPush(1) {
+		return
+	}
+	r := &n.rspQ[0]
+	last := n.rspBeat == r.beats-1
+	beat := ocp.RespBeat{Resp: r.resp, ThreadID: r.thread, Last: last}
+	if r.data != nil {
+		lo := n.rspBeat * r.size
+		beat.Data = r.data[lo : lo+r.size]
+	}
+	n.port.Resp.Push(beat)
+	if last {
+		n.rspQ = n.rspQ[1:]
+		n.rspBeat = 0
+	} else {
+		n.rspBeat++
+	}
+}
+
+// localFail answers a request on the socket without touching the fabric
+// (used for WRC with the exclusive service disabled).
+func (n *OCPMaster) localFail(thread int, resp ocp.SResp) {
+	n.rspQ = append(n.rspQ, ocpRspStream{thread: thread, beats: 1, resp: resp})
+}
+
+func (n *OCPMaster) acceptRequests(cycle int64) {
+	b, ok := n.port.Req.Peek()
+	if !ok {
+		return
+	}
+	a := n.asm[b.ThreadID]
+	if a == nil {
+		a = &ocpAsm{first: b}
+		n.asm[b.ThreadID] = a
+	}
+	// Assemble the burst one beat per cycle; the conversion happens on
+	// the last beat.
+	if b.Cmd.IsWrite() {
+		// Only consume the beat if, on the last beat, issue could
+		// proceed — otherwise the socket stalls (peek without pop).
+		if !b.Last {
+			n.port.Req.Pop()
+			a.data = append(a.data, b.Data...)
+			a.be = append(a.be, beOrFull(b.ByteEn, len(b.Data))...)
+			a.beats++
+			return
+		}
+	}
+	if !b.Last {
+		// Multi-beat read request phase: just count the beats.
+		n.port.Req.Pop()
+		a.beats++
+		return
+	}
+	// Last beat: build the request.
+	first := a.first
+	data := append(append([]byte(nil), a.data...), func() []byte {
+		if b.Cmd.IsWrite() {
+			return b.Data
+		}
+		return nil
+	}()...)
+	be := a.be
+	if b.Cmd.IsWrite() {
+		be = append(append([]byte(nil), a.be...), beOrFull(b.ByteEn, len(b.Data))...)
+	}
+	beats := a.beats + 1
+
+	var cmd core.Cmd
+	excl := false
+	switch first.Cmd {
+	case ocp.CmdWR:
+		cmd = core.CmdWritePost
+	case ocp.CmdWRNP:
+		cmd = core.CmdWrite
+	case ocp.CmdRD:
+		cmd = core.CmdRead
+	case ocp.CmdRDL:
+		if n.cfg.Services.Exclusive {
+			cmd, excl = core.CmdReadEx, true
+		} else {
+			cmd = core.CmdRead // demoted: plain read, reservation never set
+		}
+	case ocp.CmdWRC:
+		if !n.cfg.Services.Exclusive {
+			// Without the service a conditional can never succeed; fail
+			// locally rather than silently losing atomicity.
+			n.port.Req.Pop()
+			delete(n.asm, b.ThreadID)
+			n.localFail(b.ThreadID, ocp.RespFAIL)
+			return
+		}
+		cmd, excl = core.CmdWriteEx, true
+	default:
+		panic(fmt.Sprintf("niu: OCP NIU cannot convert %v", first.Cmd))
+	}
+
+	req := &core.Request{
+		Cmd: cmd, Addr: first.Addr, Size: first.Size, Len: uint16(beats),
+		Burst: ocpSeqToCore(first.Seq), Exclusive: excl,
+		Posted: cmd == core.CmdWritePost,
+	}
+	if cmd.IsWrite() {
+		req.Data = data
+		if anyMasked(be) {
+			req.BE = be
+		}
+	}
+	meta := ocpMeta{thread: first.ThreadID, cmd: cmd, size: first.Size, beats: beats}
+	switch n.tryIssue(req, first.ThreadID, meta, cycle) {
+	case issueOK:
+		n.port.Req.Pop()
+		delete(n.asm, b.ThreadID)
+	case issueDecodeErr:
+		n.port.Req.Pop()
+		delete(n.asm, b.ThreadID)
+		if cmd.ExpectsResponse() {
+			if cmd.IsRead() {
+				n.rspQ = append(n.rspQ, ocpRspStream{
+					thread: first.ThreadID, cmd: cmd,
+					data: make([]byte, beats*int(first.Size)), size: int(first.Size),
+					beats: beats, resp: ocp.RespERR,
+				})
+			} else {
+				n.localFail(first.ThreadID, ocp.RespERR)
+			}
+		}
+	case issueStall, issueUnsupported:
+		// Leave the last beat in the socket; retry next cycle.
+	}
+}
+
+func beOrFull(be []byte, n int) []byte {
+	if be != nil {
+		return be
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = 0xFF
+	}
+	return out
+}
+
+func anyMasked(be []byte) bool {
+	for _, b := range be {
+		if b == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// OCPSlave is the slave-side NIU for an OCP target IP.
+type OCPSlave struct {
+	*slaveBase
+	eng *ocp.Master
+	// thread allocation: the engine's threads are a hardware resource of
+	// the NIU; requests hash onto them by tag.
+	threads int
+}
+
+// NewOCPSlave creates the NIU; threads is the target socket's thread
+// count.
+func NewOCPSlave(clk *sim.Clock, net *transport.Network, port *ocp.Port, threads int, cfg SlaveConfig) *OCPSlave {
+	if threads <= 0 {
+		threads = 1
+	}
+	n := &OCPSlave{
+		slaveBase: newSlaveBase(net, cfg),
+		eng:       ocp.NewMaster(clk, port),
+		threads:   threads,
+	}
+	clk.Register(n)
+	return n
+}
+
+// Eval implements sim.Clocked.
+func (n *OCPSlave) Eval(cycle int64) {
+	n.drainResponses()
+	req, ok := n.recvRequest()
+	if !ok {
+		return
+	}
+	if early := n.execCheck(req); early != nil {
+		n.respond(req, early)
+		return
+	}
+	th := int(req.Tag) % n.threads
+	r := req
+	switch {
+	case req.Cmd.IsRead():
+		n.eng.Read(th, req.Addr, req.Size, int(req.Len), coreBurstToOCP(req.Burst),
+			func(res ocp.ReadResult) {
+				n.respond(r, &core.Response{Status: statusFor(r, res.Resp == ocp.RespERR), Data: res.Data})
+			})
+	case req.Cmd == core.CmdWritePost:
+		n.eng.Write(th, req.Addr, req.Size, coreBurstToOCP(req.Burst), req.Data, nil)
+	default:
+		n.eng.WriteNonPosted(th, req.Addr, req.Size, coreBurstToOCP(req.Burst), req.Data,
+			func(s ocp.SResp) {
+				n.respond(r, &core.Response{Status: statusFor(r, s == ocp.RespERR)})
+			})
+	}
+}
+
+// Update implements sim.Clocked.
+func (n *OCPSlave) Update(cycle int64) {}

@@ -1,0 +1,237 @@
+package niu
+
+import (
+	"fmt"
+
+	"gonoc/internal/core"
+	"gonoc/internal/protocols/prop"
+	"gonoc/internal/sim"
+	"gonoc/internal/transport"
+)
+
+// propBurstBytes is the largest transaction-layer burst the proprietary
+// NIU cuts streams into.
+const propBurstBytes = 64
+
+// PropMaster is the master-side NIU for the proprietary streaming socket.
+// It is the paper's §2 recipe exercised end-to-end: the stream/ack
+// semantics that exist in no standard socket are absorbed entirely into
+// NIU state (stream tables, ack coalescing counters) and ordinary
+// read/write packets — zero transport-layer changes.
+type PropMaster struct {
+	*masterBase
+	port *prop.Port
+
+	wrStreams map[int]*propWrState
+	wrOrder   []int // active write streams, deterministic issue order
+	rdStreams map[int]*propRdState
+	rdOrder   []int // active read streams, for chunk emission fairness
+	ackQ      []prop.Ack
+	wrBuf     []prop.Chunk
+}
+
+type propWrState struct {
+	d       prop.Descriptor
+	buf     []byte // bytes received from the socket, not yet packetized
+	sent    int    // bytes issued to the fabric
+	ackedUp int    // bytes completed by the fabric
+	ackPend int    // chunks acknowledged-but-not-yet-coalesced
+	gotLast bool
+	failed  bool
+}
+
+type propRdState struct {
+	d       prop.Descriptor
+	issued  int // bytes requested from the fabric
+	got     []byte
+	emitted int // bytes pushed back to the socket
+}
+
+type propMeta struct {
+	stream int
+	write  bool
+	bytes  int
+}
+
+// NewPropMaster creates the NIU on clk.
+func NewPropMaster(clk *sim.Clock, net *transport.Network, amap *core.AddressMap, port *prop.Port, cfg MasterConfig) *PropMaster {
+	n := &PropMaster{
+		masterBase: newMasterBase(net, amap, cfg, core.IDOrdered),
+		port:       port,
+		wrStreams:  make(map[int]*propWrState),
+		rdStreams:  make(map[int]*propRdState),
+	}
+	clk.Register(n)
+	return n
+}
+
+// Eval implements sim.Clocked.
+func (n *PropMaster) Eval(cycle int64) {
+	n.pumpResponses()
+	n.acceptSocket()
+	n.issueWrites(cycle)
+	n.issueReads(cycle)
+	n.emitChunks()
+	n.emitAcks()
+}
+
+// Update implements sim.Clocked.
+func (n *PropMaster) Update(cycle int64) {}
+
+func (n *PropMaster) acceptSocket() {
+	if d, ok := n.port.Desc.Pop(); ok {
+		switch d.Op {
+		case prop.OpStreamWrite:
+			if _, dup := n.wrStreams[d.StreamID]; dup {
+				panic(fmt.Sprintf("niu: prop stream %d already writing", d.StreamID))
+			}
+			n.wrStreams[d.StreamID] = &propWrState{d: d}
+			n.wrOrder = append(n.wrOrder, d.StreamID)
+		case prop.OpStreamRead:
+			if _, dup := n.rdStreams[d.StreamID]; dup {
+				panic(fmt.Sprintf("niu: prop stream %d already reading", d.StreamID))
+			}
+			n.rdStreams[d.StreamID] = &propRdState{d: d}
+			n.rdOrder = append(n.rdOrder, d.StreamID)
+		}
+	}
+	if c, ok := n.port.Wr.Pop(); ok {
+		st := n.wrStreams[c.StreamID]
+		if st == nil {
+			panic(fmt.Sprintf("niu: prop chunk for unknown stream %d", c.StreamID))
+		}
+		st.buf = append(st.buf, c.Data...)
+		st.gotLast = st.gotLast || c.Last
+	}
+}
+
+// issueWrites converts buffered stream bytes into write bursts.
+func (n *PropMaster) issueWrites(cycle int64) {
+	for _, id := range n.wrOrder {
+		st := n.wrStreams[id]
+		if st == nil || len(st.buf) == 0 {
+			continue
+		}
+		if len(st.buf) < propBurstBytes && !st.gotLast {
+			continue // wait for a full burst or the end of the stream
+		}
+		sz := len(st.buf)
+		if sz > propBurstBytes {
+			sz = propBurstBytes
+		}
+		req := &core.Request{
+			Cmd: core.CmdWrite, Addr: st.d.Addr + uint64(st.sent), Size: 1,
+			Len: uint16(sz), Burst: core.BurstIncr,
+			Data: append([]byte(nil), st.buf[:sz]...),
+		}
+		meta := propMeta{stream: id, write: true, bytes: sz}
+		if n.tryIssue(req, id, meta, cycle) == issueOK {
+			st.buf = st.buf[sz:]
+			st.sent += sz
+		}
+		return // at most one issue per cycle
+	}
+}
+
+// issueReads converts read descriptors into read bursts.
+func (n *PropMaster) issueReads(cycle int64) {
+	for _, id := range n.rdOrder {
+		st := n.rdStreams[id]
+		if st == nil || st.issued >= st.d.Bytes {
+			continue
+		}
+		sz := st.d.Bytes - st.issued
+		if sz > propBurstBytes {
+			sz = propBurstBytes
+		}
+		req := &core.Request{
+			Cmd: core.CmdRead, Addr: st.d.Addr + uint64(st.issued), Size: 1,
+			Len: uint16(sz), Burst: core.BurstIncr,
+		}
+		meta := propMeta{stream: id, write: false, bytes: sz}
+		if n.tryIssue(req, 1000+id, meta, cycle) == issueOK {
+			st.issued += sz
+		}
+		return
+	}
+}
+
+func (n *PropMaster) pumpResponses() {
+	rsp, entry := n.recvResponse()
+	if rsp == nil {
+		return
+	}
+	meta := entry.Meta.(propMeta)
+	if meta.write {
+		st := n.wrStreams[meta.stream]
+		if st == nil {
+			return
+		}
+		st.ackedUp += meta.bytes
+		st.ackPend += (meta.bytes + prop.ChunkBytes - 1) / prop.ChunkBytes
+		st.failed = st.failed || !rsp.Status.OK()
+		done := st.gotLast && len(st.buf) == 0 && st.ackedUp == st.sent
+		// Ack coalescing: the NIU state machine reproduces the socket's
+		// every-AckEvery-chunks contract.
+		for st.ackPend >= prop.AckEvery {
+			n.ackQ = append(n.ackQ, prop.Ack{StreamID: meta.stream, Chunks: prop.AckEvery, OK: !st.failed})
+			st.ackPend -= prop.AckEvery
+		}
+		if done {
+			n.ackQ = append(n.ackQ, prop.Ack{StreamID: meta.stream, Chunks: st.ackPend, Done: true, OK: !st.failed})
+			delete(n.wrStreams, meta.stream)
+			for i, id := range n.wrOrder {
+				if id == meta.stream {
+					n.wrOrder = append(n.wrOrder[:i], n.wrOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	st := n.rdStreams[meta.stream]
+	if st == nil {
+		return
+	}
+	st.got = append(st.got, rsp.Data...)
+}
+
+// emitChunks streams read data back onto the socket, one chunk per cycle.
+func (n *PropMaster) emitChunks() {
+	if !n.port.Rd.CanPush(1) {
+		return
+	}
+	for i, id := range n.rdOrder {
+		st := n.rdStreams[id]
+		if st == nil {
+			continue
+		}
+		avail := len(st.got) - st.emitted
+		if avail <= 0 {
+			continue
+		}
+		isTail := st.emitted+avail == st.d.Bytes
+		if avail < prop.ChunkBytes && !isTail {
+			continue // wait for a full chunk unless it is the stream tail
+		}
+		sz := avail
+		if sz > prop.ChunkBytes {
+			sz = prop.ChunkBytes
+		}
+		last := st.emitted+sz == st.d.Bytes
+		n.port.Rd.Push(prop.Chunk{StreamID: id, Data: st.got[st.emitted : st.emitted+sz], Last: last})
+		st.emitted += sz
+		if last {
+			delete(n.rdStreams, id)
+			n.rdOrder = append(n.rdOrder[:i], n.rdOrder[i+1:]...)
+		}
+		return
+	}
+}
+
+func (n *PropMaster) emitAcks() {
+	if len(n.ackQ) > 0 && n.port.Ack.CanPush(1) {
+		n.port.Ack.Push(n.ackQ[0])
+		n.ackQ = n.ackQ[1:]
+	}
+}

@@ -1,0 +1,63 @@
+// Package noctypes holds the tiny shared vocabulary between the NoC
+// transaction layer (internal/core) and the transport layer
+// (internal/transport): node addresses and tags.
+//
+// It exists so that the transport layer can carry SlvAddr/MstAddr/Tag
+// headers without importing any transaction-layer types — the compile-time
+// expression of the paper's "the transport layer is completely transaction
+// unaware".
+package noctypes
+
+import "fmt"
+
+// NodeID identifies a network endpoint (an NIU) on the NoC. The paper
+// calls the destination field SlvAddr and the source field MstAddr; both
+// are NodeIDs.
+type NodeID uint16
+
+// NodeInvalid is a sentinel for "no node".
+const NodeInvalid NodeID = 0xFFFF
+
+// String renders a NodeID.
+func (n NodeID) String() string {
+	if n == NodeInvalid {
+		return "node<invalid>"
+	}
+	return fmt.Sprintf("node%d", uint16(n))
+}
+
+// Tag is the paper's packet Tag field: the only ordering handle the
+// transport layer carries. Responses for the same (MstAddr, Tag) pair are
+// returned in request order; distinct Tags may be reordered freely.
+type Tag uint16
+
+// String renders a Tag.
+func (t Tag) String() string { return fmt.Sprintf("tag%d", uint16(t)) }
+
+// Priority is a QoS level used by transport arbitration. Higher wins.
+type Priority uint8
+
+// Priority levels used throughout the repository.
+const (
+	PrioLow       Priority = 0
+	PrioDefault   Priority = 1
+	PrioHigh      Priority = 2
+	PrioUrgent    Priority = 3
+	NumPriorities          = 4
+)
+
+// String renders a Priority.
+func (p Priority) String() string {
+	switch p {
+	case PrioLow:
+		return "low"
+	case PrioDefault:
+		return "default"
+	case PrioHigh:
+		return "high"
+	case PrioUrgent:
+		return "urgent"
+	default:
+		return fmt.Sprintf("prio%d", uint8(p))
+	}
+}

@@ -1,0 +1,39 @@
+package noctypes
+
+import "testing"
+
+func TestNodeIDString(t *testing.T) {
+	if NodeID(5).String() != "node5" {
+		t.Fatalf("NodeID(5) = %q", NodeID(5).String())
+	}
+	if NodeInvalid.String() != "node<invalid>" {
+		t.Fatalf("NodeInvalid = %q", NodeInvalid.String())
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if Tag(3).String() != "tag3" {
+		t.Fatalf("Tag(3) = %q", Tag(3).String())
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	cases := map[Priority]string{
+		PrioLow: "low", PrioDefault: "default", PrioHigh: "high",
+		PrioUrgent: "urgent", Priority(9): "prio9",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Priority(%d) = %q, want %q", uint8(p), got, want)
+		}
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	if !(PrioLow < PrioDefault && PrioDefault < PrioHigh && PrioHigh < PrioUrgent) {
+		t.Fatal("priority levels not ascending")
+	}
+	if NumPriorities != 4 {
+		t.Fatal("NumPriorities wrong")
+	}
+}

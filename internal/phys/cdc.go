@@ -1,0 +1,97 @@
+package phys
+
+import (
+	"fmt"
+
+	"gonoc/internal/sim"
+)
+
+// AsyncFifo is a dual-clock FIFO: the producer pushes in its own clock
+// domain, the consumer pops in another. Each value incurs a
+// synchronization delay of SyncStages consumer-clock periods — the
+// classic two-flop (or deeper) synchronizer cost of mesochronous and
+// asynchronous clock crossings.
+//
+// The FIFO is the paper's physical-layer "matching clocks" mechanism: it
+// lets an NIU run at its IP block's frequency while the switch fabric
+// runs at its own.
+type AsyncFifo[T any] struct {
+	name       string
+	k          *sim.Kernel
+	consumer   *sim.Clock
+	depth      int
+	syncStages int
+
+	buf []asyncEntry[T]
+
+	pushes, pops uint64
+	maxOcc       int
+}
+
+type asyncEntry[T any] struct {
+	v       T
+	readyAt sim.Time
+}
+
+// NewAsyncFifo creates a CDC FIFO of the given depth whose pop side is
+// synchronized to consumerClk with syncStages flops.
+func NewAsyncFifo[T any](k *sim.Kernel, name string, depth, syncStages int, consumerClk *sim.Clock) *AsyncFifo[T] {
+	if depth <= 0 {
+		panic(fmt.Sprintf("phys: async fifo %q: depth must be positive", name))
+	}
+	if syncStages < 1 {
+		panic(fmt.Sprintf("phys: async fifo %q: need at least one sync stage", name))
+	}
+	return &AsyncFifo[T]{name: name, k: k, consumer: consumerClk, depth: depth, syncStages: syncStages}
+}
+
+// CanPush reports whether the producer may push this cycle.
+func (f *AsyncFifo[T]) CanPush() bool { return len(f.buf) < f.depth }
+
+// Push inserts a value from the producer domain. The value becomes
+// visible to the consumer after the synchronizer delay.
+func (f *AsyncFifo[T]) Push(v T) bool {
+	if !f.CanPush() {
+		return false
+	}
+	f.buf = append(f.buf, asyncEntry[T]{
+		v:       v,
+		readyAt: f.k.Now() + sim.Time(f.syncStages)*f.consumer.Period(),
+	})
+	f.pushes++
+	if len(f.buf) > f.maxOcc {
+		f.maxOcc = len(f.buf)
+	}
+	return true
+}
+
+// CanPop reports whether a synchronized value is available now.
+func (f *AsyncFifo[T]) CanPop() bool {
+	return len(f.buf) > 0 && f.buf[0].readyAt <= f.k.Now()
+}
+
+// Pop removes the oldest synchronized value.
+func (f *AsyncFifo[T]) Pop() (T, bool) {
+	var zero T
+	if !f.CanPop() {
+		return zero, false
+	}
+	v := f.buf[0].v
+	f.buf = f.buf[1:]
+	f.pops++
+	return v, true
+}
+
+// Len returns the number of stored values (synchronized or not).
+func (f *AsyncFifo[T]) Len() int { return len(f.buf) }
+
+// AsyncFifoStats aggregates activity.
+type AsyncFifoStats struct {
+	Pushes, Pops uint64
+	MaxOcc       int
+}
+
+// Stats returns cumulative counters.
+func (f *AsyncFifo[T]) Stats() AsyncFifoStats {
+	return AsyncFifoStats{Pushes: f.pushes, Pops: f.pops, MaxOcc: f.maxOcc}
+}

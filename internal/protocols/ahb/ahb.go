@@ -1,0 +1,354 @@
+// Package ahb models the AMBA AHB 2.0 socket at transfer level. AHB is
+// the fully-ordered, single-outstanding archetype among the paper's
+// sockets: one address/data pipeline, responses strictly in request
+// order, locked sequences via HLOCK, and RETRY/SPLIT slave responses.
+//
+// Granularity: one Req per burst (the per-beat pipeline is folded into
+// timing on the slave side), which preserves everything the transaction
+// layer cares about — ordering, lock semantics, burst kinds — at a
+// fraction of the modeling cost.
+package ahb
+
+import (
+	"fmt"
+
+	"gonoc/internal/mem"
+	"gonoc/internal/sim"
+)
+
+// Burst is an AHB burst kind (HBURST).
+type Burst uint8
+
+// AHB burst kinds.
+const (
+	BurstSingle Burst = iota
+	BurstIncr         // undefined-length INCR: Req.Beats gives the length
+	BurstIncr4
+	BurstWrap4
+	BurstIncr8
+	BurstWrap8
+	BurstIncr16
+	BurstWrap16
+)
+
+// String renders a Burst.
+func (b Burst) String() string {
+	switch b {
+	case BurstSingle:
+		return "SINGLE"
+	case BurstIncr:
+		return "INCR"
+	case BurstIncr4:
+		return "INCR4"
+	case BurstWrap4:
+		return "WRAP4"
+	case BurstIncr8:
+		return "INCR8"
+	case BurstWrap8:
+		return "WRAP8"
+	case BurstIncr16:
+		return "INCR16"
+	case BurstWrap16:
+		return "WRAP16"
+	default:
+		return fmt.Sprintf("HBURST(%d)", uint8(b))
+	}
+}
+
+// Beats returns the burst length; incrBeats supplies the length for
+// undefined-length INCR bursts.
+func (b Burst) Beats(incrBeats int) int {
+	switch b {
+	case BurstSingle:
+		return 1
+	case BurstIncr:
+		if incrBeats < 1 {
+			return 1
+		}
+		return incrBeats
+	case BurstIncr4, BurstWrap4:
+		return 4
+	case BurstIncr8, BurstWrap8:
+		return 8
+	case BurstIncr16, BurstWrap16:
+		return 16
+	default:
+		return 1
+	}
+}
+
+// Wraps reports whether the burst wraps.
+func (b Burst) Wraps() bool {
+	return b == BurstWrap4 || b == BurstWrap8 || b == BurstWrap16
+}
+
+// Resp is an AHB slave response (HRESP).
+type Resp uint8
+
+// AHB responses.
+const (
+	RespOkay Resp = iota
+	RespError
+	RespRetry
+	RespSplit
+)
+
+// String renders a Resp.
+func (r Resp) String() string {
+	switch r {
+	case RespOkay:
+		return "OKAY"
+	case RespError:
+		return "ERROR"
+	case RespRetry:
+		return "RETRY"
+	case RespSplit:
+		return "SPLIT"
+	default:
+		return fmt.Sprintf("HRESP(%d)", uint8(r))
+	}
+}
+
+// Req is one AHB burst transaction.
+type Req struct {
+	Write  bool
+	Addr   uint64
+	Size   uint8 // bytes per beat (HSIZE)
+	Burst  Burst
+	Beats  int  // for undefined-length INCR
+	Lock   bool // HLOCK asserted
+	Unlock bool // last transfer of the locked sequence
+	Data   []byte
+}
+
+// NumBeats returns the transaction's beat count.
+func (r Req) NumBeats() int { return r.Burst.Beats(r.Beats) }
+
+// Rsp is one AHB burst response.
+type Rsp struct {
+	Resp Resp
+	Data []byte
+}
+
+// Port is one AHB socket: fully ordered request/response pipes.
+type Port struct {
+	Req *sim.Pipe[Req]
+	Rsp *sim.Pipe[Rsp]
+}
+
+// NewPort creates the pipes on clk.
+func NewPort(clk *sim.Clock, name string, depth int) *Port {
+	return &Port{
+		Req: sim.NewPipe[Req](clk, name+".Req", depth),
+		Rsp: sim.NewPipe[Rsp](clk, name+".Rsp", depth),
+	}
+}
+
+// BeatAddr computes AHB address progression.
+func BeatAddr(b Burst, addr uint64, size uint8, beats, i int) uint64 {
+	s := uint64(size)
+	if b.Wraps() {
+		window := uint64(beats) * s
+		base := addr &^ (window - 1)
+		return base + (addr+uint64(i)*s-base)%window
+	}
+	return addr + uint64(i)*s
+}
+
+// ReadResult is delivered to read callbacks.
+type ReadResult struct {
+	Data []byte
+	Resp Resp
+}
+
+// Master is a transfer-level AHB master: fully ordered, with a
+// configurable pipeline depth (real AHB masters overlap the address
+// phase of transfer N+1 with the data phase of N, i.e. depth 2).
+// RETRY responses are re-issued automatically.
+type Master struct {
+	port     *Port
+	pipeline int
+
+	reqQ []Req
+	pend []*ahbCtx
+
+	issued, completed, retries uint64
+}
+
+type ahbCtx struct {
+	req  Req
+	rdCb func(ReadResult)
+	wrCb func(Resp)
+}
+
+// NewMaster creates a master with the given pipeline depth (>=1).
+func NewMaster(clk *sim.Clock, port *Port, pipeline int) *Master {
+	if pipeline < 1 {
+		pipeline = 1
+	}
+	m := &Master{port: port, pipeline: pipeline}
+	clk.Register(m)
+	return m
+}
+
+// Busy reports whether work remains.
+func (m *Master) Busy() bool { return len(m.reqQ) > 0 || len(m.pend) > 0 }
+
+// Outstanding returns in-flight transactions.
+func (m *Master) Outstanding() int { return len(m.pend) }
+
+// Issued, Completed and Retries return cumulative counters.
+func (m *Master) Issued() uint64    { return m.issued }
+func (m *Master) Completed() uint64 { return m.completed }
+func (m *Master) Retries() uint64   { return m.retries }
+
+// Read queues a read burst.
+func (m *Master) Read(addr uint64, size uint8, burst Burst, beats int, cb func(ReadResult)) {
+	m.enqueue(Req{Addr: addr, Size: size, Burst: burst, Beats: beats}, cb, nil)
+}
+
+// ReadLocked queues a locked read (HLOCK), opening a locked sequence.
+func (m *Master) ReadLocked(addr uint64, size uint8, cb func(ReadResult)) {
+	m.enqueue(Req{Addr: addr, Size: size, Burst: BurstSingle, Lock: true}, cb, nil)
+}
+
+// Write queues a write burst.
+func (m *Master) Write(addr uint64, size uint8, burst Burst, data []byte, cb func(Resp)) {
+	m.enqueue(Req{Write: true, Addr: addr, Size: size, Burst: burst,
+		Beats: len(data) / int(size), Data: data}, nil, cb)
+}
+
+// WriteUnlock queues the closing write of a locked sequence.
+func (m *Master) WriteUnlock(addr uint64, size uint8, data []byte, cb func(Resp)) {
+	m.enqueue(Req{Write: true, Addr: addr, Size: size, Burst: BurstSingle,
+		Lock: true, Unlock: true, Data: data}, nil, cb)
+}
+
+func (m *Master) enqueue(r Req, rdCb func(ReadResult), wrCb func(Resp)) {
+	if r.Write && len(r.Data) != r.NumBeats()*int(r.Size) {
+		panic(fmt.Sprintf("ahb: write data %dB != %d beats x %dB", len(r.Data), r.NumBeats(), r.Size))
+	}
+	m.reqQ = append(m.reqQ, r)
+	m.pendAdd(&ahbCtx{req: r, rdCb: rdCb, wrCb: wrCb})
+	m.issued++
+}
+
+func (m *Master) pendAdd(c *ahbCtx) { m.pend = append(m.pend, c) }
+
+// Eval implements sim.Clocked.
+func (m *Master) Eval(cycle int64) {
+	// Issue while the pipeline has room. AHB is fully ordered: requests
+	// go out strictly in order, limited by pipeline depth.
+	inFlight := len(m.pend) - len(m.reqQ) // issued but unanswered
+	if len(m.reqQ) > 0 && inFlight < m.pipeline && m.port.Req.CanPush(1) {
+		m.port.Req.Push(m.reqQ[0])
+		m.reqQ = m.reqQ[1:]
+	}
+	// Responses arrive strictly in order.
+	if rsp, ok := m.port.Rsp.Pop(); ok {
+		if len(m.pend) == 0 {
+			panic("ahb: response with nothing outstanding")
+		}
+		ctx := m.pend[0]
+		if rsp.Resp == RespRetry || rsp.Resp == RespSplit {
+			// Re-issue the transaction at the head of the queue.
+			m.retries++
+			m.reqQ = append([]Req{ctx.req}, m.reqQ...)
+			return
+		}
+		m.pend = m.pend[1:]
+		m.completed++
+		if ctx.rdCb != nil {
+			ctx.rdCb(ReadResult{Data: rsp.Data, Resp: rsp.Resp})
+		}
+		if ctx.wrCb != nil {
+			ctx.wrCb(rsp.Resp)
+		}
+	}
+}
+
+// Update implements sim.Clocked.
+func (m *Master) Update(cycle int64) {}
+
+// MemoryConfig parameterizes an AHB memory slave.
+type MemoryConfig struct {
+	// WaitStates is HREADY-low cycles before a transaction's data phase.
+	WaitStates int
+	// RetryEvery makes the slave answer RETRY to every Nth transaction
+	// (0 disables) — exercising the AHB retry path.
+	RetryEvery int
+}
+
+// Memory is a transfer-level AHB memory slave.
+type Memory struct {
+	port  *Port
+	store *mem.Backing
+	base  uint64
+	cfg   MemoryConfig
+
+	cur    *Req
+	wait   int
+	seen   uint64
+	served uint64
+}
+
+// NewMemory creates an AHB memory slave.
+func NewMemory(clk *sim.Clock, port *Port, store *mem.Backing, base uint64, cfg MemoryConfig) *Memory {
+	m := &Memory{port: port, store: store, base: base, cfg: cfg}
+	clk.Register(m)
+	return m
+}
+
+// Served returns completed transactions.
+func (m *Memory) Served() uint64 { return m.served }
+
+// Eval implements sim.Clocked.
+func (m *Memory) Eval(cycle int64) {
+	if m.cur == nil {
+		req, ok := m.port.Req.Pop()
+		if !ok {
+			return
+		}
+		m.cur = &req
+		m.seen++
+		// Burst data phase: wait states + one cycle per beat.
+		m.wait = m.cfg.WaitStates + req.NumBeats() - 1
+		if m.cfg.RetryEvery > 0 && m.seen%uint64(m.cfg.RetryEvery) == 0 {
+			m.wait = 0 // retry answered immediately
+		}
+	}
+	if m.wait > 0 {
+		m.wait--
+		return
+	}
+	if !m.port.Rsp.CanPush(1) {
+		return
+	}
+	req := *m.cur
+	if m.cfg.RetryEvery > 0 && m.seen%uint64(m.cfg.RetryEvery) == 0 {
+		m.port.Rsp.Push(Rsp{Resp: RespRetry})
+		m.cur = nil
+		return
+	}
+	beats := req.NumBeats()
+	if req.Write {
+		s := int(req.Size)
+		for i := 0; i < beats; i++ {
+			addr := BeatAddr(req.Burst, req.Addr, req.Size, beats, i) - m.base
+			m.store.Write(addr, req.Data[i*s:(i+1)*s], nil)
+		}
+		m.port.Rsp.Push(Rsp{Resp: RespOkay})
+	} else {
+		data := make([]byte, 0, beats*int(req.Size))
+		for i := 0; i < beats; i++ {
+			addr := BeatAddr(req.Burst, req.Addr, req.Size, beats, i) - m.base
+			data = append(data, m.store.Read(addr, int(req.Size))...)
+		}
+		m.port.Rsp.Push(Rsp{Resp: RespOkay, Data: data})
+	}
+	m.cur = nil
+	m.served++
+}
+
+// Update implements sim.Clocked.
+func (m *Memory) Update(cycle int64) {}

@@ -1,0 +1,183 @@
+package ocp
+
+import (
+	"fmt"
+
+	"gonoc/internal/sim"
+)
+
+// ReadResult is delivered to read callbacks.
+type ReadResult struct {
+	Data []byte
+	Resp SResp
+}
+
+// Master is a transfer-level OCP master engine. Completion callbacks fire
+// when the last response beat of a transaction arrives — except posted
+// writes (CmdWR), which complete when the last request beat is accepted,
+// exactly the "WRITEs without responses" the paper calls out.
+type Master struct {
+	port *Port
+
+	reqQ []ReqBeat
+
+	// Per-thread FIFO of expected responses.
+	pending map[int][]*ocpCtx
+
+	outstanding int // transactions with responses still due
+	posted      uint64
+	issued      uint64
+	completed   uint64
+}
+
+type ocpCtx struct {
+	cmd   Cmd
+	beats int
+	got   []byte
+	resp  SResp
+	rdCb  func(ReadResult)
+	wrCb  func(SResp)
+}
+
+// NewMaster creates a master engine on port and registers it on clk.
+func NewMaster(clk *sim.Clock, port *Port) *Master {
+	m := &Master{port: port, pending: make(map[int][]*ocpCtx)}
+	clk.Register(m)
+	return m
+}
+
+// Outstanding returns transactions awaiting responses.
+func (m *Master) Outstanding() int { return m.outstanding }
+
+// Busy reports whether any work remains (queued beats or outstanding
+// responses).
+func (m *Master) Busy() bool { return m.outstanding > 0 || len(m.reqQ) > 0 }
+
+// Issued, Completed and Posted return cumulative counters.
+func (m *Master) Issued() uint64    { return m.issued }
+func (m *Master) Completed() uint64 { return m.completed }
+func (m *Master) Posted() uint64    { return m.posted }
+
+// Read queues a burst read on a thread.
+func (m *Master) Read(thread int, addr uint64, size uint8, beats int, seq BurstSeq, cb func(ReadResult)) {
+	m.issued++
+	m.outstanding++
+	m.pending[thread] = append(m.pending[thread], &ocpCtx{cmd: CmdRD, beats: beats, rdCb: cb})
+	for i := 0; i < beats; i++ {
+		m.reqQ = append(m.reqQ, ReqBeat{
+			Cmd: CmdRD, Addr: addr, ThreadID: thread, Size: size,
+			BurstLen: beats, Seq: seq, Last: i == beats-1,
+		})
+	}
+}
+
+// ReadLinked queues a lazy-synchronization linked read (single beat).
+func (m *Master) ReadLinked(thread int, addr uint64, size uint8, cb func(ReadResult)) {
+	m.issued++
+	m.outstanding++
+	m.pending[thread] = append(m.pending[thread], &ocpCtx{cmd: CmdRDL, beats: 1, rdCb: cb})
+	m.reqQ = append(m.reqQ, ReqBeat{
+		Cmd: CmdRDL, Addr: addr, ThreadID: thread, Size: size, BurstLen: 1, Last: true,
+	})
+}
+
+// Write queues a POSTED write burst: cb (optional) fires when the last
+// beat is accepted by the socket; no response will arrive.
+func (m *Master) Write(thread int, addr uint64, size uint8, seq BurstSeq, data []byte, cb func()) {
+	beats := m.wbeats(size, data)
+	m.issued++
+	m.posted++
+	for i := 0; i < beats; i++ {
+		b := ReqBeat{
+			Cmd: CmdWR, Addr: addr, ThreadID: thread, Size: size,
+			BurstLen: beats, Seq: seq, Last: i == beats-1,
+			Data: data[i*int(size) : (i+1)*int(size)],
+		}
+		m.reqQ = append(m.reqQ, b)
+	}
+	if cb != nil {
+		// Completion = acceptance of the final beat; emulate by attaching
+		// to the last queued beat via a sentinel context with no response.
+		last := &m.reqQ[len(m.reqQ)-1]
+		last.onAccept = cb
+	}
+}
+
+// WriteNonPosted queues a write that receives a DVA response.
+func (m *Master) WriteNonPosted(thread int, addr uint64, size uint8, seq BurstSeq, data []byte, cb func(SResp)) {
+	beats := m.wbeats(size, data)
+	m.issued++
+	m.outstanding++
+	m.pending[thread] = append(m.pending[thread], &ocpCtx{cmd: CmdWRNP, beats: 1, wrCb: cb})
+	for i := 0; i < beats; i++ {
+		m.reqQ = append(m.reqQ, ReqBeat{
+			Cmd: CmdWRNP, Addr: addr, ThreadID: thread, Size: size,
+			BurstLen: beats, Seq: seq, Last: i == beats-1,
+			Data: data[i*int(size) : (i+1)*int(size)],
+		})
+	}
+}
+
+// WriteConditional queues a lazy-synchronization conditional write
+// (single beat); the response is DVA on success, FAIL if the reservation
+// was lost.
+func (m *Master) WriteConditional(thread int, addr uint64, size uint8, data []byte, cb func(SResp)) {
+	if len(data) != int(size) {
+		panic(fmt.Sprintf("ocp: WRC data %dB != size %d", len(data), size))
+	}
+	m.issued++
+	m.outstanding++
+	m.pending[thread] = append(m.pending[thread], &ocpCtx{cmd: CmdWRC, beats: 1, wrCb: cb})
+	m.reqQ = append(m.reqQ, ReqBeat{
+		Cmd: CmdWRC, Addr: addr, ThreadID: thread, Size: size, BurstLen: 1, Last: true, Data: data,
+	})
+}
+
+func (m *Master) wbeats(size uint8, data []byte) int {
+	if size == 0 || len(data) == 0 || len(data)%int(size) != 0 {
+		panic(fmt.Sprintf("ocp: write data %dB not a multiple of size %d", len(data), size))
+	}
+	return len(data) / int(size)
+}
+
+// Eval implements sim.Clocked: one request beat out, one response beat in
+// per cycle.
+func (m *Master) Eval(cycle int64) {
+	if len(m.reqQ) > 0 && m.port.Req.CanPush(1) {
+		b := m.reqQ[0]
+		m.port.Req.Push(b)
+		m.reqQ = m.reqQ[1:]
+		if b.onAccept != nil {
+			b.onAccept()
+		}
+	}
+	if r, ok := m.port.Resp.Pop(); ok {
+		q := m.pending[r.ThreadID]
+		if len(q) == 0 {
+			panic(fmt.Sprintf("ocp: response on thread %d with nothing outstanding", r.ThreadID))
+		}
+		ctx := q[0]
+		ctx.got = append(ctx.got, r.Data...)
+		if r.Resp != RespDVA && ctx.resp == RespNull {
+			ctx.resp = r.Resp
+		}
+		if r.Last {
+			m.pending[r.ThreadID] = q[1:]
+			m.outstanding--
+			m.completed++
+			resp := ctx.resp
+			if resp == RespNull {
+				resp = RespDVA
+			}
+			if ctx.rdCb != nil {
+				ctx.rdCb(ReadResult{Data: ctx.got, Resp: resp})
+			}
+			if ctx.wrCb != nil {
+				ctx.wrCb(resp)
+			}
+		}
+	}
+}
+
+// Update implements sim.Clocked.
+func (m *Master) Update(cycle int64) {}

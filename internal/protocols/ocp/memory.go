@@ -1,0 +1,219 @@
+package ocp
+
+import (
+	"fmt"
+
+	"gonoc/internal/mem"
+	"gonoc/internal/sim"
+)
+
+// MemoryConfig parameterizes an OCP memory slave.
+type MemoryConfig struct {
+	// Latency is cycles between the last request beat of a transaction
+	// and its first response beat.
+	Latency int
+	// Threads is the number of hardware threads served. Requests on each
+	// thread are handled independently (round-robin), so cross-thread
+	// responses interleave — OCP's legal out-of-order behaviour.
+	Threads int
+	// LazySync enables the ReadLinked/WriteConditional monitor.
+	LazySync bool
+}
+
+// Memory is a transfer-level OCP memory slave with per-thread service
+// engines over a shared backing store.
+type Memory struct {
+	port  *Port
+	store *mem.Backing
+	base  uint64
+	cfg   MemoryConfig
+
+	threads []*threadEngine
+	rrNext  int
+
+	monitor map[int]ocpSpan // thread -> reservation
+
+	served uint64
+}
+
+type threadEngine struct {
+	q   []*ocpTxn
+	cur *ocpTxn
+}
+
+type ocpTxn struct {
+	cmd   Cmd
+	addr  uint64
+	size  uint8
+	beats int
+	seq   BurstSeq
+	data  []byte
+	be    []byte
+	th    int
+	wait  int
+	beat  int
+}
+
+type ocpSpan struct{ lo, hi uint64 }
+
+// NewMemory creates an OCP memory slave.
+func NewMemory(clk *sim.Clock, port *Port, store *mem.Backing, base uint64, cfg MemoryConfig) *Memory {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	m := &Memory{port: port, store: store, base: base, cfg: cfg, monitor: make(map[int]ocpSpan)}
+	m.threads = make([]*threadEngine, cfg.Threads)
+	for i := range m.threads {
+		m.threads[i] = &threadEngine{}
+	}
+	clk.Register(m)
+	return m
+}
+
+// Served returns completed transactions (including posted writes).
+func (m *Memory) Served() uint64 { return m.served }
+
+// collect is the request-phase engine: accumulate beats into
+// transactions on the owning thread.
+func (m *Memory) collect() {
+	b, ok := m.port.Req.Pop()
+	if !ok {
+		return
+	}
+	if b.ThreadID < 0 || b.ThreadID >= len(m.threads) {
+		panic(fmt.Sprintf("ocp: request on thread %d of %d", b.ThreadID, len(m.threads)))
+	}
+	te := m.threads[b.ThreadID]
+	var txn *ocpTxn
+	if n := len(te.q); n > 0 && te.q[n-1].beat < te.q[n-1].beats {
+		txn = te.q[n-1] // burst in progress
+	}
+	if txn == nil {
+		txn = &ocpTxn{
+			cmd: b.Cmd, addr: b.Addr, size: b.Size, beats: b.BurstLen,
+			seq: b.Seq, th: b.ThreadID, wait: m.cfg.Latency,
+		}
+		te.q = append(te.q, txn)
+	}
+	if b.Cmd.IsWrite() {
+		txn.data = append(txn.data, b.Data...)
+		if b.ByteEn != nil {
+			txn.be = append(txn.be, b.ByteEn...)
+		} else {
+			for range b.Data {
+				txn.be = append(txn.be, 0xFF)
+			}
+		}
+	}
+	txn.beat++
+	if b.Last != (txn.beat == txn.beats) {
+		panic(fmt.Sprintf("ocp: MReqLast mismatch on thread %d (beat %d/%d)", b.ThreadID, txn.beat, txn.beats))
+	}
+}
+
+// Eval implements sim.Clocked.
+func (m *Memory) Eval(cycle int64) {
+	m.collect()
+
+	// Response side: round-robin across threads, one response beat per
+	// cycle. This interleaves responses of different threads — legal and
+	// deliberate.
+	if !m.port.Resp.CanPush(1) {
+		return
+	}
+	n := len(m.threads)
+	for i := 0; i < n; i++ {
+		th := (m.rrNext + i) % n
+		te := m.threads[th]
+		if te.cur == nil {
+			if len(te.q) == 0 || te.q[0].beat < te.q[0].beats {
+				continue // nothing complete on this thread
+			}
+			te.cur = te.q[0]
+			te.q = te.q[1:]
+			te.cur.beat = 0
+		}
+		txn := te.cur
+		if txn.wait > 0 {
+			txn.wait--
+			continue
+		}
+		if m.respond(txn) {
+			te.cur = nil
+			m.served++
+		}
+		m.rrNext = (th + 1) % n
+		return
+	}
+}
+
+// respond emits one beat (or absorbs a posted write whole) and reports
+// whether the transaction finished.
+func (m *Memory) respond(txn *ocpTxn) bool {
+	switch txn.cmd {
+	case CmdWR:
+		// Posted write: commit, no response.
+		m.commitWrite(txn)
+		return true
+	case CmdWRNP:
+		m.commitWrite(txn)
+		m.port.Resp.Push(RespBeat{Resp: RespDVA, ThreadID: txn.th, Last: true})
+		return true
+	case CmdWRC:
+		resp := RespFAIL
+		lo := txn.addr
+		hi := txn.addr + uint64(txn.size)
+		if m.cfg.LazySync {
+			if sp, ok := m.monitor[txn.th]; ok && sp.lo <= lo && hi <= sp.hi {
+				m.commitWrite(txn)
+				resp = RespDVA
+			}
+		}
+		m.port.Resp.Push(RespBeat{Resp: resp, ThreadID: txn.th, Last: true})
+		return true
+	case CmdRDL:
+		if m.cfg.LazySync {
+			m.monitor[txn.th] = ocpSpan{txn.addr, txn.addr + uint64(txn.size)}
+		}
+		data := m.store.Read(txn.addr-m.base, int(txn.size))
+		m.port.Resp.Push(RespBeat{Resp: RespDVA, Data: data, ThreadID: txn.th, Last: true})
+		return true
+	case CmdRD:
+		addr := BeatAddr(txn.seq, txn.addr, txn.size, txn.beats, txn.beat) - m.base
+		data := m.store.Read(addr, int(txn.size))
+		last := txn.beat == txn.beats-1
+		m.port.Resp.Push(RespBeat{Resp: RespDVA, Data: data, ThreadID: txn.th, Last: last})
+		txn.beat++
+		return last
+	default:
+		panic(fmt.Sprintf("ocp: memory cannot serve %v", txn.cmd))
+	}
+}
+
+func (m *Memory) commitWrite(txn *ocpTxn) {
+	s := int(txn.size)
+	for i := 0; i < txn.beats; i++ {
+		addr := BeatAddr(txn.seq, txn.addr, txn.size, txn.beats, i) - m.base
+		m.store.Write(addr, txn.data[i*s:(i+1)*s], txn.be[i*s:(i+1)*s])
+	}
+	// Any committed write kills overlapping reservations.
+	lo := txn.addr
+	var hi uint64
+	for i := 0; i < txn.beats; i++ {
+		a := BeatAddr(txn.seq, txn.addr, txn.size, txn.beats, i)
+		if a < lo {
+			lo = a
+		}
+		if a+uint64(txn.size) > hi {
+			hi = a + uint64(txn.size)
+		}
+	}
+	for th, sp := range m.monitor {
+		if sp.lo < hi && lo < sp.hi {
+			delete(m.monitor, th)
+		}
+	}
+}
+
+// Update implements sim.Clocked.
+func (m *Memory) Update(cycle int64) {}

@@ -1,0 +1,566 @@
+// Package vci models the VSIA Virtual Component Interface socket family
+// the paper lists: PVCI (peripheral: single-beat, fully ordered), BVCI
+// (basic: bursts, fully ordered), and AVCI (advanced: packet IDs with
+// out-of-order responses, AXI-like).
+//
+// One package holds all three flavours because they share their data
+// vocabulary; each flavour gets its own port, master engine and memory
+// slave, because their ordering contracts differ — which is the whole
+// point of the paper's ordering-model discussion.
+package vci
+
+import (
+	"fmt"
+
+	"gonoc/internal/mem"
+	"gonoc/internal/sim"
+)
+
+// ---------------------------------------------------------------- PVCI --
+
+// PReq is a PVCI request: one beat, at most 4 bytes.
+type PReq struct {
+	Addr  uint64
+	Write bool
+	Data  []byte // writes only, len <= 4
+	BE    []byte
+	N     int // read byte count (reads only)
+}
+
+// PRsp is a PVCI response.
+type PRsp struct {
+	Data []byte
+	Err  bool
+}
+
+// PPort is a PVCI socket.
+type PPort struct {
+	Req *sim.Pipe[PReq]
+	Rsp *sim.Pipe[PRsp]
+}
+
+// NewPPort creates a PVCI port.
+func NewPPort(clk *sim.Clock, name string, depth int) *PPort {
+	return &PPort{
+		Req: sim.NewPipe[PReq](clk, name+".Req", depth),
+		Rsp: sim.NewPipe[PRsp](clk, name+".Rsp", depth),
+	}
+}
+
+// PMaster is a PVCI master engine: strictly one outstanding request.
+type PMaster struct {
+	port *PPort
+	q    []pReqCtx
+	wait *pReqCtx
+
+	issued, completed uint64
+}
+
+type pReqCtx struct {
+	req  PReq
+	rdCb func([]byte, bool)
+	wrCb func(bool)
+}
+
+// NewPMaster creates a PVCI master.
+func NewPMaster(clk *sim.Clock, port *PPort) *PMaster {
+	m := &PMaster{port: port}
+	clk.Register(m)
+	return m
+}
+
+// Busy reports whether work remains.
+func (m *PMaster) Busy() bool { return len(m.q) > 0 || m.wait != nil }
+
+// Issued and Completed return cumulative counters.
+func (m *PMaster) Issued() uint64    { return m.issued }
+func (m *PMaster) Completed() uint64 { return m.completed }
+
+// Read queues a single-word read.
+func (m *PMaster) Read(addr uint64, n int, cb func(data []byte, err bool)) {
+	if n < 1 || n > 4 {
+		panic(fmt.Sprintf("vci: PVCI read of %d bytes", n))
+	}
+	m.q = append(m.q, pReqCtx{req: PReq{Addr: addr, N: n}, rdCb: cb})
+	m.issued++
+}
+
+// Write queues a single-word write.
+func (m *PMaster) Write(addr uint64, data []byte, cb func(err bool)) {
+	m.WriteBE(addr, data, nil, cb)
+}
+
+// WriteBE queues a single-word write with per-byte enables.
+func (m *PMaster) WriteBE(addr uint64, data, be []byte, cb func(err bool)) {
+	if len(data) < 1 || len(data) > 4 {
+		panic(fmt.Sprintf("vci: PVCI write of %d bytes", len(data)))
+	}
+	if be != nil && len(be) != len(data) {
+		panic(fmt.Sprintf("vci: PVCI byte-enable length %d != data %d", len(be), len(data)))
+	}
+	m.q = append(m.q, pReqCtx{req: PReq{Addr: addr, Write: true, Data: data, BE: be}, wrCb: cb})
+	m.issued++
+}
+
+// Eval implements sim.Clocked.
+func (m *PMaster) Eval(cycle int64) {
+	if m.wait == nil && len(m.q) > 0 && m.port.Req.CanPush(1) {
+		ctx := m.q[0]
+		m.q = m.q[1:]
+		m.port.Req.Push(ctx.req)
+		m.wait = &ctx
+	}
+	if rsp, ok := m.port.Rsp.Pop(); ok {
+		if m.wait == nil {
+			panic("vci: PVCI response with nothing outstanding")
+		}
+		ctx := m.wait
+		m.wait = nil
+		m.completed++
+		if ctx.rdCb != nil {
+			ctx.rdCb(rsp.Data, rsp.Err)
+		}
+		if ctx.wrCb != nil {
+			ctx.wrCb(rsp.Err)
+		}
+	}
+}
+
+// Update implements sim.Clocked.
+func (m *PMaster) Update(cycle int64) {}
+
+// PMemory is a PVCI memory slave.
+type PMemory struct {
+	port    *PPort
+	store   *mem.Backing
+	base    uint64
+	latency int
+	wait    int
+	cur     *PReq
+	served  uint64
+}
+
+// NewPMemory creates a PVCI memory slave.
+func NewPMemory(clk *sim.Clock, port *PPort, store *mem.Backing, base uint64, latency int) *PMemory {
+	m := &PMemory{port: port, store: store, base: base, latency: latency}
+	clk.Register(m)
+	return m
+}
+
+// Served returns completed requests.
+func (m *PMemory) Served() uint64 { return m.served }
+
+// Eval implements sim.Clocked.
+func (m *PMemory) Eval(cycle int64) {
+	if m.cur == nil {
+		req, ok := m.port.Req.Pop()
+		if !ok {
+			return
+		}
+		m.cur = &req
+		m.wait = m.latency
+	}
+	if m.wait > 0 {
+		m.wait--
+		return
+	}
+	if !m.port.Rsp.CanPush(1) {
+		return
+	}
+	req := *m.cur
+	if req.Write {
+		m.store.Write(req.Addr-m.base, req.Data, req.BE)
+		m.port.Rsp.Push(PRsp{})
+	} else {
+		n := req.N
+		if n < 1 || n > 4 {
+			n = 4
+		}
+		m.port.Rsp.Push(PRsp{Data: m.store.Read(req.Addr-m.base, n)})
+	}
+	m.cur = nil
+	m.served++
+}
+
+// Update implements sim.Clocked.
+func (m *PMemory) Update(cycle int64) {}
+
+// ---------------------------------------------------------------- BVCI --
+
+// BOp is a BVCI opcode.
+type BOp uint8
+
+// BVCI opcodes.
+const (
+	OpRead BOp = iota
+	OpWrite
+)
+
+// BReq is one BVCI burst (the per-cell handshake folded to burst level).
+type BReq struct {
+	Op    BOp
+	Addr  uint64
+	Size  uint8 // bytes per cell
+	Beats int
+	Wrap  bool
+	Data  []byte // writes
+}
+
+// BRsp is one BVCI burst response.
+type BRsp struct {
+	Data []byte
+	Err  bool
+}
+
+// BPort is a BVCI socket.
+type BPort struct {
+	Req *sim.Pipe[BReq]
+	Rsp *sim.Pipe[BRsp]
+}
+
+// NewBPort creates a BVCI port.
+func NewBPort(clk *sim.Clock, name string, depth int) *BPort {
+	return &BPort{
+		Req: sim.NewPipe[BReq](clk, name+".Req", depth),
+		Rsp: sim.NewPipe[BRsp](clk, name+".Rsp", depth),
+	}
+}
+
+// BMaster is a BVCI master: fully ordered, pipelined.
+type BMaster struct {
+	port     *BPort
+	pipeline int
+	q        []bReqCtx
+	pend     []bReqCtx
+
+	issued, completed uint64
+}
+
+type bReqCtx struct {
+	req  BReq
+	rdCb func([]byte, bool)
+	wrCb func(bool)
+}
+
+// NewBMaster creates a BVCI master with the given pipeline depth.
+func NewBMaster(clk *sim.Clock, port *BPort, pipeline int) *BMaster {
+	if pipeline < 1 {
+		pipeline = 1
+	}
+	m := &BMaster{port: port, pipeline: pipeline}
+	clk.Register(m)
+	return m
+}
+
+// Busy reports whether work remains.
+func (m *BMaster) Busy() bool { return len(m.q) > 0 || len(m.pend) > 0 }
+
+// Issued and Completed return cumulative counters.
+func (m *BMaster) Issued() uint64    { return m.issued }
+func (m *BMaster) Completed() uint64 { return m.completed }
+
+// Read queues a burst read.
+func (m *BMaster) Read(addr uint64, size uint8, beats int, wrap bool, cb func([]byte, bool)) {
+	m.q = append(m.q, bReqCtx{req: BReq{Op: OpRead, Addr: addr, Size: size, Beats: beats, Wrap: wrap}, rdCb: cb})
+	m.issued++
+}
+
+// Write queues a burst write.
+func (m *BMaster) Write(addr uint64, size uint8, data []byte, cb func(bool)) {
+	if len(data) == 0 || len(data)%int(size) != 0 {
+		panic(fmt.Sprintf("vci: BVCI write %dB not a multiple of %d", len(data), size))
+	}
+	m.q = append(m.q, bReqCtx{req: BReq{Op: OpWrite, Addr: addr, Size: size,
+		Beats: len(data) / int(size), Data: data}, wrCb: cb})
+	m.issued++
+}
+
+// Eval implements sim.Clocked.
+func (m *BMaster) Eval(cycle int64) {
+	if len(m.q) > 0 && len(m.pend) < m.pipeline && m.port.Req.CanPush(1) {
+		ctx := m.q[0]
+		m.q = m.q[1:]
+		m.port.Req.Push(ctx.req)
+		m.pend = append(m.pend, ctx)
+	}
+	if rsp, ok := m.port.Rsp.Pop(); ok {
+		if len(m.pend) == 0 {
+			panic("vci: BVCI response with nothing outstanding")
+		}
+		ctx := m.pend[0]
+		m.pend = m.pend[1:]
+		m.completed++
+		if ctx.rdCb != nil {
+			ctx.rdCb(rsp.Data, rsp.Err)
+		}
+		if ctx.wrCb != nil {
+			ctx.wrCb(rsp.Err)
+		}
+	}
+}
+
+// Update implements sim.Clocked.
+func (m *BMaster) Update(cycle int64) {}
+
+// BMemory is a BVCI memory slave: in-order, one cell per cycle.
+type BMemory struct {
+	port    *BPort
+	store   *mem.Backing
+	base    uint64
+	latency int
+	cur     *BReq
+	wait    int
+	served  uint64
+}
+
+// NewBMemory creates a BVCI memory slave.
+func NewBMemory(clk *sim.Clock, port *BPort, store *mem.Backing, base uint64, latency int) *BMemory {
+	m := &BMemory{port: port, store: store, base: base, latency: latency}
+	clk.Register(m)
+	return m
+}
+
+// Served returns completed bursts.
+func (m *BMemory) Served() uint64 { return m.served }
+
+func bvciBeatAddr(req BReq, i int) uint64 {
+	s := uint64(req.Size)
+	if req.Wrap {
+		window := uint64(req.Beats) * s
+		if window != 0 && window&(window-1) == 0 {
+			base := req.Addr &^ (window - 1)
+			return base + (req.Addr+uint64(i)*s-base)%window
+		}
+	}
+	return req.Addr + uint64(i)*s
+}
+
+// Eval implements sim.Clocked.
+func (m *BMemory) Eval(cycle int64) {
+	if m.cur == nil {
+		req, ok := m.port.Req.Pop()
+		if !ok {
+			return
+		}
+		m.cur = &req
+		m.wait = m.latency + req.Beats - 1 // one cell per cycle
+	}
+	if m.wait > 0 {
+		m.wait--
+		return
+	}
+	if !m.port.Rsp.CanPush(1) {
+		return
+	}
+	req := *m.cur
+	s := int(req.Size)
+	if req.Op == OpWrite {
+		for i := 0; i < req.Beats; i++ {
+			m.store.Write(bvciBeatAddr(req, i)-m.base, req.Data[i*s:(i+1)*s], nil)
+		}
+		m.port.Rsp.Push(BRsp{})
+	} else {
+		data := make([]byte, 0, req.Beats*s)
+		for i := 0; i < req.Beats; i++ {
+			data = append(data, m.store.Read(bvciBeatAddr(req, i)-m.base, s)...)
+		}
+		m.port.Rsp.Push(BRsp{Data: data})
+	}
+	m.cur = nil
+	m.served++
+}
+
+// Update implements sim.Clocked.
+func (m *BMemory) Update(cycle int64) {}
+
+// ---------------------------------------------------------------- AVCI --
+
+// AReq is an AVCI request: a BVCI burst plus a packet ID. Responses with
+// different IDs may return out of order; same-ID responses keep order.
+type AReq struct {
+	BReq
+	ID int
+}
+
+// ARsp is an AVCI response.
+type ARsp struct {
+	BRsp
+	ID int
+}
+
+// APort is an AVCI socket.
+type APort struct {
+	Req *sim.Pipe[AReq]
+	Rsp *sim.Pipe[ARsp]
+}
+
+// NewAPort creates an AVCI port.
+func NewAPort(clk *sim.Clock, name string, depth int) *APort {
+	return &APort{
+		Req: sim.NewPipe[AReq](clk, name+".Req", depth),
+		Rsp: sim.NewPipe[ARsp](clk, name+".Rsp", depth),
+	}
+}
+
+// AMaster is an AVCI master engine: per-ID ordered completions.
+type AMaster struct {
+	port *APort
+	q    []aReqCtx
+	pend map[int][]aReqCtx
+
+	issued, completed uint64
+}
+
+type aReqCtx struct {
+	req  AReq
+	rdCb func([]byte, bool)
+	wrCb func(bool)
+}
+
+// NewAMaster creates an AVCI master.
+func NewAMaster(clk *sim.Clock, port *APort) *AMaster {
+	m := &AMaster{port: port, pend: make(map[int][]aReqCtx)}
+	clk.Register(m)
+	return m
+}
+
+// Busy reports whether work remains.
+func (m *AMaster) Busy() bool {
+	if len(m.q) > 0 {
+		return true
+	}
+	for _, q := range m.pend {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Issued and Completed return cumulative counters.
+func (m *AMaster) Issued() uint64    { return m.issued }
+func (m *AMaster) Completed() uint64 { return m.completed }
+
+// Read queues a burst read on an ID.
+func (m *AMaster) Read(id int, addr uint64, size uint8, beats int, cb func([]byte, bool)) {
+	m.q = append(m.q, aReqCtx{req: AReq{BReq: BReq{Op: OpRead, Addr: addr, Size: size, Beats: beats}, ID: id}, rdCb: cb})
+	m.issued++
+}
+
+// Write queues a burst write on an ID.
+func (m *AMaster) Write(id int, addr uint64, size uint8, data []byte, cb func(bool)) {
+	m.q = append(m.q, aReqCtx{req: AReq{BReq: BReq{Op: OpWrite, Addr: addr, Size: size,
+		Beats: len(data) / int(size), Data: data}, ID: id}, wrCb: cb})
+	m.issued++
+}
+
+// Eval implements sim.Clocked.
+func (m *AMaster) Eval(cycle int64) {
+	if len(m.q) > 0 && m.port.Req.CanPush(1) {
+		ctx := m.q[0]
+		m.q = m.q[1:]
+		m.port.Req.Push(ctx.req)
+		m.pend[ctx.req.ID] = append(m.pend[ctx.req.ID], ctx)
+	}
+	if rsp, ok := m.port.Rsp.Pop(); ok {
+		q := m.pend[rsp.ID]
+		if len(q) == 0 {
+			panic(fmt.Sprintf("vci: AVCI response for ID %d with nothing outstanding", rsp.ID))
+		}
+		ctx := q[0]
+		m.pend[rsp.ID] = q[1:]
+		m.completed++
+		if ctx.rdCb != nil {
+			ctx.rdCb(rsp.Data, rsp.Err)
+		}
+		if ctx.wrCb != nil {
+			ctx.wrCb(rsp.Err)
+		}
+	}
+}
+
+// Update implements sim.Clocked.
+func (m *AMaster) Update(cycle int64) {}
+
+// AMemory is an AVCI memory slave; with Reorder it services queued bursts
+// LIFO across IDs (never reordering within an ID).
+type AMemory struct {
+	port    *APort
+	store   *mem.Backing
+	base    uint64
+	latency int
+	reorder bool
+
+	q      []*AReq
+	cur    *AReq
+	wait   int
+	served uint64
+}
+
+// NewAMemory creates an AVCI memory slave.
+func NewAMemory(clk *sim.Clock, port *APort, store *mem.Backing, base uint64, latency int, reorder bool) *AMemory {
+	m := &AMemory{port: port, store: store, base: base, latency: latency, reorder: reorder}
+	clk.Register(m)
+	return m
+}
+
+// Served returns completed bursts.
+func (m *AMemory) Served() uint64 { return m.served }
+
+// Eval implements sim.Clocked.
+func (m *AMemory) Eval(cycle int64) {
+	if req, ok := m.port.Req.Pop(); ok {
+		r := req
+		m.q = append(m.q, &r)
+	}
+	if m.cur == nil && len(m.q) > 0 {
+		pick := 0
+		if m.reorder {
+			for i := len(m.q) - 1; i >= 0; i-- {
+				older := false
+				for j := 0; j < i; j++ {
+					if m.q[j].ID == m.q[i].ID {
+						older = true
+						break
+					}
+				}
+				if !older {
+					pick = i
+					break
+				}
+			}
+		}
+		m.cur = m.q[pick]
+		m.q = append(m.q[:pick], m.q[pick+1:]...)
+		m.wait = m.latency + m.cur.Beats - 1
+	}
+	if m.cur == nil {
+		return
+	}
+	if m.wait > 0 {
+		m.wait--
+		return
+	}
+	if !m.port.Rsp.CanPush(1) {
+		return
+	}
+	req := m.cur
+	s := int(req.Size)
+	if req.Op == OpWrite {
+		for i := 0; i < req.Beats; i++ {
+			m.store.Write(bvciBeatAddr(req.BReq, i)-m.base, req.Data[i*s:(i+1)*s], nil)
+		}
+		m.port.Rsp.Push(ARsp{ID: req.ID})
+	} else {
+		data := make([]byte, 0, req.Beats*s)
+		for i := 0; i < req.Beats; i++ {
+			data = append(data, m.store.Read(bvciBeatAddr(req.BReq, i)-m.base, s)...)
+		}
+		m.port.Rsp.Push(ARsp{BRsp: BRsp{Data: data}, ID: req.ID})
+	}
+	m.cur = nil
+	m.served++
+}
+
+// Update implements sim.Clocked.
+func (m *AMemory) Update(cycle int64) {}

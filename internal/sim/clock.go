@@ -1,0 +1,130 @@
+package sim
+
+import "fmt"
+
+// Clocked is a synchronous component driven by a Clock. On each rising edge
+// the clock calls Eval on every registered component, then Update on every
+// registered component.
+//
+// Discipline (what makes results registration-order independent):
+//   - Eval reads committed state (Pipe contents from previous cycles) and
+//     performs the component's work, including Pipe pushes and pops.
+//   - Update commits staged state; ordinary components usually have an
+//     empty Update, while Pipes use it to publish this cycle's pushes.
+type Clocked interface {
+	Eval(cycle int64)
+	Update(cycle int64)
+}
+
+// ClockedFunc adapts a pair of functions to the Clocked interface. Either
+// may be nil.
+type ClockedFunc struct {
+	OnEval   func(cycle int64)
+	OnUpdate func(cycle int64)
+}
+
+// Eval implements Clocked.
+func (c ClockedFunc) Eval(cycle int64) {
+	if c.OnEval != nil {
+		c.OnEval(cycle)
+	}
+}
+
+// Update implements Clocked.
+func (c ClockedFunc) Update(cycle int64) {
+	if c.OnUpdate != nil {
+		c.OnUpdate(cycle)
+	}
+}
+
+// Clock is a free-running clock domain. All components registered on one
+// Clock share its frequency; systems may have several Clocks with different
+// periods (see phys.CDCFifo for crossing between them).
+type Clock struct {
+	k       *Kernel
+	name    string
+	period  Time
+	offset  Time
+	cycle   int64
+	comps   []Clocked
+	started bool
+}
+
+// NewClock creates a clock on kernel k with the given period. The first
+// rising edge fires at time offset (usually 0). Start must be called before
+// edges fire.
+func NewClock(k *Kernel, name string, period Time, offset Time) *Clock {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: clock %q: period must be positive, got %v", name, period))
+	}
+	return &Clock{k: k, name: name, period: period, offset: offset}
+}
+
+// Name returns the clock's name.
+func (c *Clock) Name() string { return c.name }
+
+// Period returns the clock period.
+func (c *Clock) Period() Time { return c.period }
+
+// Cycle returns the number of edges that have fired.
+func (c *Clock) Cycle() int64 { return c.cycle }
+
+// Kernel returns the kernel this clock is scheduled on.
+func (c *Clock) Kernel() *Kernel { return c.k }
+
+// Register adds a component to the clock domain. Components are evaluated
+// in registration order, but the Eval/Update discipline makes simulation
+// results independent of that order.
+func (c *Clock) Register(comp Clocked) {
+	if comp == nil {
+		panic("sim: Register(nil)")
+	}
+	c.comps = append(c.comps, comp)
+}
+
+// Start schedules the first edge. Calling Start twice is a no-op.
+func (c *Clock) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	first := c.offset
+	if first < c.k.Now() {
+		first = c.k.Now()
+	}
+	if err := c.k.At(first, c.edge); err != nil {
+		panic(err)
+	}
+}
+
+func (c *Clock) edge() {
+	c.cycle++
+	for _, comp := range c.comps {
+		comp.Eval(c.cycle)
+	}
+	for _, comp := range c.comps {
+		comp.Update(c.cycle)
+	}
+	c.k.After(c.period, c.edge)
+}
+
+// TimeFor returns the simulation time spanned by n cycles of this clock.
+func (c *Clock) TimeFor(n int64) Time { return Time(n) * c.period }
+
+// RunCycles starts the clock if needed and runs the kernel for exactly n
+// more edges of this clock.
+func (c *Clock) RunCycles(n int64) {
+	c.Start()
+	target := c.cycle + n
+	c.k.RunWhileClock(c, target)
+}
+
+// RunWhileClock steps the kernel until clk has reached targetCycle. It is a
+// helper for Clock.RunCycles.
+func (k *Kernel) RunWhileClock(clk *Clock, targetCycle int64) {
+	for clk.cycle < targetCycle {
+		if !k.Step() {
+			return
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that every other layer of the NoC model is built on: an event queue with
+// picosecond resolution, clock domains with two-phase (Eval/Update) clocked
+// components, staged FIFOs with register semantics, and seeded random
+// number generation.
+//
+// Determinism is a design requirement: two runs with the same seed and the
+// same configuration produce bit-identical results, regardless of component
+// registration order. This is what makes the reproduction experiments
+// (EXPERIMENTS.md) meaningful.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is simulation time in picoseconds.
+type Time int64
+
+// Common time units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+)
+
+// String renders a Time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Millisecond && t%Millisecond == 0:
+		return fmt.Sprintf("%dms", t/Millisecond)
+	case t >= Microsecond && t%Microsecond == 0:
+		return fmt.Sprintf("%dus", t/Microsecond)
+	case t >= Nanosecond && t%Nanosecond == 0:
+		return fmt.Sprintf("%dns", t/Nanosecond)
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// ErrDeadline is returned by RunWhile when the deadline passes before the
+// condition is satisfied.
+var ErrDeadline = errors.New("sim: deadline reached before condition was satisfied")
+
+// ErrPast is returned when an event is scheduled before the current time.
+var ErrPast = errors.New("sim: cannot schedule event in the past")
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: same-time events run in schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator. The zero value is not usable; call
+// NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	steps   uint64
+}
+
+// NewKernel returns a kernel at time zero with an empty event queue.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Steps returns the number of events executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Pending returns the number of scheduled, not yet executed events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past returns
+// ErrPast; scheduling at the current time is allowed and runs after all
+// currently queued same-time events.
+func (k *Kernel) At(t Time, fn func()) error {
+	if t < k.now {
+		return fmt.Errorf("%w: now=%v requested=%v", ErrPast, k.now, t)
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn to run d picoseconds after the current time. Negative
+// delays panic: they indicate a modeling bug, not a runtime condition.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	if err := k.At(k.now+d, fn); err != nil {
+		panic(err) // unreachable: now+d >= now for d >= 0
+	}
+}
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the queue is empty or the kernel is stopped.
+func (k *Kernel) Step() bool {
+	if k.stopped || len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(event)
+	k.now = e.at
+	k.steps++
+	e.fn()
+	return true
+}
+
+// Stop halts the simulation: subsequent Step/Run calls do nothing until
+// Resume is called. Safe to call from inside an event.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Resume clears a previous Stop.
+func (k *Kernel) Resume() { k.stopped = false }
+
+// Stopped reports whether Stop has been called without a matching Resume.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Run executes events until the queue is empty or Stop is called. Do not
+// use Run with free-running clocks (they self-reschedule forever); use
+// RunUntil or RunWhile instead.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes all events scheduled at or before t, then advances the
+// clock to exactly t. Events scheduled after t remain pending.
+func (k *Kernel) RunUntil(t Time) {
+	for !k.stopped && len(k.events) > 0 && k.events[0].at <= t {
+		k.Step()
+	}
+	if !k.stopped && t > k.now {
+		k.now = t
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
+
+// RunWhile steps the simulation while cond returns true. It returns nil as
+// soon as cond is false, ErrDeadline if the deadline passes first, and an
+// error if the event queue drains while cond still holds.
+func (k *Kernel) RunWhile(cond func() bool, deadline Time) error {
+	for cond() {
+		if k.now > deadline {
+			return fmt.Errorf("%w (now=%v)", ErrDeadline, k.now)
+		}
+		if !k.Step() {
+			return errors.New("sim: event queue drained while condition still true")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package sim
+
+import "fmt"
+
+// Pipe is a bounded FIFO with register semantics: values pushed during a
+// cycle become visible to consumers only at the start of the next cycle
+// (the push is committed by the Pipe's Update phase). This models a
+// hardware FIFO with a one-cycle forward latency and gives deterministic,
+// registration-order-independent behaviour.
+//
+// Capacity accounting also has register semantics: a slot freed by a Pop
+// this cycle cannot be reused by a Push until the next cycle (one-cycle
+// credit turnaround), matching typical synchronous FIFO implementations.
+//
+// A Pipe must be registered on the Clock whose domain it belongs to; the
+// NewPipe constructor does this automatically.
+type Pipe[T any] struct {
+	name    string
+	buf     []T // committed entries, FIFO order
+	pending []T // pushed this cycle, not yet visible
+	cap     int
+
+	// startLen is the committed length at the start of the current cycle
+	// (i.e., before any Pops this cycle). Push capacity checks use it so a
+	// Pop and Push racing in the same cycle do not depend on Eval order.
+	startLen int
+
+	// statistics
+	pushes   uint64
+	pops     uint64
+	maxOcc   int
+	sumOcc   uint64
+	occTicks uint64
+}
+
+// NewPipe creates a Pipe with the given capacity and registers it on clk.
+func NewPipe[T any](clk *Clock, name string, capacity int) *Pipe[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: pipe %q: capacity must be positive, got %d", name, capacity))
+	}
+	p := &Pipe[T]{name: name, cap: capacity}
+	clk.Register(p)
+	return p
+}
+
+// NewUnclockedPipe creates a Pipe that is not attached to any clock; the
+// owner must call Update itself each cycle. Used by components that manage
+// internal pipes explicitly.
+func NewUnclockedPipe[T any](name string, capacity int) *Pipe[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: pipe %q: capacity must be positive, got %d", name, capacity))
+	}
+	return &Pipe[T]{name: name, cap: capacity}
+}
+
+// Name returns the pipe's name.
+func (p *Pipe[T]) Name() string { return p.name }
+
+// Cap returns the pipe's capacity.
+func (p *Pipe[T]) Cap() int { return p.cap }
+
+// CanPush reports whether n more values can be pushed this cycle.
+func (p *Pipe[T]) CanPush(n int) bool {
+	return p.startLen+len(p.pending)+n <= p.cap
+}
+
+// Push stages v for commit at the end of this cycle. It returns false
+// (and stages nothing) if the pipe has no credit this cycle.
+func (p *Pipe[T]) Push(v T) bool {
+	if !p.CanPush(1) {
+		return false
+	}
+	p.pending = append(p.pending, v)
+	p.pushes++
+	return true
+}
+
+// Len returns the number of committed (consumable) entries.
+func (p *Pipe[T]) Len() int { return len(p.buf) }
+
+// Empty reports whether no committed entries are available.
+func (p *Pipe[T]) Empty() bool { return len(p.buf) == 0 }
+
+// Occupancy returns committed plus staged entries (total storage in use).
+func (p *Pipe[T]) Occupancy() int { return len(p.buf) + len(p.pending) }
+
+// Peek returns the oldest committed entry without removing it.
+func (p *Pipe[T]) Peek() (T, bool) {
+	var zero T
+	if len(p.buf) == 0 {
+		return zero, false
+	}
+	return p.buf[0], true
+}
+
+// PeekAt returns the i-th oldest committed entry (0 = head).
+func (p *Pipe[T]) PeekAt(i int) (T, bool) {
+	var zero T
+	if i < 0 || i >= len(p.buf) {
+		return zero, false
+	}
+	return p.buf[i], true
+}
+
+// Pop removes and returns the oldest committed entry.
+func (p *Pipe[T]) Pop() (T, bool) {
+	var zero T
+	if len(p.buf) == 0 {
+		return zero, false
+	}
+	v := p.buf[0]
+	p.buf = p.buf[1:]
+	p.pops++
+	return v, true
+}
+
+// Eval implements Clocked; Pipes do no work in the Eval phase.
+func (p *Pipe[T]) Eval(cycle int64) {}
+
+// Update implements Clocked: it commits this cycle's pushes and refreshes
+// the capacity snapshot.
+func (p *Pipe[T]) Update(cycle int64) {
+	if len(p.pending) > 0 {
+		p.buf = append(p.buf, p.pending...)
+		p.pending = p.pending[:0]
+	}
+	p.startLen = len(p.buf)
+	if p.startLen > p.maxOcc {
+		p.maxOcc = p.startLen
+	}
+	p.sumOcc += uint64(p.startLen)
+	p.occTicks++
+}
+
+// Stats describes cumulative pipe activity.
+type PipeStats struct {
+	Name   string
+	Pushes uint64
+	Pops   uint64
+	MaxOcc int
+	AvgOcc float64
+}
+
+// Stats returns cumulative counters for the pipe.
+func (p *Pipe[T]) Stats() PipeStats {
+	avg := 0.0
+	if p.occTicks > 0 {
+		avg = float64(p.sumOcc) / float64(p.occTicks)
+	}
+	return PipeStats{Name: p.name, Pushes: p.pushes, Pops: p.pops, MaxOcc: p.maxOcc, AvgOcc: avg}
+}

@@ -1,0 +1,59 @@
+package sim
+
+// Queue is a plain unbounded-or-bounded FIFO with immediate visibility,
+// for bookkeeping inside a single component (no register semantics).
+// A capacity of 0 means unbounded.
+type Queue[T any] struct {
+	buf []T
+	cap int
+}
+
+// NewQueue returns a queue; capacity 0 means unbounded.
+func NewQueue[T any](capacity int) *Queue[T] {
+	return &Queue[T]{cap: capacity}
+}
+
+// Len returns the number of queued entries.
+func (q *Queue[T]) Len() int { return len(q.buf) }
+
+// Empty reports whether the queue is empty.
+func (q *Queue[T]) Empty() bool { return len(q.buf) == 0 }
+
+// Full reports whether a bounded queue is at capacity.
+func (q *Queue[T]) Full() bool { return q.cap > 0 && len(q.buf) >= q.cap }
+
+// Push appends v; it returns false if the queue is full.
+func (q *Queue[T]) Push(v T) bool {
+	if q.Full() {
+		return false
+	}
+	q.buf = append(q.buf, v)
+	return true
+}
+
+// Peek returns the head without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.buf) == 0 {
+		return zero, false
+	}
+	return q.buf[0], true
+}
+
+// Pop removes and returns the head.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	if len(q.buf) == 0 {
+		return zero, false
+	}
+	v := q.buf[0]
+	q.buf = q.buf[1:]
+	return v, true
+}
+
+// Drain removes and returns all entries in FIFO order.
+func (q *Queue[T]) Drain() []T {
+	out := q.buf
+	q.buf = nil
+	return out
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// RNG is a deterministic random source. Every stochastic decision in the
+// simulator draws from an RNG forked (by label) from the experiment's root
+// seed, so adding a new consumer of randomness does not perturb existing
+// streams.
+type RNG struct {
+	*rand.Rand
+	seed int64
+}
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed this RNG was created with.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Fork derives an independent RNG whose seed is a hash of this RNG's seed
+// and the label. Forking is stable: the same (seed, label) always yields
+// the same stream, independent of draw order on the parent.
+func (r *RNG) Fork(label string) *RNG {
+	h := fnv.New64a()
+	var b [8]byte
+	s := uint64(r.seed)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(s >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(label))
+	return NewRNG(int64(h.Sum64()))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Range returns a uniform integer in [lo, hi] inclusive.
+func (r *RNG) Range(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}

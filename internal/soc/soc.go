@@ -1,0 +1,397 @@
+// Package soc assembles complete systems-on-chip from one fixed set of
+// mixed-socket IP blocks — seven masters (AXI, OCP, AHB, PVCI, BVCI,
+// AVCI, proprietary) and four memory targets (AXI, OCP, AHB, BVCI) — on
+// either interconnect:
+//
+//   - BuildNoC: the paper's Fig 1 — every IP plugs into the layered NoC
+//     through its protocol's NIU;
+//   - BuildBus: the paper's Fig 2 — an AHB reference bus, the AHB master
+//     native, everything else behind bridges.
+//
+// Because the IP models and traffic generators are byte-identical across
+// the two builds, any behavioural difference is attributable to the
+// interconnect — which is the paper's whole argument.
+package soc
+
+import (
+	"fmt"
+
+	"gonoc/internal/bus"
+	"gonoc/internal/core"
+	"gonoc/internal/ip"
+	"gonoc/internal/mem"
+	"gonoc/internal/niu"
+	"gonoc/internal/noctypes"
+	"gonoc/internal/protocols/ahb"
+	"gonoc/internal/protocols/axi"
+	"gonoc/internal/protocols/ocp"
+	"gonoc/internal/protocols/prop"
+	"gonoc/internal/protocols/vci"
+	"gonoc/internal/sim"
+	"gonoc/internal/transport"
+)
+
+// Node assignments.
+const (
+	NodeAXIM noctypes.NodeID = 1 + iota
+	NodeOCPM
+	NodeAHBM
+	NodePVCIM
+	NodeBVCIM
+	NodeAVCIM
+	NodePropM
+)
+
+// Slave nodes and bases.
+const (
+	NodeAXIMem  noctypes.NodeID = 100
+	NodeOCPMem  noctypes.NodeID = 101
+	NodeAHBMem  noctypes.NodeID = 102
+	NodeBVCIMem noctypes.NodeID = 103
+
+	BaseAXIMem  = 0x1000_0000
+	BaseOCPMem  = 0x2000_0000
+	BaseAHBMem  = 0x3000_0000
+	BaseBVCIMem = 0x4000_0000
+	MemSize     = 1 << 20
+)
+
+// Topology selects the NoC shape.
+type Topology uint8
+
+// Topologies.
+const (
+	Crossbar Topology = iota
+	Mesh
+	Tree
+)
+
+// Config parameterizes a system build.
+type Config struct {
+	Seed              int64
+	RequestsPerMaster int
+	Rate              float64
+	MemLatency        int
+	// Quiet builds the system without traffic generators, for
+	// experiments that drive the protocol engines directly.
+	Quiet bool
+
+	// NoC knobs.
+	Net         transport.NetConfig
+	Topology    Topology
+	Services    core.ServiceSet
+	Outstanding int // master NIU MaxOutstanding
+
+	// Bus knobs.
+	BridgeLatency int
+	Arb           bus.Arbitration
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestsPerMaster == 0 {
+		c.RequestsPerMaster = 40
+	}
+	if c.Rate == 0 {
+		c.Rate = 1.0
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = 2
+	}
+	if c.Outstanding == 0 {
+		c.Outstanding = 8
+	}
+	if c.Net.BufDepth == 0 {
+		c.Net.BufDepth = 16
+	}
+	z := core.ServiceSet{}
+	if c.Services == z {
+		c.Services = core.ServiceSet{Exclusive: true, LegacyLock: true}
+	}
+	return c
+}
+
+// NIUStatser exposes master-NIU statistics.
+type NIUStatser interface{ Stats() niu.MasterStats }
+
+// System is one assembled SoC (either interconnect).
+type System struct {
+	Kind string // "noc" or "bus"
+	Cfg  Config
+
+	K    *sim.Kernel
+	Clk  *sim.Clock
+	AMap *core.AddressMap
+
+	Net *transport.Network // nil for bus systems
+	Bus *bus.Bus           // nil for NoC systems
+
+	// Protocol master engines, one per IP master.
+	AXIM  *axi.Master
+	OCPM  *ocp.Master
+	AHBM  *ahb.Master
+	PVCIM *vci.PMaster
+	BVCIM *vci.BMaster
+	AVCIM *vci.AMaster
+	PropM *prop.Master
+
+	// Generators keyed by protocol name.
+	Gens map[string]ip.Generator
+
+	// NoC-side NIU handles for stats (nil on bus systems).
+	MasterNIUs map[string]NIUStatser
+
+	// Shared memory backings keyed by slave name.
+	Stores map[string]*mem.Backing
+}
+
+// buildCommon creates kernel, clock, address map and stores.
+func buildCommon(cfg Config) *System {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "sys", sim.Nanosecond, 0)
+	amap := core.NewAddressMap()
+	amap.MustAdd("axi-mem", BaseAXIMem, MemSize, NodeAXIMem)
+	amap.MustAdd("ocp-mem", BaseOCPMem, MemSize, NodeOCPMem)
+	amap.MustAdd("ahb-mem", BaseAHBMem, MemSize, NodeAHBMem)
+	amap.MustAdd("bvci-mem", BaseBVCIMem, MemSize, NodeBVCIMem)
+	amap.Freeze()
+	return &System{
+		Cfg: cfg, K: k, Clk: clk, AMap: amap,
+		Gens:       make(map[string]ip.Generator),
+		MasterNIUs: make(map[string]NIUStatser),
+		Stores: map[string]*mem.Backing{
+			"axi":  mem.NewBacking(MemSize),
+			"ocp":  mem.NewBacking(MemSize),
+			"ahb":  mem.NewBacking(MemSize),
+			"bvci": mem.NewBacking(MemSize),
+		},
+	}
+}
+
+// genRegions maps each master onto a private 64 KiB window, deliberately
+// crossing protocols (PVCI targets the AXI memory, AVCI the OCP memory,
+// the proprietary streamer the AHB memory).
+func genRegion(master string) ip.Region {
+	switch master {
+	case "axi":
+		return ip.Region{Base: BaseAXIMem, Size: 0x10000}
+	case "ocp":
+		return ip.Region{Base: BaseOCPMem, Size: 0x10000}
+	case "ahb":
+		return ip.Region{Base: BaseAHBMem, Size: 0x10000}
+	case "pvci":
+		return ip.Region{Base: BaseAXIMem + 0x20000, Size: 0x10000}
+	case "bvci":
+		return ip.Region{Base: BaseBVCIMem, Size: 0x10000}
+	case "avci":
+		return ip.Region{Base: BaseOCPMem + 0x20000, Size: 0x10000}
+	case "prop":
+		return ip.Region{Base: BaseAHBMem + 0x20000, Size: 0x10000}
+	}
+	panic("soc: unknown master " + master)
+}
+
+func (s *System) genCfg(master string, n int) ip.GenConfig {
+	return ip.GenConfig{
+		Seed:     s.Cfg.Seed ^ int64(n*7919),
+		Requests: s.Cfg.RequestsPerMaster,
+		Region:   genRegion(master),
+		Rate:     s.Cfg.Rate,
+	}
+}
+
+// BuildNoC assembles the Fig-1 system.
+func BuildNoC(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := buildCommon(cfg)
+	s.Kind = "noc"
+
+	nodes := []noctypes.NodeID{
+		NodeAXIM, NodeOCPM, NodeAHBM, NodePVCIM, NodeBVCIM, NodeAVCIM, NodePropM,
+		NodeAXIMem, NodeOCPMem, NodeAHBMem, NodeBVCIMem,
+	}
+	switch cfg.Topology {
+	case Mesh:
+		spec := transport.MeshSpec{W: 4, H: 3, Nodes: map[noctypes.NodeID]transport.Coord{}}
+		for i, n := range nodes {
+			spec.Nodes[n] = transport.Coord{X: i % 4, Y: i / 4}
+		}
+		s.Net = transport.NewMesh(s.Clk, cfg.Net, spec)
+	case Tree:
+		s.Net = transport.NewTree(s.Clk, cfg.Net, 3, nodes)
+	default:
+		s.Net = transport.NewCrossbar(s.Clk, cfg.Net, nodes)
+	}
+
+	mcfg := func(node noctypes.NodeID) niu.MasterConfig {
+		return niu.MasterConfig{
+			Node:     node,
+			Services: cfg.Services,
+			Table:    core.TableConfig{MaxOutstanding: cfg.Outstanding, MaxTargets: 4},
+			NumTags:  4,
+			Priority: noctypes.PrioDefault,
+		}
+	}
+
+	// Masters: IP engine + NIU per socket.
+	axiPort := axi.NewPort(s.Clk, "m.axi", 4)
+	s.AXIM = axi.NewMaster(s.Clk, axiPort, nil)
+	s.MasterNIUs["axi"] = niu.NewAXIMaster(s.Clk, s.Net, s.AMap, axiPort, mcfg(NodeAXIM))
+
+	ocpPort := ocp.NewPort(s.Clk, "m.ocp", 4)
+	s.OCPM = ocp.NewMaster(s.Clk, ocpPort)
+	s.MasterNIUs["ocp"] = niu.NewOCPMaster(s.Clk, s.Net, s.AMap, ocpPort, mcfg(NodeOCPM))
+
+	ahbPort := ahb.NewPort(s.Clk, "m.ahb", 4)
+	s.AHBM = ahb.NewMaster(s.Clk, ahbPort, 2)
+	s.MasterNIUs["ahb"] = niu.NewAHBMaster(s.Clk, s.Net, s.AMap, ahbPort, mcfg(NodeAHBM))
+
+	pvciPort := vci.NewPPort(s.Clk, "m.pvci", 4)
+	s.PVCIM = vci.NewPMaster(s.Clk, pvciPort)
+	s.MasterNIUs["pvci"] = niu.NewPVCIMaster(s.Clk, s.Net, s.AMap, pvciPort, mcfg(NodePVCIM))
+
+	bvciPort := vci.NewBPort(s.Clk, "m.bvci", 4)
+	s.BVCIM = vci.NewBMaster(s.Clk, bvciPort, 2)
+	s.MasterNIUs["bvci"] = niu.NewBVCIMaster(s.Clk, s.Net, s.AMap, bvciPort, mcfg(NodeBVCIM))
+
+	avciPort := vci.NewAPort(s.Clk, "m.avci", 4)
+	s.AVCIM = vci.NewAMaster(s.Clk, avciPort)
+	s.MasterNIUs["avci"] = niu.NewAVCIMaster(s.Clk, s.Net, s.AMap, avciPort, mcfg(NodeAVCIM))
+
+	propPort := prop.NewPort(s.Clk, "m.prop", 8)
+	s.PropM = prop.NewMaster(s.Clk, propPort)
+	s.MasterNIUs["prop"] = niu.NewPropMaster(s.Clk, s.Net, s.AMap, propPort, mcfg(NodePropM))
+
+	// Slaves: protocol memory + slave NIU per socket.
+	scfg := func(node noctypes.NodeID) niu.SlaveConfig {
+		return niu.SlaveConfig{Node: node, Services: cfg.Services, MaxConcurrent: 4}
+	}
+	axiSP := axi.NewPort(s.Clk, "s.axi", 4)
+	axi.NewMemory(s.Clk, axiSP, s.Stores["axi"], BaseAXIMem, axi.MemoryConfig{Latency: cfg.MemLatency})
+	niu.NewAXISlave(s.Clk, s.Net, axiSP, scfg(NodeAXIMem))
+
+	ocpSP := ocp.NewPort(s.Clk, "s.ocp", 4)
+	ocp.NewMemory(s.Clk, ocpSP, s.Stores["ocp"], BaseOCPMem, ocp.MemoryConfig{Latency: cfg.MemLatency, Threads: 4, LazySync: true})
+	niu.NewOCPSlave(s.Clk, s.Net, ocpSP, 4, scfg(NodeOCPMem))
+
+	ahbSP := ahb.NewPort(s.Clk, "s.ahb", 4)
+	ahb.NewMemory(s.Clk, ahbSP, s.Stores["ahb"], BaseAHBMem, ahb.MemoryConfig{WaitStates: cfg.MemLatency})
+	niu.NewAHBSlave(s.Clk, s.Net, ahbSP, scfg(NodeAHBMem))
+
+	bvciSP := vci.NewBPort(s.Clk, "s.bvci", 4)
+	vci.NewBMemory(s.Clk, bvciSP, s.Stores["bvci"], BaseBVCIMem, cfg.MemLatency)
+	niu.NewBVCISlave(s.Clk, s.Net, bvciSP, scfg(NodeBVCIMem))
+
+	if !cfg.Quiet {
+		s.makeGens()
+	}
+	return s
+}
+
+// BuildBus assembles the Fig-2 system from the same IP set.
+func BuildBus(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := buildCommon(cfg)
+	s.Kind = "bus"
+	s.Bus = bus.New(s.Clk, s.AMap, bus.Config{Arb: cfg.Arb})
+	bcfg := bus.BridgeConfig{Latency: cfg.BridgeLatency}
+
+	// Masters: AHB connects natively (it IS the reference socket);
+	// everything else crosses a bridge.
+	axiPort := axi.NewPort(s.Clk, "m.axi", 4)
+	s.AXIM = axi.NewMaster(s.Clk, axiPort, nil)
+	bus.NewAXIBridge(s.Clk, s.Bus, axiPort, bcfg)
+
+	ocpPort := ocp.NewPort(s.Clk, "m.ocp", 4)
+	s.OCPM = ocp.NewMaster(s.Clk, ocpPort)
+	bus.NewOCPBridge(s.Clk, s.Bus, ocpPort, bcfg)
+
+	ahbPort := ahb.NewPort(s.Clk, "m.ahb", 2)
+	s.AHBM = ahb.NewMaster(s.Clk, ahbPort, 1)
+	s.Bus.AddMaster(ahbPort)
+
+	pvciPort := vci.NewPPort(s.Clk, "m.pvci", 4)
+	s.PVCIM = vci.NewPMaster(s.Clk, pvciPort)
+	bus.NewPVCIBridge(s.Clk, s.Bus, pvciPort, bcfg)
+
+	bvciPort := vci.NewBPort(s.Clk, "m.bvci", 4)
+	s.BVCIM = vci.NewBMaster(s.Clk, bvciPort, 2)
+	bus.NewBVCIBridge(s.Clk, s.Bus, bvciPort, bcfg)
+
+	avciPort := vci.NewAPort(s.Clk, "m.avci", 4)
+	s.AVCIM = vci.NewAMaster(s.Clk, avciPort)
+	bus.NewAVCIBridge(s.Clk, s.Bus, avciPort, bcfg)
+
+	propPort := prop.NewPort(s.Clk, "m.prop", 8)
+	s.PropM = prop.NewMaster(s.Clk, propPort)
+	bus.NewPropBridge(s.Clk, s.Bus, propPort, bcfg)
+
+	// Slaves: AHB memory native, the rest behind slave bridges.
+	ahbSP := ahb.NewPort(s.Clk, "s.ahb", 2)
+	ahb.NewMemory(s.Clk, ahbSP, s.Stores["ahb"], BaseAHBMem, ahb.MemoryConfig{WaitStates: cfg.MemLatency})
+	s.Bus.AddSlave(NodeAHBMem, ahbSP)
+
+	axiSP := axi.NewPort(s.Clk, "s.axi", 4)
+	axi.NewMemory(s.Clk, axiSP, s.Stores["axi"], BaseAXIMem, axi.MemoryConfig{Latency: cfg.MemLatency})
+	bus.NewAXISlaveBridge(s.Clk, s.Bus, NodeAXIMem, axiSP, bcfg)
+
+	ocpSP := ocp.NewPort(s.Clk, "s.ocp", 4)
+	ocp.NewMemory(s.Clk, ocpSP, s.Stores["ocp"], BaseOCPMem, ocp.MemoryConfig{Latency: cfg.MemLatency, Threads: 1})
+	bus.NewOCPSlaveBridge(s.Clk, s.Bus, NodeOCPMem, ocpSP, bcfg)
+
+	bvciSP := vci.NewBPort(s.Clk, "s.bvci", 4)
+	vci.NewBMemory(s.Clk, bvciSP, s.Stores["bvci"], BaseBVCIMem, cfg.MemLatency)
+	bus.NewBVCISlaveBridge(s.Clk, s.Bus, NodeBVCIMem, bvciSP, bcfg)
+
+	if !cfg.Quiet {
+		s.makeGens()
+	}
+	return s
+}
+
+func (s *System) makeGens() {
+	s.Gens["axi"] = ip.NewAXIGen(s.Clk, s.AXIM, s.genCfg("axi", 1))
+	s.Gens["ocp"] = ip.NewOCPGen(s.Clk, s.OCPM, 4, s.genCfg("ocp", 2))
+	s.Gens["ahb"] = ip.NewAHBGen(s.Clk, s.AHBM, s.genCfg("ahb", 3))
+	s.Gens["pvci"] = ip.NewPVCIGen(s.Clk, s.PVCIM, s.genCfg("pvci", 4))
+	s.Gens["bvci"] = ip.NewBVCIGen(s.Clk, s.BVCIM, s.genCfg("bvci", 5))
+	s.Gens["avci"] = ip.NewAVCIGen(s.Clk, s.AVCIM, s.genCfg("avci", 6))
+	s.Gens["prop"] = ip.NewPropGen(s.Clk, s.PropM, s.genCfg("prop", 7))
+}
+
+// AllDone reports whether every generator has finished.
+func (s *System) AllDone() bool {
+	for _, g := range s.Gens {
+		if !g.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run drives the system until all generators finish, then validates the
+// scoreboards. It returns the elapsed cycles.
+func (s *System) Run(maxCycles int64) (int64, error) {
+	start := s.Clk.Cycle()
+	for s.Clk.Cycle()-start < maxCycles {
+		if s.AllDone() {
+			if err := ip.CheckAll(s.Gens); err != nil {
+				return s.Clk.Cycle() - start, err
+			}
+			return s.Clk.Cycle() - start, nil
+		}
+		s.Clk.RunCycles(64)
+	}
+	return maxCycles, fmt.Errorf("soc: %s system did not finish in %d cycles", s.Kind, maxCycles)
+}
+
+// RunUntil drives the system until cond (checked every cycle) or maxCycles.
+func (s *System) RunUntil(cond func() bool, maxCycles int64) error {
+	start := s.Clk.Cycle()
+	for s.Clk.Cycle()-start < maxCycles {
+		if cond() {
+			return nil
+		}
+		s.Clk.RunCycles(1)
+	}
+	return fmt.Errorf("soc: condition not reached in %d cycles", maxCycles)
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	var l Latency
+	for _, v := range []int64{10, 20, 30, 40, 50} {
+		l.Record(v)
+	}
+	if l.Count() != 5 || l.Min() != 10 || l.Max() != 50 {
+		t.Fatalf("count/min/max: %d %d %d", l.Count(), l.Min(), l.Max())
+	}
+	if l.Mean() != 30 {
+		t.Fatalf("mean = %f", l.Mean())
+	}
+	if p := l.Percentile(50); p != 30 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := l.Percentile(100); p != 50 {
+		t.Fatalf("p100 = %d", p)
+	}
+	if l.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.Percentile(50) != 0 || l.Count() != 0 {
+		t.Fatal("empty recorder not zeroed")
+	}
+}
+
+func TestLatencyPercentileUnsorted(t *testing.T) {
+	var l Latency
+	for _, v := range []int64{90, 10, 50, 70, 30} {
+		l.Record(v)
+	}
+	if p := l.Percentile(20); p != 10 {
+		t.Fatalf("p20 = %d", p)
+	}
+	if p := l.Percentile(95); p != 90 {
+		t.Fatalf("p95 = %d", p)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Done: 250, Cycles: 1000}
+	if tp.PerKCycle() != 250 {
+		t.Fatalf("PerKCycle = %f", tp.PerKCycle())
+	}
+	if (Throughput{}).PerKCycle() != 0 {
+		t.Fatal("zero-cycle throughput not zero")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta", 2.5)
+	out := tb.Render()
+	if !strings.Contains(out, "## demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.50") {
+		t.Fatalf("cells missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if len(tb.Rows()) != 2 {
+		t.Fatal("Rows() wrong")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "long-header")
+	tb.AddRow("xxxxxxxxxx", "y")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and row should be padded to equal visible width.
+	if len(lines[0]) == 0 || len(lines[2]) == 0 {
+		t.Fatalf("bad render:\n%s", out)
+	}
+}
+
+func TestMark(t *testing.T) {
+	if Mark(true) != "yes" || Mark(false) != "NO" {
+		t.Fatal("Mark wrong")
+	}
+}

@@ -1,0 +1,131 @@
+package transport
+
+import "fmt"
+
+// Flit is a flow-control unit: the atom that switches and links move. A
+// packet of N wire bytes becomes ceil(N/flitBytes) flits. The head flit
+// carries a decoded copy of the header so switches can route without
+// reparsing bytes; the byte stream remains the canonical content and is
+// what reassembly decodes.
+type Flit struct {
+	PktID uint64
+	VC    uint8 // virtual channel (VCNormal or VCLocked)
+	Head  bool
+	Tail  bool
+	Hdr   Header // valid when Head
+	Data  []byte
+	Hops  uint8 // router traversals, for statistics
+}
+
+// Virtual channels. VCLocked exists so the packets of a legacy lock
+// sequence can bypass normal traffic blocked by the sequence's own path
+// reservations — the price the paper alludes to when it says READEX/LOCK
+// "impact transport level".
+const (
+	VCNormal uint8 = 0
+	VCLocked uint8 = 1
+	NumVCs         = 2
+)
+
+// String renders a flit.
+func (f Flit) String() string {
+	role := "body"
+	switch {
+	case f.Head && f.Tail:
+		role = "single"
+	case f.Head:
+		role = "head"
+	case f.Tail:
+		role = "tail"
+	}
+	return fmt.Sprintf("flit pkt#%d vc%d %s %dB", f.PktID, f.VC, role, len(f.Data))
+}
+
+// Packetize serializes a packet and splits it into flits of at most
+// flitBytes data each. The packet's PayloadLen is set as a side effect.
+func Packetize(p *Packet, flitBytes int) []Flit {
+	if flitBytes <= 0 {
+		panic(fmt.Sprintf("transport: flitBytes must be positive, got %d", flitBytes))
+	}
+	p.PayloadLen = uint32(len(p.Payload))
+	wire := append(EncodeHeader(&p.Header), p.Payload...)
+	vc := VCNormal
+	if p.Locked {
+		vc = VCLocked
+	}
+	n := (len(wire) + flitBytes - 1) / flitBytes
+	flits := make([]Flit, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * flitBytes
+		hi := lo + flitBytes
+		if hi > len(wire) {
+			hi = len(wire)
+		}
+		f := Flit{
+			PktID: p.ID,
+			VC:    vc,
+			Head:  i == 0,
+			Tail:  i == n-1,
+			Data:  wire[lo:hi],
+		}
+		if f.Head {
+			f.Hdr = p.Header
+		}
+		flits = append(flits, f)
+	}
+	return flits
+}
+
+// Reassembler rebuilds packets from a contiguous flit stream. Wormhole
+// and store-and-forward switching both deliver the flits of one packet
+// contiguously on a given ejection port, so a single accumulation buffer
+// per port suffices.
+type Reassembler struct {
+	cur    []byte
+	curID  uint64
+	active bool
+}
+
+// Feed consumes one flit. When the flit completes a packet, the decoded
+// packet is returned. Errors indicate fabric bugs (interleaving or
+// corruption) and are fatal in tests.
+func (r *Reassembler) Feed(f Flit) (*Packet, error) {
+	if f.Head {
+		if r.active {
+			return nil, fmt.Errorf("transport: head flit of pkt#%d interleaved into pkt#%d", f.PktID, r.curID)
+		}
+		r.active = true
+		r.curID = f.PktID
+		r.cur = r.cur[:0]
+	} else {
+		if !r.active {
+			return nil, fmt.Errorf("transport: body flit of pkt#%d with no packet in progress", f.PktID)
+		}
+		if f.PktID != r.curID {
+			return nil, fmt.Errorf("transport: flit of pkt#%d interleaved into pkt#%d", f.PktID, r.curID)
+		}
+	}
+	r.cur = append(r.cur, f.Data...)
+	if !f.Tail {
+		return nil, nil
+	}
+	r.active = false
+	hdr, err := DecodeHeader(r.cur)
+	if err != nil {
+		return nil, err
+	}
+	if int(hdr.PayloadLen) != len(r.cur)-HeaderBytes {
+		return nil, fmt.Errorf("transport: pkt#%d declares %d payload bytes, carries %d",
+			f.PktID, hdr.PayloadLen, len(r.cur)-HeaderBytes)
+	}
+	pkt := &Packet{Header: hdr, ID: f.PktID}
+	if hdr.PayloadLen > 0 {
+		pkt.Payload = append([]byte(nil), r.cur[HeaderBytes:]...)
+	}
+	return pkt, nil
+}
+
+// FlitCount returns how many flits a packet of wireBytes needs.
+func FlitCount(wireBytes, flitBytes int) int {
+	return (wireBytes + flitBytes - 1) / flitBytes
+}

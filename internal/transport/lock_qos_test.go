@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"testing"
+
+	"gonoc/internal/noctypes"
+	"gonoc/internal/sim"
+)
+
+func lockedPkt(src, dst noctypes.NodeID, unlock bool) *Packet {
+	return &Packet{Header: Header{
+		Kind: KindReq, Dst: dst, Src: src,
+		Priority: noctypes.PrioDefault,
+		Locked:   true, Unlock: unlock,
+	}}
+}
+
+func TestLockTokenSerializesHolders(t *testing.T) {
+	tn := newXbar(NetConfig{LegacyLock: true}, 1, 2, 3)
+	if !tn.net.TryAcquireLock(1) {
+		t.Fatal("first acquire failed")
+	}
+	if tn.net.TryAcquireLock(2) {
+		t.Fatal("second master acquired held token")
+	}
+	if !tn.net.TryAcquireLock(1) {
+		t.Fatal("re-acquire by holder failed")
+	}
+	if h, held := tn.net.LockHolder(); !held || h != 1 {
+		t.Fatalf("holder = %v,%v", h, held)
+	}
+	tn.net.ReleaseLock(1)
+	if !tn.net.TryAcquireLock(2) {
+		t.Fatal("acquire after release failed")
+	}
+	tn.net.ReleaseLock(2)
+}
+
+func TestLockTokenDisabled(t *testing.T) {
+	tn := newXbar(NetConfig{LegacyLock: false}, 1, 2)
+	if tn.net.TryAcquireLock(1) {
+		t.Fatal("lock token available with LegacyLock disabled")
+	}
+}
+
+func TestLockReleaseByNonOwnerPanics(t *testing.T) {
+	tn := newXbar(NetConfig{LegacyLock: true}, 1, 2)
+	tn.net.TryAcquireLock(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-owner release did not panic")
+		}
+	}()
+	tn.net.ReleaseLock(2)
+}
+
+// TestLockPathReservation is the §3 claim in miniature: after a locked
+// packet traverses a switch output, other sources cannot use that output
+// until the unlock packet passes — READEX/LOCK impacts the transport
+// layer.
+func TestLockPathReservation(t *testing.T) {
+	tn := newXbar(NetConfig{LegacyLock: true}, 1, 2, 3)
+	a, b, c := tn.net.Endpoint(1), tn.net.Endpoint(2), tn.net.Endpoint(3)
+
+	// Master 1 opens a locked sequence to target 3.
+	tn.net.TryAcquireLock(1)
+	if !a.TrySend(lockedPkt(1, 3, false)) {
+		t.Fatal("locked send refused")
+	}
+	tn.runUntilDrained(t, 100)
+	if _, ok := c.Recv(); !ok {
+		t.Fatal("locked packet not delivered")
+	}
+
+	// Master 2 now tries to reach target 3: must stall on the reserved
+	// output even though the fabric is otherwise idle.
+	if !b.TrySend(pkt(2, 3, "victim")) {
+		t.Fatal("victim send refused")
+	}
+	for i := 0; i < 50; i++ {
+		tn.clk.RunCycles(1)
+	}
+	if _, ok := c.Recv(); ok {
+		t.Fatal("victim packet delivered through a locked output")
+	}
+
+	// Master 1 unlocks; the victim must now get through.
+	if !a.TrySend(lockedPkt(1, 3, true)) {
+		t.Fatal("unlock send refused")
+	}
+	tn.runUntilDrained(t, 200)
+	tn.net.ReleaseLock(1)
+	got := 0
+	for {
+		if _, ok := c.Recv(); !ok {
+			break
+		}
+		got++
+	}
+	if got != 2 { // unlock packet + victim
+		t.Fatalf("target received %d packets after unlock, want 2", got)
+	}
+	// The switch recorded lock-induced stalls.
+	if tn.net.Routers()[0].Stats().LockStalls == 0 {
+		t.Fatal("no lock stalls recorded")
+	}
+}
+
+// TestLockDoesNotBlockDisjointTraffic: a locked path reserves only its own
+// outputs; flows avoiding those outputs proceed.
+func TestLockDoesNotBlockDisjointTraffic(t *testing.T) {
+	tn := newXbar(NetConfig{LegacyLock: true}, 1, 2, 3, 4)
+	a, b := tn.net.Endpoint(1), tn.net.Endpoint(2)
+
+	tn.net.TryAcquireLock(1)
+	a.TrySend(lockedPkt(1, 3, false))
+	tn.runUntilDrained(t, 100)
+	tn.net.Endpoint(3).Recv()
+
+	// 2 -> 4 avoids the locked output (xbar port 3 is locked, port 4 not).
+	b.TrySend(pkt(2, 4, "bystander"))
+	tn.runUntilDrained(t, 100)
+	if _, ok := tn.net.Endpoint(4).Recv(); !ok {
+		t.Fatal("disjoint flow blocked by unrelated lock")
+	}
+
+	a.TrySend(lockedPkt(1, 3, true))
+	tn.runUntilDrained(t, 100)
+	tn.net.ReleaseLock(1)
+}
+
+// TestQoSPriorityWins: under sustained contention for one output, urgent
+// packets must see lower latency than low-priority packets when QoS is
+// enabled, and roughly equal latency when disabled.
+func TestQoSPriorityArbitration(t *testing.T) {
+	run := func(qos bool) (loAvg, hiAvg float64) {
+		k := sim.NewKernel()
+		clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+		net := NewCrossbar(clk, NetConfig{QoS: qos, MaxPendingPkts: 8}, []noctypes.NodeID{1, 2, 3})
+		var loSum, hiSum, loN, hiN int64
+		net.OnTransit = func(r TransitRecord) {
+			if r.Pkt.Priority == noctypes.PrioUrgent {
+				hiSum += r.TotalLatency()
+				hiN++
+			} else {
+				loSum += r.TotalLatency()
+				loN++
+			}
+		}
+		mk := func(src noctypes.NodeID, pri noctypes.Priority) *Packet {
+			return &Packet{Header: Header{Kind: KindReq, Dst: 3, Src: src, Priority: pri},
+				Payload: make([]byte, 32)}
+		}
+		// Offered-load phase: both classes saturate the single output.
+		for cycle := 0; cycle < 1500; cycle++ {
+			net.Endpoint(1).TrySend(mk(1, noctypes.PrioLow))
+			net.Endpoint(2).TrySend(mk(2, noctypes.PrioUrgent))
+			clk.RunCycles(1)
+			for {
+				if _, ok := net.Endpoint(3).Recv(); !ok {
+					break
+				}
+			}
+		}
+		// Drain phase: stop offering so starved low-priority packets
+		// finally complete and get measured.
+		for cycle := 0; cycle < 20000 && !net.Drained(); cycle++ {
+			clk.RunCycles(1)
+			for {
+				if _, ok := net.Endpoint(3).Recv(); !ok {
+					break
+				}
+			}
+		}
+		if loN == 0 || hiN == 0 {
+			t.Fatalf("qos=%v: no traffic measured (lo=%d hi=%d)", qos, loN, hiN)
+		}
+		return float64(loSum) / float64(loN), float64(hiSum) / float64(hiN)
+	}
+
+	lo, hi := run(true)
+	if hi >= lo {
+		t.Fatalf("QoS on: urgent latency %.1f not better than low %.1f", hi, lo)
+	}
+	loOff, hiOff := run(false)
+	ratio := hiOff / loOff
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("QoS off: latencies should be comparable, got lo=%.1f hi=%.1f", loOff, hiOff)
+	}
+}
+
+// TestSwitchingModeTransactionInvisible is E3 in miniature: the set of
+// delivered (src, dst, payload) triples is identical under wormhole and
+// store-and-forward; only timing differs.
+func TestSwitchingModeTransactionInvisible(t *testing.T) {
+	deliver := func(mode SwitchingMode) map[string]bool {
+		k := sim.NewKernel()
+		clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+		nodes := map[noctypes.NodeID]Coord{0: {0, 0}, 1: {1, 0}, 2: {0, 1}, 3: {1, 1}}
+		net := NewMesh(clk, NetConfig{Mode: mode, BufDepth: 32}, MeshSpec{W: 2, H: 2, Nodes: nodes})
+		got := map[string]bool{}
+		rng := sim.NewRNG(42)
+		var sends []*Packet
+		for i := 0; i < 40; i++ {
+			s := noctypes.NodeID(rng.Intn(4))
+			d := noctypes.NodeID(rng.Intn(4))
+			if s == d {
+				continue
+			}
+			payload := make([]byte, rng.Range(0, 40))
+			rng.Read(payload)
+			p := &Packet{Header: Header{Kind: KindReq, Dst: d, Src: s}, Payload: payload}
+			sends = append(sends, p)
+		}
+		i := 0
+		for cycle := 0; cycle < 5000; cycle++ {
+			for i < len(sends) && net.Endpoint(sends[i].Src).TrySend(sends[i]) {
+				i++
+			}
+			clk.RunCycles(1)
+			for id := noctypes.NodeID(0); id < 4; id++ {
+				for {
+					p, ok := net.Endpoint(id).Recv()
+					if !ok {
+						break
+					}
+					got[string(rune(p.Src))+string(rune(p.Dst))+string(p.Payload)] = true
+				}
+			}
+			if i == len(sends) && net.Drained() {
+				break
+			}
+		}
+		return got
+	}
+	wh, saf := deliver(Wormhole), deliver(StoreAndForward)
+	if len(wh) == 0 || len(wh) != len(saf) {
+		t.Fatalf("delivered sets differ in size: %d vs %d", len(wh), len(saf))
+	}
+	for k := range wh {
+		if !saf[k] {
+			t.Fatal("delivered sets differ in content")
+		}
+	}
+}

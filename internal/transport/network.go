@@ -1,0 +1,308 @@
+package transport
+
+import (
+	"fmt"
+
+	"gonoc/internal/noctypes"
+	"gonoc/internal/sim"
+)
+
+// NetConfig parameterizes a whole fabric.
+type NetConfig struct {
+	FlitBytes      int // flit payload width in bytes (default 8)
+	BufDepth       int // per-lane buffer depth in flits (default 8; SAF needs >= max packet flits)
+	Mode           SwitchingMode
+	QoS            bool // priority arbitration in switches
+	MaxPendingPkts int  // per-endpoint send queue depth in packets (default 4)
+	LegacyLock     bool // enable the global legacy-lock token (READEX/LOCK support)
+}
+
+// withDefaults fills zero fields.
+func (c NetConfig) withDefaults() NetConfig {
+	if c.FlitBytes == 0 {
+		c.FlitBytes = 8
+	}
+	if c.BufDepth == 0 {
+		c.BufDepth = 8
+	}
+	if c.MaxPendingPkts == 0 {
+		c.MaxPendingPkts = 4
+	}
+	return c
+}
+
+// TransitRecord describes one packet's journey, reported via
+// Network.OnTransit when the tail flit is reassembled at the destination.
+type TransitRecord struct {
+	Pkt         *Packet
+	QueuedCycle int64 // cycle TrySend accepted the packet
+	InjectCycle int64 // cycle the head flit entered the fabric
+	EjectCycle  int64 // cycle the tail flit completed reassembly
+	Hops        int
+}
+
+// NetworkLatency returns fabric cycles from injection to ejection.
+func (t TransitRecord) NetworkLatency() int64 { return t.EjectCycle - t.InjectCycle }
+
+// TotalLatency includes source queueing.
+func (t TransitRecord) TotalLatency() int64 { return t.EjectCycle - t.QueuedCycle }
+
+// LinkID identifies one switch output: the unit of path reservation.
+type LinkID struct {
+	Router int
+	Port   int
+}
+
+// Network is an assembled fabric: switches, links, and endpoints. Use a
+// topology builder (NewCrossbar, NewMesh, NewTree) to construct one.
+type Network struct {
+	clk *sim.Clock
+	cfg NetConfig
+
+	routers []*Router
+	adj     [][]int // adj[router][port] = downstream router index, -1 endpoint/unconnected
+	eps     map[noctypes.NodeID]*Endpoint
+	epOrder []noctypes.NodeID
+
+	nextPktID uint64
+
+	lockHeld  bool
+	lockOwner noctypes.NodeID
+
+	// OnTransit, when non-nil, observes every completed packet journey.
+	OnTransit func(TransitRecord)
+
+	injected, ejected uint64
+}
+
+func newNetwork(clk *sim.Clock, cfg NetConfig) *Network {
+	return &Network{clk: clk, cfg: cfg.withDefaults(), eps: make(map[noctypes.NodeID]*Endpoint)}
+}
+
+// Config returns the fabric configuration.
+func (n *Network) Config() NetConfig { return n.cfg }
+
+// Clock returns the fabric clock domain.
+func (n *Network) Clock() *sim.Clock { return n.clk }
+
+// Endpoint returns the endpoint for node, or nil.
+func (n *Network) Endpoint(node noctypes.NodeID) *Endpoint { return n.eps[node] }
+
+// Nodes returns attached node IDs in attach order.
+func (n *Network) Nodes() []noctypes.NodeID {
+	return append([]noctypes.NodeID(nil), n.epOrder...)
+}
+
+// Routers returns the fabric's switches.
+func (n *Network) Routers() []*Router { return n.routers }
+
+// Injected and Ejected return fabric-wide packet counts.
+func (n *Network) Injected() uint64 { return n.injected }
+func (n *Network) Ejected() uint64  { return n.ejected }
+
+// InFlight reports packets injected but not yet ejected.
+func (n *Network) InFlight() int { return int(n.injected - n.ejected) }
+
+// TryAcquireLock claims the global legacy-lock token for node. The token
+// serializes READEX/LOCK sequences fabric-wide (the AHB arbiter's HMASTLOCK
+// semantics transplanted to the NoC); switch-level path reservations do
+// the per-link blocking.
+func (n *Network) TryAcquireLock(node noctypes.NodeID) bool {
+	if !n.cfg.LegacyLock {
+		return false
+	}
+	if n.lockHeld {
+		return n.lockOwner == node
+	}
+	n.lockHeld = true
+	n.lockOwner = node
+	return true
+}
+
+// ReleaseLock releases the token; it panics on a non-owner release
+// (a protocol bug, not a runtime condition).
+func (n *Network) ReleaseLock(node noctypes.NodeID) {
+	if !n.lockHeld || n.lockOwner != node {
+		panic(fmt.Sprintf("transport: ReleaseLock by %v, holder %v (held=%v)", node, n.lockOwner, n.lockHeld))
+	}
+	n.lockHeld = false
+}
+
+// LockHolder returns the current token holder, if any.
+func (n *Network) LockHolder() (noctypes.NodeID, bool) { return n.lockOwner, n.lockHeld }
+
+// Path returns the switch outputs a packet from src to dst traverses.
+// Experiments use it to classify flows as crossing or avoiding a locked
+// path.
+func (n *Network) Path(src, dst noctypes.NodeID) []LinkID {
+	ep, ok := n.eps[src]
+	if !ok {
+		panic(fmt.Sprintf("transport: Path: unknown src %v", src))
+	}
+	if _, ok := n.eps[dst]; !ok {
+		panic(fmt.Sprintf("transport: Path: unknown dst %v", dst))
+	}
+	var path []LinkID
+	ri := ep.router.index
+	for hops := 0; ; hops++ {
+		if hops > len(n.routers)+1 {
+			panic("transport: Path: routing loop")
+		}
+		r := n.routers[ri]
+		port := r.routeFor(dst)
+		path = append(path, LinkID{Router: ri, Port: port})
+		next := n.adj[ri][port]
+		if next < 0 {
+			return path
+		}
+		ri = next
+	}
+}
+
+// Drained reports whether no packets are in flight and all endpoints have
+// empty send queues.
+func (n *Network) Drained() bool {
+	if n.InFlight() != 0 {
+		return false
+	}
+	for _, id := range n.epOrder {
+		if len(n.eps[id].sendQ) > 0 || len(n.eps[id].stage) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// attach creates and registers an endpoint on router r's port.
+func (n *Network) attach(node noctypes.NodeID, r *Router, port int) *Endpoint {
+	if _, dup := n.eps[node]; dup {
+		panic(fmt.Sprintf("transport: node %v attached twice", node))
+	}
+	ej := sim.NewPipe[Flit](n.clk, fmt.Sprintf("ej.%v", node), n.cfg.BufDepth)
+	r.connectOut(port, [NumVCs]*sim.Pipe[Flit]{ej, ej})
+	ep := &Endpoint{
+		net:      n,
+		node:     node,
+		router:   r,
+		port:     port,
+		ej:       ej,
+		recvQ:    sim.NewPipe[*Packet](n.clk, fmt.Sprintf("recv.%v", node), 64),
+		injTimes: make(map[uint64]int64),
+		qTimes:   make(map[uint64]int64),
+	}
+	n.clk.Register(ep)
+	n.eps[node] = ep
+	n.epOrder = append(n.epOrder, node)
+	return ep
+}
+
+// Endpoint is a node's attachment point: it serializes packets into flits
+// on the send side and reassembles flits into packets on the receive
+// side, at one flit per cycle in each direction.
+type Endpoint struct {
+	net    *Network
+	node   noctypes.NodeID
+	router *Router
+	port   int
+
+	stage   []Flit // staged by TrySend this cycle
+	sendQ   []Flit // committed, injecting one per cycle
+	pending int    // packets not yet fully injected
+
+	ej    *sim.Pipe[Flit]
+	reasm Reassembler
+	recvQ *sim.Pipe[*Packet]
+
+	injTimes map[uint64]int64 // pktID -> head-flit injection cycle
+	qTimes   map[uint64]int64 // pktID -> TrySend cycle
+}
+
+// ID returns the endpoint's node ID.
+func (ep *Endpoint) ID() noctypes.NodeID { return ep.node }
+
+// CanSend reports whether TrySend would accept a packet now.
+func (ep *Endpoint) CanSend() bool { return ep.pending < ep.net.cfg.MaxPendingPkts }
+
+// TrySend queues a packet for injection. It returns false under
+// backpressure. It panics if a store-and-forward fabric is given a packet
+// larger than switch buffers (a configuration error).
+func (ep *Endpoint) TrySend(p *Packet) bool {
+	if !ep.CanSend() {
+		return false
+	}
+	ep.net.nextPktID++
+	p.ID = ep.net.nextPktID
+	if p.Src != ep.node {
+		panic(fmt.Sprintf("transport: %v sending packet with Src=%v", ep.node, p.Src))
+	}
+	flits := Packetize(p, ep.net.cfg.FlitBytes)
+	if ep.net.cfg.Mode == StoreAndForward && len(flits) > ep.net.cfg.BufDepth {
+		panic(fmt.Sprintf("transport: SAF packet of %d flits exceeds BufDepth %d", len(flits), ep.net.cfg.BufDepth))
+	}
+	ep.stage = append(ep.stage, flits...)
+	ep.pending++
+	ep.qTimes[p.ID] = ep.net.clk.Cycle()
+	return true
+}
+
+// Recv pops the next received packet, if any.
+func (ep *Endpoint) Recv() (*Packet, bool) { return ep.recvQ.Pop() }
+
+// Eval implements sim.Clocked: inject one flit, eject one flit.
+func (ep *Endpoint) Eval(cycle int64) {
+	// Injection.
+	if len(ep.sendQ) > 0 {
+		f := ep.sendQ[0]
+		lane := ep.router.lanes[ep.port][f.VC]
+		if lane.CanPush(1) {
+			lane.Push(f)
+			ep.sendQ = ep.sendQ[1:]
+			if f.Head {
+				ep.injTimes[f.PktID] = cycle
+				ep.net.injected++
+			}
+			if f.Tail {
+				ep.pending--
+			}
+		}
+	}
+	// Ejection: only when the receive queue has room (backpressure).
+	if ep.recvQ.CanPush(1) {
+		if f, ok := ep.ej.Pop(); ok {
+			pkt, err := ep.reasm.Feed(f)
+			if err != nil {
+				panic(fmt.Sprintf("transport: %v: %v", ep.node, err))
+			}
+			if pkt != nil {
+				ep.net.ejected++
+				ep.recvQ.Push(pkt)
+				if ep.net.OnTransit != nil {
+					src := ep.net.eps[pkt.Src]
+					rec := TransitRecord{
+						Pkt:        pkt,
+						EjectCycle: cycle,
+						Hops:       int(f.Hops),
+					}
+					if src != nil {
+						rec.InjectCycle = src.injTimes[pkt.ID]
+						rec.QueuedCycle = src.qTimes[pkt.ID]
+						delete(src.injTimes, pkt.ID)
+						delete(src.qTimes, pkt.ID)
+					}
+					ep.net.OnTransit(rec)
+				} else if src := ep.net.eps[pkt.Src]; src != nil {
+					delete(src.injTimes, pkt.ID)
+					delete(src.qTimes, pkt.ID)
+				}
+			}
+		}
+	}
+}
+
+// Update implements sim.Clocked: commit this cycle's staged flits.
+func (ep *Endpoint) Update(cycle int64) {
+	if len(ep.stage) > 0 {
+		ep.sendQ = append(ep.sendQ, ep.stage...)
+		ep.stage = ep.stage[:0]
+	}
+}

@@ -1,0 +1,332 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gonoc/internal/noctypes"
+	"gonoc/internal/sim"
+)
+
+// testNet bundles a kernel, clock and network for transport tests.
+type testNet struct {
+	k   *sim.Kernel
+	clk *sim.Clock
+	net *Network
+}
+
+func newXbar(cfg NetConfig, nodes ...noctypes.NodeID) *testNet {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+	return &testNet{k: k, clk: clk, net: NewCrossbar(clk, cfg, nodes)}
+}
+
+func (tn *testNet) runUntilDrained(t *testing.T, maxCycles int64) {
+	t.Helper()
+	start := tn.clk.Cycle()
+	for tn.clk.Cycle()-start < maxCycles {
+		if tn.net.Drained() {
+			return
+		}
+		tn.clk.RunCycles(1)
+	}
+	t.Fatalf("network not drained after %d cycles (in flight: %d)", maxCycles, tn.net.InFlight())
+}
+
+func pkt(src, dst noctypes.NodeID, payload string) *Packet {
+	return &Packet{
+		Header:  Header{Kind: KindReq, Dst: dst, Src: src, Priority: noctypes.PrioDefault},
+		Payload: []byte(payload),
+	}
+}
+
+func TestCrossbarDelivery(t *testing.T) {
+	tn := newXbar(NetConfig{}, 1, 2)
+	a, b := tn.net.Endpoint(1), tn.net.Endpoint(2)
+	if !a.TrySend(pkt(1, 2, "hello fabric")) {
+		t.Fatal("TrySend refused on idle network")
+	}
+	tn.runUntilDrained(t, 100)
+	got, ok := b.Recv()
+	if !ok {
+		t.Fatal("nothing received")
+	}
+	if string(got.Payload) != "hello fabric" || got.Src != 1 {
+		t.Fatalf("received %v payload %q", got, got.Payload)
+	}
+	if _, ok := a.Recv(); ok {
+		t.Fatal("sender received its own packet")
+	}
+}
+
+func TestCrossbarBidirectional(t *testing.T) {
+	tn := newXbar(NetConfig{}, 1, 2)
+	tn.net.Endpoint(1).TrySend(pkt(1, 2, "ping"))
+	tn.net.Endpoint(2).TrySend(pkt(2, 1, "pong"))
+	tn.runUntilDrained(t, 200)
+	if p, ok := tn.net.Endpoint(2).Recv(); !ok || string(p.Payload) != "ping" {
+		t.Fatal("ping lost")
+	}
+	if p, ok := tn.net.Endpoint(1).Recv(); !ok || string(p.Payload) != "pong" {
+		t.Fatal("pong lost")
+	}
+}
+
+func TestBackpressureMaxPending(t *testing.T) {
+	tn := newXbar(NetConfig{MaxPendingPkts: 2}, 1, 2)
+	a := tn.net.Endpoint(1)
+	if !a.TrySend(pkt(1, 2, "one")) || !a.TrySend(pkt(1, 2, "two")) {
+		t.Fatal("first sends refused")
+	}
+	if a.TrySend(pkt(1, 2, "three")) {
+		t.Fatal("send beyond MaxPendingPkts accepted")
+	}
+	if a.CanSend() {
+		t.Fatal("CanSend true at limit")
+	}
+	tn.runUntilDrained(t, 200)
+	if !a.CanSend() {
+		t.Fatal("CanSend false after drain")
+	}
+}
+
+func TestPerSrcTagOrderPreserved(t *testing.T) {
+	tn := newXbar(NetConfig{}, 1, 2)
+	a, b := tn.net.Endpoint(1), tn.net.Endpoint(2)
+	const n = 20
+	sent := 0
+	var got []string
+	for cycle := 0; cycle < 2000 && len(got) < n; cycle++ {
+		if sent < n {
+			p := pkt(1, 2, fmt.Sprintf("m%02d", sent))
+			p.Tag = 5
+			if a.TrySend(p) {
+				sent++
+			}
+		}
+		tn.clk.RunCycles(1)
+		for {
+			p, ok := b.Recv()
+			if !ok {
+				break
+			}
+			got = append(got, string(p.Payload))
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("received %d/%d packets", len(got), n)
+	}
+	for i, s := range got {
+		if want := fmt.Sprintf("m%02d", i); s != want {
+			t.Fatalf("order violated at %d: got %q want %q (all: %v)", i, s, want, got)
+		}
+	}
+}
+
+func TestMeshAllPairs(t *testing.T) {
+	for _, mode := range []SwitchingMode{Wormhole, StoreAndForward} {
+		t.Run(mode.String(), func(t *testing.T) {
+			k := sim.NewKernel()
+			clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+			nodes := map[noctypes.NodeID]Coord{}
+			var ids []noctypes.NodeID
+			for y := 0; y < 3; y++ {
+				for x := 0; x < 3; x++ {
+					id := noctypes.NodeID(y*3 + x)
+					nodes[id] = Coord{x, y}
+					ids = append(ids, id)
+				}
+			}
+			cfg := NetConfig{Mode: mode, BufDepth: 16}
+			net := NewMesh(clk, cfg, MeshSpec{W: 3, H: 3, Nodes: nodes})
+
+			type key struct{ src, dst noctypes.NodeID }
+			want := map[key]bool{}
+			var sends []*Packet
+			for _, s := range ids {
+				for _, d := range ids {
+					if s == d {
+						continue
+					}
+					p := pkt(s, d, fmt.Sprintf("%d->%d", s, d))
+					sends = append(sends, p)
+					want[key{s, d}] = true
+				}
+			}
+			recvd := map[key]bool{}
+			i := 0
+			for cycle := 0; cycle < 5000 && len(recvd) < len(want); cycle++ {
+				for i < len(sends) {
+					p := sends[i]
+					if !net.Endpoint(p.Src).TrySend(p) {
+						break
+					}
+					i++
+				}
+				clk.RunCycles(1)
+				for _, id := range ids {
+					for {
+						p, ok := net.Endpoint(id).Recv()
+						if !ok {
+							break
+						}
+						if p.Dst != id {
+							t.Fatalf("misrouted: %v arrived at %v", p, id)
+						}
+						if want := fmt.Sprintf("%d->%d", p.Src, p.Dst); string(p.Payload) != want {
+							t.Fatalf("payload corrupted: %q want %q", p.Payload, want)
+						}
+						recvd[key{p.Src, p.Dst}] = true
+					}
+				}
+			}
+			if len(recvd) != len(want) {
+				t.Fatalf("%s: delivered %d/%d flows", mode, len(recvd), len(want))
+			}
+		})
+	}
+}
+
+func TestMeshXYPath(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+	nodes := map[noctypes.NodeID]Coord{
+		0: {0, 0}, 1: {2, 0}, 2: {0, 1}, 3: {2, 1},
+	}
+	net := NewMesh(clk, NetConfig{}, MeshSpec{W: 3, H: 2, Nodes: nodes})
+	// XY from (0,0) to (2,1): East, East, South, Local = 4 links.
+	path := net.Path(0, 3)
+	if len(path) != 4 {
+		t.Fatalf("path length = %d, want 4 (%v)", len(path), path)
+	}
+	last := path[len(path)-1]
+	if last.Port != portLocal {
+		t.Fatalf("path does not end at a local port: %v", path)
+	}
+	// Reverse path differs (YX vs XY asymmetry is fine; both are 4 links).
+	if rev := net.Path(3, 0); len(rev) != 4 {
+		t.Fatalf("reverse path length = %d", len(rev))
+	}
+}
+
+func TestTreeDelivery(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+	ids := []noctypes.NodeID{10, 11, 12, 13, 14, 15}
+	net := NewTree(clk, NetConfig{}, 2, ids)
+	tn := &testNet{k: k, clk: clk, net: net}
+
+	// Cross-leaf and intra-leaf traffic.
+	net.Endpoint(10).TrySend(pkt(10, 11, "intra"))
+	net.Endpoint(10).TrySend(pkt(10, 15, "cross"))
+	tn.runUntilDrained(t, 500)
+	if p, ok := net.Endpoint(11).Recv(); !ok || string(p.Payload) != "intra" {
+		t.Fatal("intra-leaf packet lost")
+	}
+	if p, ok := net.Endpoint(15).Recv(); !ok || string(p.Payload) != "cross" {
+		t.Fatal("cross-leaf packet lost")
+	}
+}
+
+func TestLargePayloadIntegrity(t *testing.T) {
+	tn := newXbar(NetConfig{BufDepth: 4}, 1, 2)
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	p := &Packet{Header: Header{Kind: KindReq, Dst: 2, Src: 1}, Payload: payload}
+	if !tn.net.Endpoint(1).TrySend(p) {
+		t.Fatal("send refused")
+	}
+	tn.runUntilDrained(t, 1000)
+	got, ok := tn.net.Endpoint(2).Recv()
+	if !ok {
+		t.Fatal("large packet lost")
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestSAFOversizePacketPanics(t *testing.T) {
+	tn := newXbar(NetConfig{Mode: StoreAndForward, BufDepth: 4}, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize SAF packet did not panic")
+		}
+	}()
+	tn.net.Endpoint(1).TrySend(&Packet{
+		Header:  Header{Dst: 2, Src: 1},
+		Payload: make([]byte, 100), // 116 wire bytes -> 15 flits > 4
+	})
+}
+
+func TestWrongSrcPanics(t *testing.T) {
+	tn := newXbar(NetConfig{}, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-src send did not panic")
+		}
+	}()
+	tn.net.Endpoint(1).TrySend(pkt(2, 1, "forged"))
+}
+
+func TestTransitRecords(t *testing.T) {
+	tn := newXbar(NetConfig{}, 1, 2)
+	var recs []TransitRecord
+	tn.net.OnTransit = func(r TransitRecord) { recs = append(recs, r) }
+	tn.net.Endpoint(1).TrySend(pkt(1, 2, "abc"))
+	tn.runUntilDrained(t, 100)
+	tn.net.Endpoint(2).Recv()
+	if len(recs) != 1 {
+		t.Fatalf("got %d transit records", len(recs))
+	}
+	r := recs[0]
+	if r.NetworkLatency() <= 0 || r.TotalLatency() < r.NetworkLatency() {
+		t.Fatalf("implausible latencies: %+v", r)
+	}
+	if r.Hops < 1 {
+		t.Fatalf("hops = %d", r.Hops)
+	}
+}
+
+func TestSAFSlowerThanWormholePerHop(t *testing.T) {
+	latency := func(mode SwitchingMode) int64 {
+		k := sim.NewKernel()
+		clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+		nodes := map[noctypes.NodeID]Coord{0: {0, 0}, 1: {3, 0}}
+		net := NewMesh(clk, NetConfig{Mode: mode, BufDepth: 32}, MeshSpec{W: 4, H: 1, Nodes: nodes})
+		var lat int64 = -1
+		net.OnTransit = func(r TransitRecord) { lat = r.NetworkLatency() }
+		p := &Packet{Header: Header{Dst: 1, Src: 0}, Payload: make([]byte, 64)} // 10 flits
+		net.Endpoint(0).TrySend(p)
+		for c := 0; c < 500 && lat < 0; c++ {
+			clk.RunCycles(1)
+		}
+		if lat < 0 {
+			t.Fatalf("%s: packet never arrived", mode)
+		}
+		return lat
+	}
+	wh, saf := latency(Wormhole), latency(StoreAndForward)
+	if saf <= wh {
+		t.Fatalf("store-and-forward (%d cyc) not slower than wormhole (%d cyc) on multi-hop multi-flit", saf, wh)
+	}
+}
+
+func TestNetworkAccessors(t *testing.T) {
+	tn := newXbar(NetConfig{}, 5, 6)
+	if len(tn.net.Nodes()) != 2 || len(tn.net.Routers()) != 1 {
+		t.Fatal("accessor counts wrong")
+	}
+	if tn.net.Endpoint(5).ID() != 5 {
+		t.Fatal("endpoint ID wrong")
+	}
+	if tn.net.Endpoint(99) != nil {
+		t.Fatal("phantom endpoint")
+	}
+	if tn.net.Config().FlitBytes != 8 {
+		t.Fatal("defaults not applied")
+	}
+}

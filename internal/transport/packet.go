@@ -1,0 +1,134 @@
+// Package transport implements the NoC transport layer: packet format,
+// flits, wormhole and store-and-forward switches, quality-of-service
+// arbitration, legacy-lock path reservation, and topology builders
+// (crossbar, mesh, tree).
+//
+// The transport layer is completely transaction-unaware (paper §1): it
+// imports no transaction-layer types. A packet carries the header triple
+// the paper names — destination SlvAddr, source MstAddr, Tag — plus a
+// priority, the lock flags, one byte of configuration-defined user bits
+// ("NoC services"), and an opaque payload. Whether the payload is a read,
+// a write burst, or anything else is invisible here; conversely the
+// transaction layer cannot tell whether the fabric switched its packets
+// wormhole or store-and-forward (experiment E3 proves this).
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gonoc/internal/noctypes"
+)
+
+// Kind distinguishes request packets (routed by SlvAddr) from response
+// packets (routed by MstAddr). The fabric treats both identically; the
+// kind exists so endpoints can demultiplex.
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindReq Kind = iota
+	KindRsp
+)
+
+// String renders a Kind.
+func (k Kind) String() string {
+	if k == KindReq {
+		return "REQ"
+	}
+	return "RSP"
+}
+
+// Header is the transport-visible part of a packet. Everything a switch
+// ever inspects lives here.
+type Header struct {
+	Kind       Kind
+	Dst        noctypes.NodeID // the paper's SlvAddr (or MstAddr for responses)
+	Src        noctypes.NodeID // the paper's MstAddr (or SlvAddr for responses)
+	Tag        noctypes.Tag    // the paper's Tag: per-(Src,Tag) order preserved
+	Priority   noctypes.Priority
+	Locked     bool  // member of a legacy lock sequence (transport-visible!)
+	Unlock     bool  // final member: releases path reservations
+	User       uint8 // NoC service bits; carried, never interpreted
+	PayloadLen uint32
+}
+
+// Packet is one transport-layer packet: a header plus opaque payload.
+type Packet struct {
+	Header
+	Payload []byte
+
+	// ID is a simulator-assigned unique identifier used for flit
+	// reassembly and tracing; it is not part of the wire format.
+	ID uint64
+}
+
+// Wire format constants.
+const (
+	HeaderBytes = 16
+	hdrMagic    = 0xC3
+)
+
+// Header flag bits in byte 1.
+const (
+	hfKindRsp = 1 << 0
+	hfLocked  = 1 << 1
+	hfUnlock  = 1 << 2
+)
+
+// EncodeHeader serializes the header into 16 wire bytes.
+func EncodeHeader(h *Header) []byte {
+	buf := make([]byte, HeaderBytes)
+	buf[0] = hdrMagic
+	var fl byte
+	if h.Kind == KindRsp {
+		fl |= hfKindRsp
+	}
+	if h.Locked {
+		fl |= hfLocked
+	}
+	if h.Unlock {
+		fl |= hfUnlock
+	}
+	buf[1] = fl
+	binary.LittleEndian.PutUint16(buf[2:4], uint16(h.Dst))
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(h.Src))
+	binary.LittleEndian.PutUint16(buf[6:8], uint16(h.Tag))
+	buf[8] = uint8(h.Priority)
+	buf[9] = h.User
+	binary.LittleEndian.PutUint32(buf[10:14], h.PayloadLen)
+	return buf
+}
+
+// DecodeHeader parses 16 wire bytes into a header.
+func DecodeHeader(buf []byte) (Header, error) {
+	var h Header
+	if len(buf) < HeaderBytes {
+		return h, fmt.Errorf("transport: header too short (%d bytes)", len(buf))
+	}
+	if buf[0] != hdrMagic {
+		return h, fmt.Errorf("transport: bad header magic %#x", buf[0])
+	}
+	fl := buf[1]
+	if fl&hfKindRsp != 0 {
+		h.Kind = KindRsp
+	}
+	h.Locked = fl&hfLocked != 0
+	h.Unlock = fl&hfUnlock != 0
+	h.Dst = noctypes.NodeID(binary.LittleEndian.Uint16(buf[2:4]))
+	h.Src = noctypes.NodeID(binary.LittleEndian.Uint16(buf[4:6]))
+	h.Tag = noctypes.Tag(binary.LittleEndian.Uint16(buf[6:8]))
+	h.Priority = noctypes.Priority(buf[8])
+	h.User = buf[9]
+	h.PayloadLen = binary.LittleEndian.Uint32(buf[10:14])
+	return h, nil
+}
+
+// WireBytes returns the packet's total wire size.
+func (p *Packet) WireBytes() int { return HeaderBytes + len(p.Payload) }
+
+// String renders a compact description.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s pkt#%d %s->%s %s prio=%s %dB",
+		p.Kind, p.ID, p.Src, p.Dst, p.Tag, p.Priority, len(p.Payload))
+}

@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gonoc/internal/noctypes"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		Kind: KindRsp, Dst: 3, Src: 9, Tag: 12,
+		Priority: noctypes.PrioHigh, Locked: true, Unlock: true,
+		User: 0xA5, PayloadLen: 1234,
+	}
+	got, err := DecodeHeader(EncodeHeader(&h))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", h, got)
+	}
+}
+
+func TestHeaderDecodeErrors(t *testing.T) {
+	if _, err := DecodeHeader([]byte{1, 2, 3}); err == nil {
+		t.Error("short header decoded")
+	}
+	bad := EncodeHeader(&Header{})
+	bad[0] = 0x00
+	if _, err := DecodeHeader(bad); err == nil {
+		t.Error("bad magic decoded")
+	}
+}
+
+func TestPacketizeSingleFlit(t *testing.T) {
+	p := &Packet{Header: Header{Dst: 1, Src: 2}, ID: 7}
+	flits := Packetize(p, 16) // header-only packet fits one 16B flit
+	if len(flits) != 1 || !flits[0].Head || !flits[0].Tail {
+		t.Fatalf("flits = %v", flits)
+	}
+	if flits[0].Hdr.Dst != 1 {
+		t.Fatal("head flit missing header copy")
+	}
+}
+
+func TestPacketizeMultiFlit(t *testing.T) {
+	p := &Packet{Header: Header{Dst: 1, Src: 2}, Payload: make([]byte, 20), ID: 7}
+	flits := Packetize(p, 8) // 36 wire bytes -> 5 flits
+	if len(flits) != 5 {
+		t.Fatalf("got %d flits, want 5", len(flits))
+	}
+	if !flits[0].Head || flits[0].Tail {
+		t.Fatal("first flit flags wrong")
+	}
+	for _, f := range flits[1:4] {
+		if f.Head || f.Tail {
+			t.Fatal("body flit flags wrong")
+		}
+	}
+	if flits[4].Head || !flits[4].Tail {
+		t.Fatal("tail flit flags wrong")
+	}
+	total := 0
+	for _, f := range flits {
+		total += len(f.Data)
+	}
+	if total != 36 {
+		t.Fatalf("flit bytes = %d, want 36", total)
+	}
+}
+
+func TestPacketizeVCAssignment(t *testing.T) {
+	normal := Packetize(&Packet{Header: Header{Dst: 1, Src: 2}}, 8)
+	if normal[0].VC != VCNormal {
+		t.Fatal("normal packet not on VCNormal")
+	}
+	locked := Packetize(&Packet{Header: Header{Dst: 1, Src: 2, Locked: true}}, 8)
+	if locked[0].VC != VCLocked {
+		t.Fatal("locked packet not on VCLocked")
+	}
+}
+
+func TestReassembleRoundTrip(t *testing.T) {
+	payload := []byte("the fabric is transaction-unaware")
+	p := &Packet{
+		Header:  Header{Kind: KindReq, Dst: 4, Src: 5, Tag: 6, Priority: noctypes.PrioUrgent, User: 0x01},
+		Payload: payload,
+		ID:      99,
+	}
+	var r Reassembler
+	var out *Packet
+	for _, f := range Packetize(p, 8) {
+		got, err := r.Feed(f)
+		if err != nil {
+			t.Fatalf("feed: %v", err)
+		}
+		if got != nil {
+			out = got
+		}
+	}
+	if out == nil {
+		t.Fatal("no packet reassembled")
+	}
+	if out.Dst != 4 || out.Src != 5 || out.Tag != 6 || out.User != 0x01 {
+		t.Fatalf("header mismatch: %+v", out.Header)
+	}
+	if !bytes.Equal(out.Payload, payload) {
+		t.Fatalf("payload mismatch: %q", out.Payload)
+	}
+	if out.ID != 99 {
+		t.Fatalf("ID = %d", out.ID)
+	}
+}
+
+func TestReassembleInterleaveDetected(t *testing.T) {
+	p1 := Packetize(&Packet{Header: Header{Dst: 1, Src: 2}, Payload: make([]byte, 20), ID: 1}, 8)
+	p2 := Packetize(&Packet{Header: Header{Dst: 1, Src: 3}, Payload: make([]byte, 20), ID: 2}, 8)
+	var r Reassembler
+	if _, err := r.Feed(p1[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Feed(p2[0]); err == nil {
+		t.Fatal("interleaved head not detected")
+	}
+	var r2 Reassembler
+	if _, err := r2.Feed(p1[1]); err == nil {
+		t.Fatal("body-without-head not detected")
+	}
+}
+
+func TestFlitCount(t *testing.T) {
+	cases := []struct{ wire, flit, want int }{
+		{16, 8, 2}, {17, 8, 3}, {8, 8, 1}, {1, 8, 1}, {100, 16, 7},
+	}
+	for _, c := range cases {
+		if got := FlitCount(c.wire, c.flit); got != c.want {
+			t.Errorf("FlitCount(%d,%d) = %d, want %d", c.wire, c.flit, got, c.want)
+		}
+	}
+}
+
+func TestFlitString(t *testing.T) {
+	f := Flit{Head: true, Tail: true}
+	if f.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Property: packetize/reassemble is the identity for any payload and any
+// flit width.
+func TestQuickPacketizeRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		widths := []int{1, 2, 4, 8, 16, 32}
+		p := &Packet{
+			Header: Header{
+				Kind:     Kind(rng.Intn(2)),
+				Dst:      noctypes.NodeID(rng.Intn(100)),
+				Src:      noctypes.NodeID(rng.Intn(100)),
+				Tag:      noctypes.Tag(rng.Intn(16)),
+				Priority: noctypes.Priority(rng.Intn(4)),
+				Locked:   rng.Intn(2) == 0,
+				User:     uint8(rng.Intn(256)),
+			},
+			Payload: make([]byte, rng.Intn(200)),
+			ID:      rng.Uint64(),
+		}
+		p.Unlock = p.Locked && rng.Intn(2) == 0
+		rng.Read(p.Payload)
+		var r Reassembler
+		var out *Packet
+		for _, f := range Packetize(p, widths[rng.Intn(len(widths))]) {
+			got, err := r.Feed(f)
+			if err != nil {
+				return false
+			}
+			if got != nil {
+				out = got
+			}
+		}
+		if out == nil {
+			return false
+		}
+		return out.Header == p.Header && bytes.Equal(out.Payload, p.Payload) && out.ID == p.ID
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

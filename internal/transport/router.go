@@ -1,0 +1,327 @@
+package transport
+
+import (
+	"fmt"
+
+	"gonoc/internal/noctypes"
+	"gonoc/internal/sim"
+)
+
+// SwitchingMode selects how switches handle packets. The paper's layering
+// claim (§1) is that this choice is invisible at the transaction level —
+// experiment E3 verifies exactly that.
+type SwitchingMode uint8
+
+const (
+	// Wormhole: a packet's flits stream through as soon as the head wins
+	// an output; buffers hold a few flits per hop.
+	Wormhole SwitchingMode = iota
+	// StoreAndForward: a switch buffers the entire packet before
+	// competing for an output; per-hop latency grows with packet length.
+	StoreAndForward
+)
+
+// String renders a SwitchingMode.
+func (m SwitchingMode) String() string {
+	if m == Wormhole {
+		return "wormhole"
+	}
+	return "store-and-forward"
+}
+
+// RouterConfig parameterizes one switch.
+type RouterConfig struct {
+	Mode     SwitchingMode
+	BufDepth int  // flit buffer depth per (input port, VC)
+	QoS      bool // priority-aware output arbitration; false = flat RR
+}
+
+type laneRef struct{ port, vc int }
+
+var noLane = laneRef{-1, -1}
+
+// RouterStats aggregates a switch's activity.
+type RouterStats struct {
+	FlitsMoved uint64
+	PktsMoved  uint64
+	LockStalls uint64   // allocation attempts denied by a lock reservation
+	BusyStalls uint64   // allocation attempts denied by a busy output
+	OutBusy    []uint64 // per-output busy (flit-moved) cycles
+}
+
+// Router is an N-port NoC switch. It owns its input buffers (one flit
+// Pipe per port per virtual channel); its outputs are references to the
+// downstream hop's input buffers or to an endpoint's ejection buffer.
+//
+// Arbitration: an output is held by one packet from head to tail
+// (wormhole) or for a buffered packet's full streaming (store-and-
+// forward). Free outputs are granted to the highest-priority competing
+// head flit (when QoS is on), round-robin across ports for fairness.
+//
+// Legacy-lock handling (paper §3: switches "take specific decisions when
+// they see LOCK-related packets"): when a lock-flagged packet's tail
+// passes an output, the output stays reserved for that packet's source
+// until an unlock-flagged packet's tail passes. Other sources' packets
+// cannot allocate a reserved output — the transport-level cost the
+// exclusive-access service avoids.
+type Router struct {
+	name  string
+	index int // position in the network's router list
+	cfg   RouterConfig
+
+	lanes    [][]*sim.Pipe[Flit] // [port][vc] input buffers (owned)
+	outs     [][]*sim.Pipe[Flit] // [port][vc] downstream buffers (referenced)
+	laneHdr  [][]Header          // [port][vc] header of packet in flight
+	laneAl   [][]int             // [port][vc] allocated output, -1
+	outHold  []laneRef           // per output: lane holding it
+	outFreed []bool              // freed this cycle; not reallocatable
+	outLock  []int32             // per output: locked-for source NodeID, -1
+	rr       []int               // per output: round-robin port pointer
+
+	table map[noctypes.NodeID]int
+
+	stats RouterStats
+}
+
+// newRouter creates a router with numPorts ports and allocates its input
+// buffers on clk. Builders wire outputs afterwards.
+func newRouter(clk *sim.Clock, name string, numPorts int, cfg RouterConfig) *Router {
+	if cfg.BufDepth <= 0 {
+		panic(fmt.Sprintf("transport: router %q: BufDepth must be positive", name))
+	}
+	r := &Router{
+		name:  name,
+		cfg:   cfg,
+		table: make(map[noctypes.NodeID]int),
+	}
+	r.lanes = make([][]*sim.Pipe[Flit], numPorts)
+	r.outs = make([][]*sim.Pipe[Flit], numPorts)
+	r.laneHdr = make([][]Header, numPorts)
+	r.laneAl = make([][]int, numPorts)
+	for p := 0; p < numPorts; p++ {
+		r.lanes[p] = make([]*sim.Pipe[Flit], NumVCs)
+		r.outs[p] = make([]*sim.Pipe[Flit], NumVCs)
+		r.laneHdr[p] = make([]Header, NumVCs)
+		r.laneAl[p] = make([]int, NumVCs)
+		for v := 0; v < NumVCs; v++ {
+			r.lanes[p][v] = sim.NewPipe[Flit](clk, fmt.Sprintf("%s.in%d.vc%d", name, p, v), cfg.BufDepth)
+			r.laneAl[p][v] = -1
+		}
+	}
+	r.outHold = make([]laneRef, numPorts)
+	r.outFreed = make([]bool, numPorts)
+	r.outLock = make([]int32, numPorts)
+	r.rr = make([]int, numPorts)
+	for o := range r.outHold {
+		r.outHold[o] = noLane
+		r.outLock[o] = -1
+	}
+	r.stats.OutBusy = make([]uint64, numPorts)
+	clk.Register(r)
+	return r
+}
+
+// Name returns the router's name.
+func (r *Router) Name() string { return r.name }
+
+// Ports returns the number of ports.
+func (r *Router) Ports() int { return len(r.lanes) }
+
+// Stats returns a copy of the router's counters.
+func (r *Router) Stats() RouterStats {
+	s := r.stats
+	s.OutBusy = append([]uint64(nil), r.stats.OutBusy...)
+	return s
+}
+
+// setRoute declares that packets for node leave through port.
+func (r *Router) setRoute(node noctypes.NodeID, port int) {
+	if port < 0 || port >= len(r.lanes) {
+		panic(fmt.Sprintf("transport: router %q: route %v -> bad port %d", r.name, node, port))
+	}
+	r.table[node] = port
+}
+
+// routeFor returns the output port for a destination. Unroutable
+// destinations are topology-construction bugs and panic.
+func (r *Router) routeFor(dst noctypes.NodeID) int {
+	p, ok := r.table[dst]
+	if !ok {
+		panic(fmt.Sprintf("transport: router %q has no route to %v", r.name, dst))
+	}
+	return p
+}
+
+// connectOut wires output port o to the given per-VC downstream buffers.
+func (r *Router) connectOut(o int, vcBufs [NumVCs]*sim.Pipe[Flit]) {
+	for v := 0; v < NumVCs; v++ {
+		r.outs[o][v] = vcBufs[v]
+	}
+}
+
+// Eval implements sim.Clocked: one cycle of switch operation.
+func (r *Router) Eval(cycle int64) {
+	// Phase 1: continuing packets move one flit toward their held output.
+	for o := range r.outHold {
+		ln := r.outHold[o]
+		if ln == noLane {
+			continue
+		}
+		r.moveFlit(o, ln)
+	}
+
+	// Phase 2: allocate outputs that were free at cycle start.
+	for o := range r.outHold {
+		if r.outHold[o] != noLane || r.outFreed[o] {
+			continue
+		}
+		if r.outs[o][VCNormal] == nil {
+			continue // unconnected port (mesh edge)
+		}
+		win := r.arbitrate(o)
+		if win == noLane {
+			continue
+		}
+		f, _ := r.lanes[win.port][win.vc].Peek()
+		r.outHold[o] = win
+		r.laneAl[win.port][win.vc] = o
+		r.laneHdr[win.port][win.vc] = f.Hdr
+		r.rr[o] = win.port + 1
+		r.moveFlit(o, win)
+	}
+}
+
+// Update implements sim.Clocked.
+func (r *Router) Update(cycle int64) {
+	for o := range r.outFreed {
+		r.outFreed[o] = false
+	}
+}
+
+// moveFlit attempts to forward one flit from lane ln through output o,
+// handling tail release and lock reservation bookkeeping.
+func (r *Router) moveFlit(o int, ln laneRef) {
+	lane := r.lanes[ln.port][ln.vc]
+	f, ok := lane.Peek()
+	if !ok {
+		return // wormhole bubble: body flits not yet arrived
+	}
+	dst := r.outs[o][f.VC]
+	if dst == nil {
+		panic(fmt.Sprintf("transport: router %q output %d has no VC%d buffer", r.name, o, f.VC))
+	}
+	if !dst.CanPush(1) {
+		return // downstream backpressure
+	}
+	lane.Pop()
+	f.Hops++
+	if !dst.Push(f) {
+		panic("transport: push failed after CanPush")
+	}
+	r.stats.FlitsMoved++
+	r.stats.OutBusy[o]++
+	if f.Tail {
+		r.stats.PktsMoved++
+		hdr := r.laneHdr[ln.port][ln.vc]
+		r.outHold[o] = noLane
+		r.outFreed[o] = true
+		r.laneAl[ln.port][ln.vc] = -1
+		// Lock reservations persist between the packets of a locked
+		// sequence and dissolve when the unlocking packet's tail passes.
+		if hdr.Locked {
+			if hdr.Unlock {
+				r.outLock[o] = -1
+			} else {
+				r.outLock[o] = int32(hdr.Src)
+			}
+		}
+	}
+}
+
+// ready reports whether the lane at (port,vc) has a packet ready to
+// request an output: a committed head flit, and — in store-and-forward
+// mode — the packet's tail already buffered.
+func (r *Router) ready(port, vc int) (Flit, bool) {
+	lane := r.lanes[port][vc]
+	f, ok := lane.Peek()
+	if !ok || !f.Head {
+		return Flit{}, false
+	}
+	if r.cfg.Mode == StoreAndForward && !f.Tail {
+		found := false
+		for i := 1; i < lane.Len(); i++ {
+			g, _ := lane.PeekAt(i)
+			if g.Tail {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Flit{}, false
+		}
+	}
+	return f, true
+}
+
+// arbitrate picks the winning lane for free output o, or noLane.
+func (r *Router) arbitrate(o int) laneRef {
+	type cand struct {
+		ln  laneRef
+		pri noctypes.Priority
+	}
+	var cands []cand
+	for p := range r.lanes {
+		for v := 0; v < NumVCs; v++ {
+			if r.laneAl[p][v] != -1 {
+				continue
+			}
+			f, ok := r.ready(p, v)
+			if !ok {
+				continue
+			}
+			if r.routeFor(f.Hdr.Dst) != o {
+				continue
+			}
+			if lk := r.outLock[o]; lk >= 0 && noctypes.NodeID(lk) != f.Hdr.Src {
+				r.stats.LockStalls++
+				continue
+			}
+			cands = append(cands, cand{laneRef{p, v}, f.Hdr.Priority})
+		}
+	}
+	if len(cands) == 0 {
+		return noLane
+	}
+	// QoS: restrict to the highest priority present.
+	if r.cfg.QoS {
+		var max noctypes.Priority
+		for _, c := range cands {
+			if c.pri > max {
+				max = c.pri
+			}
+		}
+		kept := cands[:0]
+		for _, c := range cands {
+			if c.pri == max {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
+	// Round-robin across ports starting at rr[o]; VCLocked beats VCNormal
+	// on the same port so unlocking packets are never starved.
+	best := noLane
+	bestRank := 1 << 30
+	n := len(r.lanes)
+	for _, c := range cands {
+		rank := ((c.ln.port-r.rr[o])%n+n)%n*NumVCs + (NumVCs - 1 - c.ln.vc)
+		if rank < bestRank {
+			bestRank = rank
+			best = c.ln
+		}
+	}
+	if len(cands) > 1 {
+		r.stats.BusyStalls += uint64(len(cands) - 1)
+	}
+	return best
+}

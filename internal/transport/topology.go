@@ -1,0 +1,194 @@
+package transport
+
+import (
+	"fmt"
+
+	"gonoc/internal/noctypes"
+	"gonoc/internal/sim"
+)
+
+// This file builds fabrics. Topology choice is a transport-layer concern
+// invisible to the transaction layer; all builders produce the same
+// Network/Endpoint API.
+
+// NewCrossbar builds a single-switch fabric: every node one hop from
+// every other. This is the smallest real NoC and the default fabric for
+// unit tests.
+func NewCrossbar(clk *sim.Clock, cfg NetConfig, nodes []noctypes.NodeID) *Network {
+	n := newNetwork(clk, cfg)
+	r := newRouter(clk, "xbar", len(nodes), RouterConfig{Mode: n.cfg.Mode, BufDepth: n.cfg.BufDepth, QoS: n.cfg.QoS})
+	r.index = 0
+	n.routers = []*Router{r}
+	n.adj = [][]int{make([]int, len(nodes))}
+	for i, node := range nodes {
+		n.adj[0][i] = -1
+		r.setRoute(node, i)
+		n.attach(node, r, i)
+	}
+	return n
+}
+
+// Coord places a node on a mesh.
+type Coord struct{ X, Y int }
+
+// MeshSpec describes a W x H mesh with one endpoint per router.
+type MeshSpec struct {
+	W, H  int
+	Nodes map[noctypes.NodeID]Coord
+}
+
+// Mesh port indices.
+const (
+	portLocal = 0
+	portEast  = 1
+	portWest  = 2
+	portNorth = 3 // -Y
+	portSouth = 4 // +Y
+	meshPorts = 5
+)
+
+// NewMesh builds a 2-D mesh with dimension-ordered (XY) routing, which is
+// deadlock-free for wormhole switching. Y grows downward.
+func NewMesh(clk *sim.Clock, cfg NetConfig, spec MeshSpec) *Network {
+	if spec.W <= 0 || spec.H <= 0 {
+		panic("transport: mesh dimensions must be positive")
+	}
+	n := newNetwork(clk, cfg)
+	rcfg := RouterConfig{Mode: n.cfg.Mode, BufDepth: n.cfg.BufDepth, QoS: n.cfg.QoS}
+	idx := func(x, y int) int { return y*spec.W + x }
+
+	n.routers = make([]*Router, spec.W*spec.H)
+	n.adj = make([][]int, spec.W*spec.H)
+	for y := 0; y < spec.H; y++ {
+		for x := 0; x < spec.W; x++ {
+			r := newRouter(clk, fmt.Sprintf("r%d.%d", x, y), meshPorts, rcfg)
+			r.index = idx(x, y)
+			n.routers[r.index] = r
+			n.adj[r.index] = []int{-1, -1, -1, -1, -1}
+		}
+	}
+	// Wire neighbour links: output port of A is the matching input lanes
+	// of B.
+	for y := 0; y < spec.H; y++ {
+		for x := 0; x < spec.W; x++ {
+			r := n.routers[idx(x, y)]
+			if x+1 < spec.W {
+				e := n.routers[idx(x+1, y)]
+				r.connectOut(portEast, [NumVCs]*sim.Pipe[Flit]{e.lanes[portWest][0], e.lanes[portWest][1]})
+				n.adj[r.index][portEast] = e.index
+				e.connectOut(portWest, [NumVCs]*sim.Pipe[Flit]{r.lanes[portEast][0], r.lanes[portEast][1]})
+				n.adj[e.index][portWest] = r.index
+			}
+			if y+1 < spec.H {
+				s := n.routers[idx(x, y+1)]
+				r.connectOut(portSouth, [NumVCs]*sim.Pipe[Flit]{s.lanes[portNorth][0], s.lanes[portNorth][1]})
+				n.adj[r.index][portSouth] = s.index
+				s.connectOut(portNorth, [NumVCs]*sim.Pipe[Flit]{r.lanes[portSouth][0], r.lanes[portSouth][1]})
+				n.adj[s.index][portNorth] = r.index
+			}
+		}
+	}
+	// Routing tables: XY (X first, then Y), then local.
+	for node, c := range spec.Nodes {
+		if c.X < 0 || c.X >= spec.W || c.Y < 0 || c.Y >= spec.H {
+			panic(fmt.Sprintf("transport: node %v placed off-mesh at (%d,%d)", node, c.X, c.Y))
+		}
+	}
+	for y := 0; y < spec.H; y++ {
+		for x := 0; x < spec.W; x++ {
+			r := n.routers[idx(x, y)]
+			for node, c := range spec.Nodes {
+				switch {
+				case c.X > x:
+					r.setRoute(node, portEast)
+				case c.X < x:
+					r.setRoute(node, portWest)
+				case c.Y > y:
+					r.setRoute(node, portSouth)
+				case c.Y < y:
+					r.setRoute(node, portNorth)
+				default:
+					r.setRoute(node, portLocal)
+				}
+			}
+		}
+	}
+	// Attach endpoints in a deterministic order.
+	for _, node := range sortedNodes(spec.Nodes) {
+		c := spec.Nodes[node]
+		n.attach(node, n.routers[idx(c.X, c.Y)], portLocal)
+	}
+	return n
+}
+
+func sortedNodes(m map[noctypes.NodeID]Coord) []noctypes.NodeID {
+	out := make([]noctypes.NodeID, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// NewTree builds a two-level tree: leaf switches host up to fanout
+// endpoints each and connect to one root switch. Cycle-free, so
+// deadlock-free; the root is the bandwidth bottleneck by construction —
+// useful for QoS experiments.
+func NewTree(clk *sim.Clock, cfg NetConfig, fanout int, nodes []noctypes.NodeID) *Network {
+	if fanout <= 0 {
+		panic("transport: tree fanout must be positive")
+	}
+	n := newNetwork(clk, cfg)
+	rcfg := RouterConfig{Mode: n.cfg.Mode, BufDepth: n.cfg.BufDepth, QoS: n.cfg.QoS}
+
+	numLeaves := (len(nodes) + fanout - 1) / fanout
+	root := newRouter(clk, "root", numLeaves, rcfg)
+	root.index = 0
+	n.routers = append(n.routers, root)
+	n.adj = append(n.adj, make([]int, numLeaves))
+
+	for l := 0; l < numLeaves; l++ {
+		lo := l * fanout
+		hi := lo + fanout
+		if hi > len(nodes) {
+			hi = len(nodes)
+		}
+		local := nodes[lo:hi]
+		leaf := newRouter(clk, fmt.Sprintf("leaf%d", l), len(local)+1, rcfg)
+		leaf.index = len(n.routers)
+		n.routers = append(n.routers, leaf)
+		n.adj = append(n.adj, make([]int, len(local)+1))
+		upPort := len(local)
+
+		// Leaf <-> root links.
+		leaf.connectOut(upPort, [NumVCs]*sim.Pipe[Flit]{root.lanes[l][0], root.lanes[l][1]})
+		n.adj[leaf.index][upPort] = 0
+		root.connectOut(l, [NumVCs]*sim.Pipe[Flit]{leaf.lanes[upPort][0], leaf.lanes[upPort][1]})
+		n.adj[0][l] = leaf.index
+
+		for i, node := range local {
+			n.adj[leaf.index][i] = -1
+			leaf.setRoute(node, i)
+			root.setRoute(node, l)
+			n.attach(node, leaf, i)
+		}
+		// Non-local destinations leave through the up port.
+		for _, other := range nodes {
+			isLocal := false
+			for _, ln := range local {
+				if ln == other {
+					isLocal = true
+					break
+				}
+			}
+			if !isLocal {
+				leaf.setRoute(other, upPort)
+			}
+		}
+	}
+	return n
+}
