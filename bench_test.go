@@ -1,5 +1,5 @@
 // Package gonoc_test holds the repository-level benchmark harness: one
-// benchmark per experiment table/figure in DESIGN.md §3 / EXPERIMENTS.md.
+// benchmark per experiment table/figure (E1–E10; see README.md).
 // Each benchmark runs the corresponding experiment end to end and reports
 // the headline simulated-cycle metrics alongside wall-clock ns/op, so
 // `go test -bench=. -benchmem` regenerates every result.
@@ -11,6 +11,7 @@ import (
 	"gonoc/internal/experiments"
 	"gonoc/internal/noctypes"
 	"gonoc/internal/soc"
+	"gonoc/internal/traffic"
 	"gonoc/internal/transport"
 )
 
@@ -151,4 +152,32 @@ func BenchmarkFabricPacketRate(b *testing.B) {
 		s.Clk.RunCycles(100)
 	}
 	b.ReportMetric(float64(s.Net.Injected()), "pkts")
+}
+
+// BenchmarkE10TrafficSweep runs the latency-vs-offered-load sweeps and
+// reports the measured saturation throughputs as benchmark metrics.
+func BenchmarkE10TrafficSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E10TrafficSweep(int64(i + 1))
+		if r.MeshSatTput >= r.CrossbarSatTput {
+			b.Fatal("mesh did not saturate below crossbar")
+		}
+		b.ReportMetric(r.CrossbarSatTput, "xbar-sat-tput")
+		b.ReportMetric(r.MeshSatTput, "mesh-sat-tput")
+	}
+}
+
+// BenchmarkTrafficUniformMesh measures the traffic engine itself: one
+// open-loop uniform-random run on a 4x4 mesh per iteration.
+func BenchmarkTrafficUniformMesh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := traffic.Run(traffic.Config{
+			Seed: int64(i + 1), Nodes: 16, Topology: traffic.Mesh,
+			Pattern: traffic.UniformRandom, Rate: 0.05,
+			Warmup: 300, Measure: 1500, Drain: 8000,
+		})
+		if res.Latency.Count == 0 {
+			b.Fatal("no transactions measured")
+		}
+	}
 }

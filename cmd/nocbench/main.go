@@ -1,24 +1,32 @@
-// Command nocbench runs the full reproduction suite — every experiment in
-// DESIGN.md §3 — and prints the paper-style tables recorded in
-// EXPERIMENTS.md.
+// Command nocbench runs the full reproduction suite — experiments E1–E10,
+// described in the package docs of internal/experiments and summarized in
+// the top-level README.md — and prints the paper-style tables.
+//
+// With -json the same tables are emitted as one machine-readable JSON
+// document, so CI can record benchmark trajectories (BENCH_*.json) and
+// diff them across commits.
 //
 // Usage:
 //
-//	nocbench [-seed N] [-requests N] [-only E1,E3,...]
+//	nocbench [-seed N] [-requests N] [-only E1,E3,...] [-json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"os"
 	"strings"
 
 	"gonoc/internal/experiments"
+	"gonoc/internal/stats"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "root random seed")
 	requests := flag.Int("requests", 25, "write/read-back pairs per master for E2/E3")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	jsonOut := flag.Bool("json", false, "emit results as one JSON document instead of text tables")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -29,35 +37,47 @@ func main() {
 	}
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 
-	if sel("E1") {
-		fmt.Println(experiments.E1CompatibilityMatrix(*seed).Render())
+	// Experiments in suite order; each returns its tables.
+	suite := []struct {
+		id  string
+		run func() []*stats.Table
+	}{
+		{"E1", func() []*stats.Table { return []*stats.Table{experiments.E1CompatibilityMatrix(*seed)} }},
+		{"E2", func() []*stats.Table { return experiments.E2Performance(*seed, *requests) }},
+		{"E3", func() []*stats.Table { return []*stats.Table{experiments.E3SwitchingModes(*seed, *requests)} }},
+		{"E4", func() []*stats.Table { return []*stats.Table{experiments.E4Ordering(*seed)} }},
+		{"E5", func() []*stats.Table { return []*stats.Table{experiments.E5GateScaling()} }},
+		{"E6", func() []*stats.Table { return []*stats.Table{experiments.E6ExclusiveVsLock(*seed).Table} }},
+		{"E7", func() []*stats.Table { return []*stats.Table{experiments.E7QoS(*seed).Table} }},
+		{"E8", func() []*stats.Table { return experiments.E8Physical().Tables }},
+		{"E9", func() []*stats.Table { return []*stats.Table{experiments.E9ServiceAblation(*seed)} }},
+		{"E10", func() []*stats.Table { return experiments.E10TrafficSweep(*seed).Tables }},
 	}
-	if sel("E2") {
-		for _, t := range experiments.E2Performance(*seed, *requests) {
+
+	doc := struct {
+		Seed        int64                     `json:"seed"`
+		Requests    int                       `json:"requests"`
+		Experiments map[string][]*stats.Table `json:"experiments"`
+		Order       []string                  `json:"order"`
+	}{Seed: *seed, Requests: *requests, Experiments: map[string][]*stats.Table{}}
+
+	for _, e := range suite {
+		if !sel(e.id) {
+			continue
+		}
+		tables := e.run()
+		if *jsonOut {
+			doc.Experiments[e.id] = tables
+			doc.Order = append(doc.Order, e.id)
+			continue
+		}
+		for _, t := range tables {
 			fmt.Println(t.Render())
 		}
 	}
-	if sel("E3") {
-		fmt.Println(experiments.E3SwitchingModes(*seed, *requests).Render())
-	}
-	if sel("E4") {
-		fmt.Println(experiments.E4Ordering(*seed).Render())
-	}
-	if sel("E5") {
-		fmt.Println(experiments.E5GateScaling().Render())
-	}
-	if sel("E6") {
-		fmt.Println(experiments.E6ExclusiveVsLock(*seed).Table.Render())
-	}
-	if sel("E7") {
-		fmt.Println(experiments.E7QoS(*seed).Table.Render())
-	}
-	if sel("E8") {
-		for _, t := range experiments.E8Physical().Tables {
-			fmt.Println(t.Render())
+	if *jsonOut {
+		if err := stats.WriteJSON(os.Stdout, doc); err != nil {
+			log.Fatal(err)
 		}
-	}
-	if sel("E9") {
-		fmt.Println(experiments.E9ServiceAblation(*seed).Render())
 	}
 }

@@ -1,0 +1,214 @@
+// Command noctraffic stresses the NoC with the standard synthetic
+// workloads of the on-chip-network literature and reports latency and
+// throughput, as text tables or JSON.
+//
+// Three modes:
+//
+//   - single run (default): one pattern at one injection rate on a raw
+//     transport fabric, with a latency histogram and optional per-flow
+//     digests (-flows);
+//   - sweep (-sweep): walk injection rates and emit the
+//     latency-vs-offered-load curve with its saturation summary;
+//   - transaction level (-trans): drive the full mixed-protocol SoC
+//     through its existing NIUs at a controlled per-master rate.
+//
+// Usage:
+//
+//	noctraffic [-pattern uniform|hotspot|transpose|bitcomp|neighbor|bursty]
+//	           [-topology crossbar|mesh] [-nodes N] [-mode wormhole|saf]
+//	           [-qos] [-rate R] [-sweep] [-rates R1,R2,...] [-closed]
+//	           [-window N] [-payload B] [-readfrac F] [-hotfrac F]
+//	           [-burstlen N] [-urgentfrac F] [-warmup N] [-measure N]
+//	           [-drain N] [-seed N] [-flows] [-json]
+//	           [-trans] [-hotspot-mem]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"gonoc/internal/soc"
+	"gonoc/internal/stats"
+	"gonoc/internal/traffic"
+	"gonoc/internal/transport"
+)
+
+func main() {
+	pattern := flag.String("pattern", "uniform", "traffic pattern: uniform, hotspot, transpose, bitcomp, neighbor, bursty")
+	topo := flag.String("topology", "crossbar", "fabric: crossbar or mesh")
+	nodes := flag.Int("nodes", 16, "endpoint count")
+	mode := flag.String("mode", "wormhole", "switching: wormhole or saf")
+	qos := flag.Bool("qos", false, "priority arbitration in switches")
+	rate := flag.Float64("rate", 0.05, "offered load, transactions/node/cycle (open loop)")
+	sweep := flag.Bool("sweep", false, "walk injection rates; emit the latency-vs-offered-load curve")
+	ratesFlag := flag.String("rates", "", "comma-separated sweep rates (default: built-in schedule)")
+	closed := flag.Bool("closed", false, "closed-loop injection (fixed outstanding window)")
+	window := flag.Int("window", 4, "closed loop: outstanding transactions per source")
+	payload := flag.Int("payload", 32, "data bytes per transaction")
+	readFrac := flag.Float64("readfrac", 0.5, "fraction of transactions that are reads")
+	hotFrac := flag.Float64("hotfrac", 0.5, "hotspot: fraction of traffic to the hot node")
+	hotNode := flag.Int("hotnode", 0, "hotspot: destination node index")
+	burstLen := flag.Int("burstlen", 8, "bursty: mean burst length")
+	urgentFrac := flag.Float64("urgentfrac", 0, "fraction of transactions injected at urgent priority")
+	warmup := flag.Int64("warmup", 1000, "warmup cycles (inject, don't record)")
+	measure := flag.Int64("measure", 4000, "measurement cycles")
+	drain := flag.Int64("drain", 30000, "drain-cycle cap for finishing measured transactions")
+	seed := flag.Int64("seed", 1, "root random seed")
+	flows := flag.Bool("flows", false, "print per-flow latency digests (single run)")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
+	trans := flag.Bool("trans", false, "transaction-level load through the SoC's NIUs")
+	hotspotMem := flag.Bool("hotspot-mem", false, "trans: all masters hammer one memory")
+	flag.Parse()
+
+	top, err := traffic.ParseTopology(*topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *trans {
+		socTopo := soc.Crossbar
+		if top == traffic.Mesh {
+			socTopo = soc.Mesh
+		}
+		runTrans(*seed, socTopo, *rate, *window, *payload, zeroAsNeg(*readFrac),
+			*hotspotMem, zeroAsNegI(*warmup), *measure, *drain, *jsonOut)
+		return
+	}
+
+	if *nodes < 2 {
+		log.Fatalf("need at least 2 nodes, got %d", *nodes)
+	}
+	pat, err := traffic.ParsePattern(*pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if pat == traffic.Hotspot && (*hotNode < 0 || *hotNode >= *nodes) {
+		log.Fatalf("hot node %d outside [0,%d)", *hotNode, *nodes)
+	}
+	cfg := traffic.Config{
+		Seed: *seed, Nodes: *nodes, Topology: top,
+		Pattern: pat, Rate: *rate, PayloadBytes: *payload,
+		ReadFrac: zeroAsNeg(*readFrac), HotFrac: *hotFrac, HotNode: *hotNode,
+		BurstLen: *burstLen, UrgentFrac: *urgentFrac,
+		ClosedLoop: *closed, Window: *window,
+		Warmup: zeroAsNegI(*warmup), Measure: *measure, Drain: *drain,
+	}
+	cfg.Net.QoS = *qos
+	switch *mode {
+	case "wormhole":
+		cfg.Net.Mode = transport.Wormhole
+	case "saf":
+		cfg.Net.Mode = transport.StoreAndForward
+	default:
+		log.Fatalf("unknown switching mode %q", *mode)
+	}
+
+	if *sweep {
+		sr := traffic.Sweep(cfg, parseRates(*ratesFlag))
+		if *jsonOut {
+			emitJSON(sr)
+			return
+		}
+		fmt.Println(sr.Table().Render())
+		fmt.Printf("saturation: last unsaturated rate %.3f, saturation throughput %.4f txn/node/cycle\n",
+			sr.SatRate, sr.SatThroughput)
+		return
+	}
+
+	res := traffic.Run(cfg)
+	if *jsonOut {
+		emitJSON(res)
+		return
+	}
+	printRun(res, *flows)
+}
+
+// zeroAsNeg maps an explicit 0 flag value onto the library's negative
+// "literal zero" sentinel (the Config types treat a zero field as
+// unset), so -readfrac 0 and -warmup 0 mean what the user typed.
+func zeroAsNeg(v float64) float64 {
+	if v == 0 {
+		return -1
+	}
+	return v
+}
+
+func zeroAsNegI(v int64) int64 {
+	if v == 0 {
+		return -1
+	}
+	return v
+}
+
+func parseRates(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			log.Fatalf("bad rate %q", f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func emitJSON(v any) {
+	if err := stats.WriteJSON(os.Stdout, v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printRun(res traffic.Result, showFlows bool) {
+	loop := fmt.Sprintf("open loop @ %.3f txn/node/cyc", res.Offered)
+	if res.ClosedLoop {
+		loop = "closed loop"
+	}
+	fmt.Printf("%s on %s, %d nodes, %s: %d cycles simulated\n\n",
+		res.Pattern, res.Topology, res.Nodes, loop, res.Cycles)
+
+	t := stats.NewTable("run summary", "metric", "value")
+	t.AddRow("generated rate (txn/node/cyc)", res.GenRate)
+	t.AddRow("accepted rate", res.InjRate)
+	t.AddRow("throughput", res.Throughput)
+	t.AddRow("mean latency (cyc)", res.Latency.Mean)
+	t.AddRow("p50 / p95 / p99", fmt.Sprintf("%d / %d / %d", res.Latency.P50, res.Latency.P95, res.Latency.P99))
+	t.AddRow("max latency", res.Latency.Max)
+	t.AddRow("fabric latency mean (per pkt)", res.NetLatency.Mean)
+	t.AddRow("avg hops", res.AvgHops)
+	t.AddRow("measured txns", res.Latency.Count)
+	t.AddRow("incomplete at drain cap", res.Incomplete)
+	t.AddRow("saturated", stats.Mark(res.Saturated))
+	fmt.Println(t.Render())
+
+	h := stats.NewTable("latency histogram (cycles)", "range", "count")
+	for _, b := range res.Hist {
+		h.AddRow(fmt.Sprintf("[%d,%d]", b.Lo, b.Hi), b.Count)
+	}
+	fmt.Println(h.Render())
+
+	if showFlows {
+		fmt.Println(traffic.FlowTable(res).Render())
+	}
+}
+
+func runTrans(seed int64, topo soc.Topology, rate float64, window, bytes int,
+	readFrac float64, hotspot bool, warmup, measure, drain int64, jsonOut bool) {
+	tr := traffic.RunTrans(traffic.TransConfig{
+		Seed: seed, Topology: topo, Rate: rate, Window: window, Bytes: bytes,
+		ReadFrac: readFrac, Hotspot: hotspot,
+		Warmup: warmup, Measure: measure, Drain: drain,
+	})
+	if jsonOut {
+		emitJSON(tr)
+		return
+	}
+	fmt.Println(tr.Table().Render())
+	fmt.Printf("throughput: %.1f completions/kcycle; incomplete: %d\n", tr.Throughput, tr.Incomplete)
+}

@@ -179,3 +179,37 @@ func TestE9AblationShape(t *testing.T) {
 		t.Fatal("monitor gates should be nonzero when the service is on")
 	}
 }
+
+func TestE10MeshSaturatesBelowCrossbar(t *testing.T) {
+	r := E10TrafficSweep(13)
+	if len(r.Tables) != 3 {
+		t.Fatalf("tables: %d", len(r.Tables))
+	}
+	// The paper-standard shape: at equal injection rates the 4x4 mesh's
+	// bisection saturates before the single-switch crossbar does.
+	if r.MeshSatTput >= r.CrossbarSatTput {
+		t.Fatalf("mesh saturation tput %.4f not below crossbar %.4f",
+			r.MeshSatTput, r.CrossbarSatTput)
+	}
+	if r.CrossbarSatTput <= 0 || r.MeshSatTput <= 0 {
+		t.Fatalf("degenerate saturation throughputs: %.4f / %.4f",
+			r.CrossbarSatTput, r.MeshSatTput)
+	}
+	// Store-and-forward pays per-hop serialization latency under load.
+	if r.SAFMeanLat <= r.WormholeMeanLat {
+		t.Fatalf("SAF mean latency %.1f not above wormhole %.1f",
+			r.SAFMeanLat, r.WormholeMeanLat)
+	}
+	// The latency curve must not decrease with offered load for either
+	// topology (monotonically saturating).
+	rows := r.Tables[0].Rows()
+	for i := 1; i < len(rows); i++ {
+		for _, col := range []int{2, 6} { // mean-latency columns
+			prev := cellFloat(t, rows[i-1][col])
+			cur := cellFloat(t, rows[i][col])
+			if cur < prev {
+				t.Fatalf("latency dipped at row %d col %d: %.1f -> %.1f", i, col, prev, cur)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment in DESIGN.md §3, each returning paper-style tables.
-// cmd/nocbench prints them; the repository-root benchmarks wrap them.
+// per experiment (E1–E10, catalogued in the top-level README.md), each
+// returning paper-style tables. cmd/nocbench prints them; the
+// repository-root benchmarks wrap them.
 package experiments
 
 import (

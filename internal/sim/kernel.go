@@ -7,7 +7,7 @@
 // Determinism is a design requirement: two runs with the same seed and the
 // same configuration produce bit-identical results, regardless of component
 // registration order. This is what makes the reproduction experiments
-// (EXPERIMENTS.md) meaningful.
+// (internal/experiments, printed by cmd/nocbench) meaningful.
 package sim
 
 import (

@@ -1,0 +1,140 @@
+package soc
+
+import (
+	"gonoc/internal/protocols/ahb"
+	"gonoc/internal/protocols/axi"
+	"gonoc/internal/protocols/ocp"
+)
+
+// Issuer abstracts "perform one transaction" over a protocol master
+// engine: a write or read of n bytes at addr, with done invoked on
+// completion (ok=false on a protocol-level error response). It is the
+// hook rate-controlled traffic sources use to drive load through the
+// existing NIUs without speaking each socket's native API.
+//
+// addr should be size-aligned and inside a mapped region; n is rounded
+// to whole 4-byte beats (PVCI, a single-word socket, clamps to 4).
+type Issuer func(write bool, addr uint64, n int, done func(ok bool))
+
+// fill synthesizes a deterministic payload; traffic issuers do not
+// verify data (the ip generators' scoreboards cover correctness), so an
+// address-derived pattern is enough.
+func fill(addr uint64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(addr>>2) + byte(i)
+	}
+	return b
+}
+
+// beatsFor rounds n up to whole 4-byte beats.
+func beatsFor(n int) int {
+	beats := (n + 3) / 4
+	if beats < 1 {
+		beats = 1
+	}
+	return beats
+}
+
+// Issuers returns one Issuer per master engine, keyed by the same names
+// as Gens/MasterNIUs. Each issuer rotates tags/threads/IDs so
+// out-of-order-capable sockets keep multiple transactions in flight.
+func (s *System) Issuers() map[string]Issuer {
+	var axiID, ocpTh, avciID, propID int
+	return map[string]Issuer{
+		"axi": func(write bool, addr uint64, n int, done func(bool)) {
+			id := axiID % 4
+			axiID++
+			beats := beatsFor(n)
+			if write {
+				s.AXIM.Write(id, addr, 4, axi.BurstIncr, fill(addr, beats*4), func(r axi.Resp) {
+					done(r == axi.RespOKAY)
+				})
+				return
+			}
+			s.AXIM.Read(id, addr, 4, beats, axi.BurstIncr, func(r axi.ReadResult) {
+				done(r.Resp == axi.RespOKAY)
+			})
+		},
+		"ocp": func(write bool, addr uint64, n int, done func(bool)) {
+			th := ocpTh % 4
+			ocpTh++
+			beats := beatsFor(n)
+			if write {
+				s.OCPM.WriteNonPosted(th, addr, 4, ocp.SeqIncr, fill(addr, beats*4), func(r ocp.SResp) {
+					done(r == ocp.RespDVA)
+				})
+				return
+			}
+			s.OCPM.Read(th, addr, 4, beats, ocp.SeqIncr, func(r ocp.ReadResult) {
+				done(r.Resp == ocp.RespDVA)
+			})
+		},
+		"ahb": func(write bool, addr uint64, n int, done func(bool)) {
+			beats := beatsFor(n)
+			b := ahbBurst(beats)
+			if write {
+				s.AHBM.Write(addr, 4, b, fill(addr, beats*4), func(r ahb.Resp) {
+					done(r == ahb.RespOkay)
+				})
+				return
+			}
+			s.AHBM.Read(addr, 4, b, beats, func(r ahb.ReadResult) {
+				done(r.Resp == ahb.RespOkay)
+			})
+		},
+		"pvci": func(write bool, addr uint64, n int, done func(bool)) {
+			if write {
+				s.PVCIM.Write(addr, fill(addr, 4), func(err bool) { done(!err) })
+				return
+			}
+			s.PVCIM.Read(addr, 4, func(_ []byte, err bool) { done(!err) })
+		},
+		"bvci": func(write bool, addr uint64, n int, done func(bool)) {
+			beats := beatsFor(n)
+			if write {
+				s.BVCIM.Write(addr, 4, fill(addr, beats*4), func(err bool) { done(!err) })
+				return
+			}
+			s.BVCIM.Read(addr, 4, beats, false, func(_ []byte, err bool) { done(!err) })
+		},
+		"avci": func(write bool, addr uint64, n int, done func(bool)) {
+			id := avciID % 4
+			avciID++
+			beats := beatsFor(n)
+			if write {
+				s.AVCIM.Write(id, addr, 4, fill(addr, beats*4), func(err bool) { done(!err) })
+				return
+			}
+			s.AVCIM.Read(id, addr, 4, beats, func(_ []byte, err bool) { done(!err) })
+		},
+		"prop": func(write bool, addr uint64, n int, done func(bool)) {
+			id := propID
+			propID += 2
+			if n < 1 {
+				n = 1
+			}
+			if write {
+				s.PropM.StreamWrite(id, addr, fill(addr, n), func(ok bool) { done(ok) })
+				return
+			}
+			s.PropM.StreamRead(id+1, addr, n, func(_ []byte) { done(true) })
+		},
+	}
+}
+
+// ahbBurst maps a beat count onto the nearest AHB burst encoding.
+func ahbBurst(beats int) ahb.Burst {
+	switch beats {
+	case 1:
+		return ahb.BurstSingle
+	case 4:
+		return ahb.BurstIncr4
+	case 8:
+		return ahb.BurstIncr8
+	case 16:
+		return ahb.BurstIncr16
+	default:
+		return ahb.BurstIncr
+	}
+}

@@ -103,3 +103,35 @@ func TestNIUStatsExposed(t *testing.T) {
 		}
 	}
 }
+
+func TestIssuersDriveEveryMasterThroughNIUs(t *testing.T) {
+	// One write then one read per master, issued through the generic
+	// Issuer hook, must complete on the NoC build.
+	s := BuildNoC(Config{Seed: 3, Quiet: true})
+	iss := s.Issuers()
+	if len(iss) != 7 {
+		t.Fatalf("issuers: %d, want 7", len(iss))
+	}
+	done := 0
+	for name, issue := range iss {
+		r := genRegion(name)
+		issue := issue
+		issue(true, r.Base, 16, func(ok bool) {
+			if !ok {
+				t.Errorf("%s: write failed", name)
+			}
+			issue(false, r.Base, 16, func(ok bool) {
+				if !ok {
+					t.Errorf("%s: read failed", name)
+				}
+				done++
+			})
+		})
+	}
+	for c := 0; c < 200_000 && done < 7; c++ {
+		s.Clk.RunCycles(1)
+	}
+	if done != 7 {
+		t.Fatalf("only %d/7 issuer pairs completed", done)
+	}
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram is a power-of-two-bucketed counter for non-negative integer
+// samples (cycles). Bucket 0 holds the value 0; bucket b >= 1 holds
+// values in [2^(b-1), 2^b - 1]. Log-spaced buckets keep the footprint
+// constant while resolving both zero-load and saturated-latency regimes,
+// which is what latency-vs-offered-load curves need. The zero value is
+// ready to use.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    int64
+	max    int64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Record adds one sample. Negative samples count as zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bucketOf(v)
+	for len(h.counts) <= b {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[b]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the exact average of recorded samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Merge folds o's counts into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for b, c := range o.counts {
+		for len(h.counts) <= b {
+			h.counts = append(h.counts, 0)
+		}
+		h.counts[b] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// HistBucket is one exported histogram bin.
+type HistBucket struct {
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// boundsOf returns the inclusive value range of bucket b.
+func boundsOf(b int) (lo, hi int64) {
+	if b == 0 {
+		return 0, 0
+	}
+	return 1 << (b - 1), (1 << b) - 1
+}
+
+// Buckets returns the non-empty bins in ascending value order.
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := boundsOf(b)
+		out = append(out, HistBucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}
+
+// PercentileUpper returns the upper bound of the bucket containing the
+// p-th percentile sample (0 < p <= 100), an O(buckets) approximation of
+// the exact percentile. It returns 0 with no samples.
+func (h *Histogram) PercentileUpper(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(h.total))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			_, hi := boundsOf(b)
+			return hi
+		}
+	}
+	_, hi := boundsOf(len(h.counts) - 1)
+	return hi
+}
+
+// String renders the non-empty bins compactly: "[1,1]:3 [2,3]:9 ...".
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "empty"
+	}
+	var b strings.Builder
+	for i, bk := range h.Buckets() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "[%d,%d]:%d", bk.Lo, bk.Hi, bk.Count)
+	}
+	return b.String()
+}

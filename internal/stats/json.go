@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// This file is the JSON face of the stats package: every result type the
+// experiments and CLIs print as text tables can also be exported as
+// machine-readable JSON, so CI can record benchmark trajectories
+// (BENCH_*.json) and plots can be regenerated without re-running.
+
+// jsonTable is the wire shape of a Table.
+type jsonTable struct {
+	Title string     `json:"title"`
+	Cols  []string   `json:"cols"`
+	Rows  [][]string `json:"rows"`
+}
+
+// MarshalJSON exports the table as {"title", "cols", "rows"}.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(jsonTable{Title: t.Title, Cols: t.Cols, Rows: rows})
+}
+
+// LatencySummary is the exportable digest of a Latency recorder.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Summary digests the recorder into a LatencySummary, sorting the
+// samples once for all three percentiles.
+func (l *Latency) Summary() LatencySummary {
+	sorted := l.sorted()
+	return LatencySummary{
+		Count: l.Count(),
+		Mean:  l.Mean(),
+		Min:   l.Min(),
+		Max:   l.Max(),
+		P50:   percentileOf(sorted, 50),
+		P95:   percentileOf(sorted, 95),
+		P99:   percentileOf(sorted, 99),
+	}
+}
+
+// WriteJSON indent-encodes v to w.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

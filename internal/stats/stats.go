@@ -48,11 +48,21 @@ func (l *Latency) Max() int64 { return l.max }
 // Percentile returns the p-th percentile (0 < p <= 100) by
 // nearest-rank on the sorted samples.
 func (l *Latency) Percentile(p float64) int64 {
-	if len(l.samples) == 0 {
-		return 0
-	}
+	return percentileOf(l.sorted(), p)
+}
+
+// sorted returns a sorted copy of the samples.
+func (l *Latency) sorted() []int64 {
 	sorted := append([]int64(nil), l.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted
+}
+
+// percentileOf is nearest-rank selection on an already-sorted slice.
+func percentileOf(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	rank := int(p/100*float64(len(sorted))+0.5) - 1
 	if rank < 0 {
 		rank = 0

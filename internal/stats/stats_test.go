@@ -93,3 +93,109 @@ func TestMark(t *testing.T) {
 		t.Fatal("Mark wrong")
 	}
 }
+
+func TestLatencyPercentileEdges(t *testing.T) {
+	// Empty recorder: every percentile is 0, not a panic.
+	var empty Latency
+	for _, p := range []float64{0.1, 50, 99, 100} {
+		if v := empty.Percentile(p); v != 0 {
+			t.Fatalf("empty p%.1f = %d, want 0", p, v)
+		}
+	}
+	// Single sample: every percentile is that sample.
+	var one Latency
+	one.Record(42)
+	for _, p := range []float64{0.1, 1, 50, 99, 100} {
+		if v := one.Percentile(p); v != 42 {
+			t.Fatalf("single-sample p%.1f = %d, want 42", p, v)
+		}
+	}
+	if one.Min() != 42 || one.Max() != 42 || one.Mean() != 42 {
+		t.Fatalf("single-sample min/max/mean: %d %d %f", one.Min(), one.Max(), one.Mean())
+	}
+}
+
+func TestLatencySummary(t *testing.T) {
+	var l Latency
+	for v := int64(1); v <= 100; v++ {
+		l.Record(v)
+	}
+	s := l.Summary()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary count/min/max: %+v", s)
+	}
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Fatalf("summary percentiles: %+v", s)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	if h.String() != "empty" || h.PercentileUpper(50) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1000} {
+		h.Record(v)
+	}
+	if h.Total() != 8 || h.Max() != 1000 {
+		t.Fatalf("total/max: %d %d", h.Total(), h.Max())
+	}
+	bks := h.Buckets()
+	// Expect bins: [0,0]:1 [1,1]:1 [2,3]:2 [4,7]:2 [8,15]:1 [512,1023]:1.
+	want := []HistBucket{
+		{0, 0, 1}, {1, 1, 1}, {2, 3, 2}, {4, 7, 2}, {8, 15, 1}, {512, 1023, 1},
+	}
+	if len(bks) != len(want) {
+		t.Fatalf("buckets: %v", bks)
+	}
+	for i, b := range bks {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b, want[i])
+		}
+	}
+	// Rank of p50 over 8 samples is 4; the 4th sample (3) is in [2,3].
+	if got := h.PercentileUpper(50); got != 3 {
+		t.Fatalf("p50 upper = %d, want 3", got)
+	}
+	if got := h.PercentileUpper(100); got != 1023 {
+		t.Fatalf("p100 upper = %d, want 1023", got)
+	}
+}
+
+func TestHistogramMergeAndMean(t *testing.T) {
+	var a, b Histogram
+	a.Record(10)
+	a.Record(20)
+	b.Record(30)
+	b.Record(1000)
+	a.Merge(&b)
+	if a.Total() != 4 || a.Max() != 1000 {
+		t.Fatalf("merged total/max: %d %d", a.Total(), a.Max())
+	}
+	if a.Mean() != 265 {
+		t.Fatalf("merged mean = %f", a.Mean())
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	var sb strings.Builder
+	if err := WriteJSON(&sb, tb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{`"title": "demo"`, `"cols"`, `"alpha"`} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("JSON missing %q:\n%s", frag, out)
+		}
+	}
+	// Empty table must marshal rows as [], not null.
+	var sb2 strings.Builder
+	if err := WriteJSON(&sb2, NewTable("t", "c")); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb2.String(), "null") {
+		t.Fatalf("empty table marshals null:\n%s", sb2.String())
+	}
+}

@@ -1,0 +1,114 @@
+package traffic
+
+import (
+	"fmt"
+
+	"gonoc/internal/noctypes"
+	"gonoc/internal/sim"
+	"gonoc/internal/stats"
+	"gonoc/internal/transport"
+)
+
+// Flow identifies one source/destination pair.
+type Flow struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+// collector accumulates measurement-phase statistics.
+type collector struct {
+	agg     stats.Latency
+	hist    stats.Histogram
+	perFlow map[Flow]*stats.Latency
+	netLat  stats.Latency
+	hops    int64
+	hopPkts int64
+
+	generated uint64 // txns generated while measuring
+	injected  uint64 // request packets accepted by endpoints while measuring
+	completed uint64 // completions observed while measuring (throughput)
+	measDone  uint64 // measured txns completed (any phase)
+}
+
+// rig is one assembled packet-level traffic experiment: a fabric plus a
+// source/reflector per node.
+type rig struct {
+	cfg  *Config
+	k    *sim.Kernel
+	clk  *sim.Clock
+	net  *transport.Network
+	srcs []*source
+
+	genOn     bool
+	measuring bool
+	col       collector
+}
+
+// nodeID maps a source index onto a fabric NodeID (0 is reserved as a
+// "no node" convention elsewhere in the repo).
+func nodeID(i int) noctypes.NodeID { return noctypes.NodeID(i + 1) }
+
+func newRig(cfg *Config) *rig {
+	if cfg.Nodes < 2 {
+		panic(fmt.Sprintf("traffic: need at least 2 nodes, got %d", cfg.Nodes))
+	}
+	if cfg.Pattern == Hotspot && (cfg.HotNode < 0 || cfg.HotNode >= cfg.Nodes) {
+		panic(fmt.Sprintf("traffic: hotspot node %d outside [0,%d)", cfg.HotNode, cfg.Nodes))
+	}
+	r := &rig{cfg: cfg, k: sim.NewKernel()}
+	r.clk = sim.NewClock(r.k, "traffic", sim.Nanosecond, 0)
+
+	nodes := make([]noctypes.NodeID, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = nodeID(i)
+	}
+	switch cfg.Topology {
+	case Mesh:
+		if cfg.MeshW*cfg.MeshH < cfg.Nodes {
+			panic(fmt.Sprintf("traffic: %dx%d mesh cannot hold %d nodes", cfg.MeshW, cfg.MeshH, cfg.Nodes))
+		}
+		spec := transport.MeshSpec{W: cfg.MeshW, H: cfg.MeshH, Nodes: map[noctypes.NodeID]transport.Coord{}}
+		for i, n := range nodes {
+			spec.Nodes[n] = transport.Coord{X: i % cfg.MeshW, Y: i / cfg.MeshW}
+		}
+		r.net = transport.NewMesh(r.clk, cfg.Net, spec)
+	default:
+		r.net = transport.NewCrossbar(r.clk, cfg.Net, nodes)
+	}
+
+	r.col.perFlow = make(map[Flow]*stats.Latency)
+	r.net.OnTransit = func(rec transport.TransitRecord) {
+		if !r.measuring {
+			return
+		}
+		r.col.netLat.Record(rec.NetworkLatency())
+		r.col.hops += int64(rec.Hops)
+		r.col.hopPkts++
+	}
+
+	root := sim.NewRNG(cfg.Seed)
+	r.srcs = make([]*source, cfg.Nodes)
+	for i := range r.srcs {
+		r.srcs[i] = newSource(r, i, root.Fork(fmt.Sprintf("src%d", i)))
+	}
+	return r
+}
+
+// measuredOutstanding counts measured txns not yet completed.
+func (r *rig) measuredOutstanding() uint64 { return r.col.generated - r.col.measDone }
+
+// run executes warmup, measurement, and drain; it returns the total
+// cycles simulated.
+func (r *rig) run() int64 {
+	r.genOn = true
+	r.clk.RunCycles(r.cfg.Warmup)
+	r.measuring = true
+	r.clk.RunCycles(r.cfg.Measure)
+	r.measuring = false
+	r.genOn = false
+	// Drain: finish the measured transactions, up to the cap.
+	for c := int64(0); c < r.cfg.Drain && r.measuredOutstanding() > 0; c += 64 {
+		r.clk.RunCycles(64)
+	}
+	return r.clk.Cycle()
+}

@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"sort"
+
+	"gonoc/internal/stats"
+)
+
+// FlowStat is the exported latency digest of one source/destination
+// pair.
+type FlowStat struct {
+	Src   int     `json:"src"`
+	Dst   int     `json:"dst"`
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P95   int64   `json:"p95"`
+}
+
+// Result is one traffic run's measurement-phase digest. Rates are
+// transactions per node per cycle.
+type Result struct {
+	Pattern    string  `json:"pattern"`
+	Topology   string  `json:"topology"`
+	Nodes      int     `json:"nodes"`
+	ClosedLoop bool    `json:"closed_loop"`
+	Offered    float64 `json:"offered"`   // configured injection rate (open loop)
+	GenRate    float64 `json:"gen_rate"`  // observed generation rate
+	InjRate    float64 `json:"inj_rate"`  // requests accepted by endpoints
+	Throughput float64 `json:"tput"`      // completions during the window
+	Saturated  bool    `json:"saturated"` // throughput fell visibly below offered
+
+	Latency    stats.LatencySummary `json:"latency"`     // generation -> response, cycles
+	NetLatency stats.LatencySummary `json:"net_latency"` // per-packet fabric inject -> eject
+	AvgHops    float64              `json:"avg_hops"`
+	Hist       []stats.HistBucket   `json:"hist"`
+	Flows      []FlowStat           `json:"flows,omitempty"`
+	Incomplete int                  `json:"incomplete"` // measured txns unfinished at drain cap
+	Cycles     int64                `json:"cycles"`     // total cycles simulated
+}
+
+// satThreshold: a run counts as saturated when accepted throughput falls
+// below this fraction of the generated load.
+const satThreshold = 0.9
+
+// Run executes one traffic configuration and returns its digest.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	r := newRig(&cfg)
+	cycles := r.run()
+	return r.result(cycles)
+}
+
+func (r *rig) result(cycles int64) Result {
+	cfg := r.cfg
+	col := &r.col
+	nodeCycles := float64(cfg.Nodes) * float64(cfg.Measure)
+	res := Result{
+		Pattern:    cfg.Pattern.String(),
+		Topology:   cfg.Topology.String(),
+		Nodes:      cfg.Nodes,
+		ClosedLoop: cfg.ClosedLoop,
+		Offered:    cfg.Rate,
+		GenRate:    float64(col.generated) / nodeCycles,
+		InjRate:    float64(col.injected) / nodeCycles,
+		Throughput: float64(col.completed) / nodeCycles,
+		Latency:    col.agg.Summary(),
+		NetLatency: col.netLat.Summary(),
+		Hist:       col.hist.Buckets(),
+		Incomplete: int(r.measuredOutstanding()),
+		Cycles:     cycles,
+	}
+	if cfg.ClosedLoop {
+		res.Offered = 0
+	}
+	if col.hopPkts > 0 {
+		res.AvgHops = float64(col.hops) / float64(col.hopPkts)
+	}
+	if !cfg.ClosedLoop && res.GenRate > 0 {
+		res.Saturated = res.Throughput < satThreshold*res.GenRate
+	}
+	res.Flows = flowStats(col.perFlow)
+	return res
+}
+
+func flowStats(m map[Flow]*stats.Latency) []FlowStat {
+	out := make([]FlowStat, 0, len(m))
+	for fl, l := range m {
+		out = append(out, FlowStat{
+			Src: fl.Src, Dst: fl.Dst,
+			Count: l.Count(), Mean: l.Mean(), P95: l.Percentile(95),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// FlowTable renders the per-flow digests as a text table.
+func FlowTable(res Result) *stats.Table {
+	t := stats.NewTable("per-flow latency", "src", "dst", "txns", "mean (cyc)", "p95")
+	for _, f := range res.Flows {
+		t.AddRow(f.Src, f.Dst, f.Count, f.Mean, f.P95)
+	}
+	return t
+}

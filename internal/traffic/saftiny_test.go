@@ -1,0 +1,15 @@
+package traffic
+
+import "testing"
+import "gonoc/internal/transport"
+
+func TestSAFTinyPayloadNoPanic(t *testing.T) {
+	cfg := Config{Seed: 1, Nodes: 4, Pattern: UniformRandom, Rate: 0.05,
+		PayloadBytes: 4, Warmup: 200, Measure: 600, Drain: 8000}
+	cfg.Net.Mode = transport.StoreAndForward
+	cfg.Net.FlitBytes = 4
+	cfg.Net.BufDepth = 4
+	if res := Run(cfg); res.Latency.Count == 0 {
+		t.Fatal("nothing completed")
+	}
+}

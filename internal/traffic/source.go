@@ -1,0 +1,202 @@
+package traffic
+
+import (
+	"gonoc/internal/noctypes"
+	"gonoc/internal/sim"
+	"gonoc/internal/stats"
+	"gonoc/internal/transport"
+)
+
+// txnUserRead marks a request packet as a read in the transport User
+// byte (carried, never interpreted by the fabric).
+const txnUserRead uint8 = 1 << 0
+
+// txn is one in-flight request/response transaction.
+type txn struct {
+	tag      noctypes.Tag
+	dst      int
+	read     bool
+	urgent   bool
+	genCycle int64
+	measured bool
+}
+
+// source is the per-node workload engine: it generates transactions
+// (open- or closed-loop), injects request packets, reflects requests
+// arriving from other nodes into responses, and completes its own
+// transactions when responses return.
+type source struct {
+	r   *rig
+	idx int
+	ep  *transport.Endpoint
+	rng *sim.RNG
+	ch  *chooser
+
+	q           *sim.Queue[*txn]              // generated, awaiting injection
+	replyQ      *sim.Queue[*transport.Packet] // reflector responses awaiting injection
+	outstanding map[noctypes.Tag]*txn
+	nextTag     uint16
+	inflight    int
+}
+
+func newSource(r *rig, idx int, rng *sim.RNG) *source {
+	s := &source{
+		r:           r,
+		idx:         idx,
+		ep:          r.net.Endpoint(nodeID(idx)),
+		rng:         rng,
+		q:           sim.NewQueue[*txn](0),
+		replyQ:      sim.NewQueue[*transport.Packet](0),
+		outstanding: make(map[noctypes.Tag]*txn),
+	}
+	s.ch = newChooser(r.cfg, idx, rng.Fork("dest"))
+	r.clk.Register(s)
+	return s
+}
+
+// backlog counts transactions generated but not completed.
+func (s *source) backlog() int { return s.q.Len() + s.inflight }
+
+func (s *source) generate(cycle int64) {
+	cfg := s.r.cfg
+	t := &txn{
+		tag:      noctypes.Tag(s.nextTag),
+		dst:      s.ch.next(),
+		read:     s.rng.Bool(cfg.ReadFrac),
+		urgent:   cfg.UrgentFrac > 0 && s.rng.Bool(cfg.UrgentFrac),
+		genCycle: cycle,
+		measured: s.r.measuring,
+	}
+	s.nextTag++
+	s.q.Push(t)
+	if t.measured {
+		s.r.col.generated++
+	}
+}
+
+// payloadFor sizes the two packet directions: the data-bearing leg
+// carries PayloadBytes, the other carries ackBytes of metadata.
+func payloadFor(read, isRsp bool, dataBytes int) int {
+	if read == isRsp {
+		return dataBytes
+	}
+	return ackBytes
+}
+
+func (s *source) requestPacket(t *txn) *transport.Packet {
+	prio := noctypes.PrioDefault
+	if t.urgent {
+		prio = noctypes.PrioUrgent
+	}
+	var user uint8
+	if t.read {
+		user |= txnUserRead
+	}
+	return &transport.Packet{
+		Header: transport.Header{
+			Kind:     transport.KindReq,
+			Dst:      nodeID(t.dst),
+			Src:      nodeID(s.idx),
+			Tag:      t.tag,
+			Priority: prio,
+			User:     user,
+		},
+		Payload: make([]byte, payloadFor(t.read, false, s.r.cfg.PayloadBytes)),
+	}
+}
+
+// reflect turns a received request into the matching response.
+func (s *source) reflect(req *transport.Packet) *transport.Packet {
+	return &transport.Packet{
+		Header: transport.Header{
+			Kind:     transport.KindRsp,
+			Dst:      req.Src,
+			Src:      nodeID(s.idx),
+			Tag:      req.Tag,
+			Priority: req.Priority,
+			User:     req.User,
+		},
+		Payload: make([]byte, payloadFor(req.User&txnUserRead != 0, true, s.r.cfg.PayloadBytes)),
+	}
+}
+
+func (s *source) complete(t *txn, cycle int64) {
+	delete(s.outstanding, t.tag)
+	s.inflight--
+	if s.r.measuring {
+		s.r.col.completed++
+	}
+	if !t.measured {
+		return
+	}
+	lat := cycle - t.genCycle
+	col := &s.r.col
+	col.measDone++
+	col.agg.Record(lat)
+	col.hist.Record(lat)
+	fl := Flow{Src: s.idx, Dst: t.dst}
+	l, ok := col.perFlow[fl]
+	if !ok {
+		l = &stats.Latency{}
+		col.perFlow[fl] = l
+	}
+	l.Record(lat)
+}
+
+// Eval implements sim.Clocked: receive, generate, inject.
+func (s *source) Eval(cycle int64) {
+	// Receive: always drain the endpoint so the fabric never backs up
+	// into the ejection port (reflector replies wait in replyQ instead).
+	for {
+		pkt, ok := s.ep.Recv()
+		if !ok {
+			break
+		}
+		if pkt.Kind == transport.KindReq {
+			s.replyQ.Push(s.reflect(pkt))
+			continue
+		}
+		if t, ok := s.outstanding[pkt.Tag]; ok {
+			s.complete(t, cycle)
+		}
+	}
+
+	// Generate.
+	if s.r.genOn {
+		if s.r.cfg.ClosedLoop {
+			for s.backlog() < s.r.cfg.Window {
+				s.generate(cycle)
+			}
+		} else if s.rng.Bool(s.r.cfg.Rate) {
+			s.generate(cycle)
+		}
+	}
+
+	// Inject: responses first (they complete someone else's
+	// transaction), then our own requests, as long as the endpoint
+	// accepts packets this cycle.
+	for {
+		rsp, ok := s.replyQ.Peek()
+		if !ok || !s.ep.TrySend(rsp) {
+			break
+		}
+		s.replyQ.Pop()
+	}
+	for {
+		t, ok := s.q.Peek()
+		// CanSend gates packet construction: under backpressure a blocked
+		// source would otherwise allocate a throwaway packet every cycle.
+		if !ok || !s.ep.CanSend() || !s.ep.TrySend(s.requestPacket(t)) {
+			break
+		}
+		s.q.Pop()
+		s.outstanding[t.tag] = t
+		s.inflight++
+		if s.r.measuring {
+			s.r.col.injected++
+		}
+	}
+}
+
+// Update implements sim.Clocked.
+func (s *source) Update(cycle int64) {}

@@ -1,0 +1,70 @@
+package traffic
+
+import "gonoc/internal/stats"
+
+// SweepResult is a walk of injection rates under one configuration: the
+// latency-vs-offered-load curve plus its saturation summary.
+type SweepResult struct {
+	Pattern  string   `json:"pattern"`
+	Topology string   `json:"topology"`
+	Nodes    int      `json:"nodes"`
+	Points   []Result `json:"points"`
+
+	// SatRate is the highest offered rate that did not saturate (0 when
+	// every point saturated); SatThroughput is the best accepted
+	// throughput observed anywhere on the curve — the fabric's
+	// saturation throughput for this pattern.
+	SatRate       float64 `json:"sat_rate"`
+	SatThroughput float64 `json:"sat_tput"`
+}
+
+// DefaultRates returns the standard sweep schedule: geometric at low
+// load (to resolve the flat region cheaply), linear through the knee.
+func DefaultRates() []float64 {
+	return []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.13, 0.16, 0.20}
+}
+
+// Sweep runs cfg once per rate (open loop) and collects the curve. Flow
+// digests are dropped from the points to keep sweep output compact.
+func Sweep(cfg Config, rates []float64) SweepResult {
+	if len(rates) == 0 {
+		rates = DefaultRates()
+	}
+	// cfg is passed to Run un-defaulted: withDefaults is not idempotent
+	// (negative sentinels map to 0, which a second pass would re-default),
+	// so it must run exactly once, inside Run.
+	var sr SweepResult
+	for _, rate := range rates {
+		c := cfg
+		c.ClosedLoop = false
+		c.Rate = rate
+		res := Run(c)
+		res.Flows = nil
+		sr.Points = append(sr.Points, res)
+		if !res.Saturated && rate > sr.SatRate {
+			sr.SatRate = rate
+		}
+		if res.Throughput > sr.SatThroughput {
+			sr.SatThroughput = res.Throughput
+		}
+	}
+	if len(sr.Points) > 0 {
+		sr.Pattern = sr.Points[0].Pattern
+		sr.Topology = sr.Points[0].Topology
+		sr.Nodes = sr.Points[0].Nodes
+	}
+	return sr
+}
+
+// Table renders the curve as a latency-vs-offered-load text table.
+func (sr SweepResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"latency vs offered load — "+sr.Pattern+" on "+sr.Topology,
+		"offered", "accepted", "tput", "mean lat", "p50", "p95", "p99", "hops", "saturated")
+	for _, p := range sr.Points {
+		t.AddRow(p.Offered, p.InjRate, p.Throughput,
+			p.Latency.Mean, p.Latency.P50, p.Latency.P95, p.Latency.P99,
+			p.AvgHops, stats.Mark(p.Saturated))
+	}
+	return t
+}

@@ -1,0 +1,211 @@
+// Package traffic is the synthetic-workload engine for the NoC: the
+// standard pattern generators used to evaluate on-chip networks
+// (uniform-random, hotspot, transpose, bit-complement, nearest-neighbor,
+// bursty streaming), injected either open-loop (a Bernoulli process at a
+// configured offered load) or closed-loop (a fixed window of outstanding
+// transactions per source), with warmup/measurement/drain phases and
+// per-flow latency histograms.
+//
+// Every source models a request/response transaction: a request packet
+// travels to the destination, a reflector there answers with a response
+// sized by the read/write mix, and latency is measured from generation
+// to response arrival — so the curves include source queueing, both
+// network directions, and ejection, exactly like the latency-vs-offered-
+// load methodology of the NoC literature.
+//
+// Two engines share this configuration surface:
+//
+//   - Run/Sweep drive raw transport fabrics (packets through
+//     transport.Endpoint), which is how saturation curves per topology,
+//     switching mode, and QoS setting are produced (experiment E10,
+//     cmd/noctraffic);
+//   - RunTrans drives the full mixed-protocol SoC through its existing
+//     NIUs via soc.Issuers, measuring transaction latency end-to-end
+//     through the protocol engines.
+package traffic
+
+import (
+	"fmt"
+	"strings"
+
+	"gonoc/internal/transport"
+)
+
+// Pattern selects how sources choose destinations.
+type Pattern uint8
+
+// Patterns.
+const (
+	// UniformRandom sends each transaction to a uniformly random other
+	// node — the canonical baseline pattern.
+	UniformRandom Pattern = iota
+	// Hotspot sends a configured fraction of traffic to one node and
+	// the rest uniformly — models a shared memory controller.
+	Hotspot
+	// Transpose sends node (x,y) to node (y,x) — adversarial for XY
+	// routing on meshes.
+	Transpose
+	// BitComplement sends node i to node ^i (within the largest
+	// power-of-two population) — maximizes average hop distance.
+	BitComplement
+	// NearestNeighbor sends to a random adjacent mesh node (ring
+	// successor on non-mesh fabrics) — minimal-distance traffic.
+	NearestNeighbor
+	// Bursty streams geometric-length bursts of back-to-back
+	// transactions at a uniformly chosen destination.
+	Bursty
+)
+
+var patternNames = map[Pattern]string{
+	UniformRandom:   "uniform",
+	Hotspot:         "hotspot",
+	Transpose:       "transpose",
+	BitComplement:   "bitcomp",
+	NearestNeighbor: "neighbor",
+	Bursty:          "bursty",
+}
+
+// String renders the pattern's CLI name.
+func (p Pattern) String() string {
+	if s, ok := patternNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("pattern%d", uint8(p))
+}
+
+// ParsePattern resolves a CLI name to a Pattern.
+func ParsePattern(s string) (Pattern, error) {
+	for p, name := range patternNames {
+		if name == strings.ToLower(strings.TrimSpace(s)) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("traffic: unknown pattern %q (want uniform|hotspot|transpose|bitcomp|neighbor|bursty)", s)
+}
+
+// Topology selects the fabric shape for the packet-level engines.
+type Topology uint8
+
+// Topologies.
+const (
+	Crossbar Topology = iota
+	Mesh
+)
+
+// String renders the topology's CLI name.
+func (t Topology) String() string {
+	if t == Mesh {
+		return "mesh"
+	}
+	return "crossbar"
+}
+
+// ParseTopology resolves a CLI name to a Topology.
+func ParseTopology(s string) (Topology, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "crossbar", "xbar":
+		return Crossbar, nil
+	case "mesh":
+		return Mesh, nil
+	}
+	return 0, fmt.Errorf("traffic: unknown topology %q (want crossbar|mesh)", s)
+}
+
+// Config parameterizes one traffic run on a raw transport fabric.
+type Config struct {
+	Seed int64
+
+	// Fabric.
+	Nodes    int      // endpoint count (default 16)
+	Topology Topology // crossbar or mesh
+	MeshW    int      // mesh width (default: square from Nodes)
+	MeshH    int      // mesh height
+	Net      transport.NetConfig
+
+	// Workload.
+	Pattern      Pattern
+	Rate         float64 // open-loop offered load, transactions/node/cycle (default 0.05)
+	PayloadBytes int     // data bytes moved per transaction (default 32)
+	ReadFrac     float64 // fraction of transactions that are reads (default 0.5; negative = all writes)
+	HotFrac      float64 // Hotspot: fraction of traffic aimed at HotNode (default 0.5)
+	HotNode      int     // Hotspot: destination node index (default 0)
+	BurstLen     int     // Bursty: mean burst length (default 8)
+	UrgentFrac   float64 // fraction of transactions injected at PrioUrgent (default 0)
+
+	// Closed loop.
+	ClosedLoop bool
+	Window     int // outstanding transactions per source (default 4)
+
+	// Phases, in fabric cycles.
+	Warmup  int64 // inject, don't record (default 1000; negative = none)
+	Measure int64 // inject and record (default 4000)
+	Drain   int64 // stop generating; cap on finishing measured txns (default 30000)
+}
+
+// ackBytes is the payload of the non-data direction (a write ack or a
+// read request): header metadata only.
+const ackBytes = 8
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 16
+	}
+	if c.Topology == Mesh && (c.MeshW == 0 || c.MeshH == 0) {
+		w := 1
+		for (w+1)*(w+1) <= c.Nodes {
+			w++
+		}
+		c.MeshW = w
+		c.MeshH = (c.Nodes + w - 1) / w
+	}
+	if c.Rate == 0 {
+		c.Rate = 0.05
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 32
+	}
+	switch {
+	case c.ReadFrac == 0:
+		c.ReadFrac = 0.5
+	case c.ReadFrac < 0:
+		c.ReadFrac = 0
+	}
+	if c.HotFrac == 0 {
+		c.HotFrac = 0.5
+	}
+	if c.BurstLen == 0 {
+		c.BurstLen = 8
+	}
+	if c.Window == 0 {
+		c.Window = 4
+	}
+	switch {
+	case c.Warmup == 0:
+		c.Warmup = 1000
+	case c.Warmup < 0:
+		c.Warmup = 0
+	}
+	if c.Measure == 0 {
+		c.Measure = 4000
+	}
+	if c.Drain == 0 {
+		c.Drain = 30000
+	}
+	c.Net = c.Net.WithDefaults()
+	// Store-and-forward buffers must hold a whole packet; size them for
+	// the largest packet this workload produces rather than panicking
+	// deep inside transport.
+	if c.Net.Mode == transport.StoreAndForward {
+		// The non-data leg carries ackBytes, which is the larger payload
+		// when PayloadBytes is tiny.
+		maxPayload := c.PayloadBytes
+		if maxPayload < ackBytes {
+			maxPayload = ackBytes
+		}
+		maxWire := transport.HeaderBytes + maxPayload
+		if need := transport.FlitCount(maxWire, c.Net.FlitBytes); c.Net.BufDepth < need {
+			c.Net.BufDepth = need
+		}
+	}
+	return c
+}

@@ -1,0 +1,69 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTransLoadThroughNIUs(t *testing.T) {
+	res := RunTrans(TransConfig{
+		Seed: 1, Rate: 0.1, Window: 2,
+		Warmup: 300, Measure: 2500, Drain: 60000,
+	})
+	if len(res.PerMaster) != 7 {
+		t.Fatalf("masters: %d", len(res.PerMaster))
+	}
+	for _, m := range res.PerMaster {
+		if m.Issued == 0 || m.Done == 0 {
+			t.Errorf("%s: issued=%d done=%d", m.Master, m.Issued, m.Done)
+		}
+		if m.Errors != 0 {
+			t.Errorf("%s: %d protocol errors", m.Master, m.Errors)
+		}
+		if m.Latency.Count > 0 && m.Latency.Mean <= 0 {
+			t.Errorf("%s: no latency", m.Master)
+		}
+	}
+	if res.Incomplete != 0 {
+		t.Fatalf("%d transactions stuck after drain", res.Incomplete)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	out := res.Table().Render()
+	if !strings.Contains(out, "axi") || !strings.Contains(out, "prop") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestTransHotspotConcentratesLoad(t *testing.T) {
+	spread := RunTrans(TransConfig{
+		Seed: 2, Rate: 0.25, Window: 2, Warmup: 300, Measure: 2500, Drain: 60000,
+	})
+	hot := RunTrans(TransConfig{
+		Seed: 2, Rate: 0.25, Window: 2, Hotspot: true,
+		Warmup: 300, Measure: 2500, Drain: 60000,
+	})
+	mean := func(r TransResult) float64 {
+		var sum float64
+		var n int
+		for _, m := range r.PerMaster {
+			if m.Latency.Count > 0 {
+				sum += m.Latency.Mean * float64(m.Latency.Count)
+				n += m.Latency.Count
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	ms, mh := mean(spread), mean(hot)
+	if ms <= 0 || mh <= 0 {
+		t.Fatalf("missing latencies: spread=%.1f hot=%.1f", ms, mh)
+	}
+	// Funneling all seven masters into one slave NIU must cost latency.
+	if mh <= ms {
+		t.Fatalf("hotspot mean %.1f not above spread mean %.1f", mh, ms)
+	}
+}

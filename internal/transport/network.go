@@ -17,6 +17,11 @@ type NetConfig struct {
 	LegacyLock     bool // enable the global legacy-lock token (READEX/LOCK support)
 }
 
+// WithDefaults returns the configuration with zero fields filled the
+// way fabric builders will fill them, so callers sizing packets or
+// buffers against the config see the fabric's real numbers.
+func (c NetConfig) WithDefaults() NetConfig { return c.withDefaults() }
+
 // withDefaults fills zero fields.
 func (c NetConfig) withDefaults() NetConfig {
 	if c.FlitBytes == 0 {
