@@ -1,5 +1,5 @@
 // Package gonoc_test holds the repository-level benchmark harness: one
-// benchmark per experiment table/figure (E1–E10; see README.md).
+// benchmark per experiment table/figure (E1–E11; see README.md).
 // Each benchmark runs the corresponding experiment end to end and reports
 // the headline simulated-cycle metrics alongside wall-clock ns/op, so
 // `go test -bench=. -benchmem` regenerates every result.
@@ -180,4 +180,34 @@ func BenchmarkTrafficUniformMesh(b *testing.B) {
 			b.Fatal("no transactions measured")
 		}
 	}
+}
+
+// BenchmarkE11Wishbone regenerates the Wishbone-adapter comparison and
+// reports the burst-mode latencies.
+func BenchmarkE11Wishbone(b *testing.B) {
+	var res experiments.E11Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.E11WishboneAdapter(int64(i + 1))
+		if len(res.Tables) != 3 {
+			b.Fatal("wishbone comparison incomplete")
+		}
+	}
+	b.ReportMetric(res.ClassicReadLat, "wb-classic-lat")
+	b.ReportMetric(res.RegFeedbackReadLat, "wb-regfb-lat")
+}
+
+// BenchmarkFig1MixedNoCWishbone is the Fig-1 mixed SoC with the
+// Wishbone IP and memory added — the eight-socket system the adapter
+// refactor makes a configuration flag instead of a new NIU.
+func BenchmarkFig1MixedNoCWishbone(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		s := soc.BuildNoC(soc.Config{Seed: int64(i + 1), RequestsPerMaster: 10, Wishbone: true})
+		c, err := s.Run(5_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = c
+	}
+	b.ReportMetric(float64(cycles), "simcycles")
 }

@@ -6,7 +6,10 @@
 // Usage:
 //
 //	nocsim [-system noc|bus] [-topology crossbar|mesh|tree]
-//	       [-mode wormhole|saf] [-seed N] [-requests N] [-qos]
+//	       [-mode wormhole|saf] [-seed N] [-requests N] [-qos] [-wb]
+//
+// -wb (NoC only) adds an eighth master — a WISHBONE IP behind its NIU —
+// and a WISHBONE memory target to the demo topology.
 package main
 
 import (
@@ -27,9 +30,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	requests := flag.Int("requests", 40, "write/read-back pairs per master")
 	qos := flag.Bool("qos", true, "enable priority arbitration in switches")
+	wb := flag.Bool("wb", false, "NoC only: add the WISHBONE master IP and memory target")
 	flag.Parse()
 
-	cfg := soc.Config{Seed: *seed, RequestsPerMaster: *requests}
+	if *wb && *system != "noc" {
+		log.Fatal("-wb requires -system noc (the Fig-2 bus has no WISHBONE bridge)")
+	}
+	cfg := soc.Config{Seed: *seed, RequestsPerMaster: *requests, Wishbone: *wb}
 	cfg.Net.QoS = *qos
 	switch *topo {
 	case "crossbar":
@@ -69,9 +76,13 @@ func main() {
 	fmt.Printf("system=%s topology=%s mode=%s seed=%d: %d masters finished in %d cycles\n\n",
 		*system, *topo, *mode, *seed, len(s.Gens), cycles)
 
+	masters := []string{"axi", "ocp", "ahb", "pvci", "bvci", "avci", "prop"}
+	if *wb {
+		masters = append(masters, "wb")
+	}
 	t := stats.NewTable("per-master results",
 		"master", "pairs", "mean lat (cyc)", "p50", "p95", "max", "mismatches")
-	for _, name := range []string{"axi", "ocp", "ahb", "pvci", "bvci", "avci", "prop"} {
+	for _, name := range masters {
 		g := s.Gens[name].Stats()
 		t.AddRow(name, g.Completed, g.Latency.Mean(), g.Latency.Percentile(50),
 			g.Latency.Percentile(95), g.Latency.Max(), g.Mismatches)
@@ -80,7 +91,7 @@ func main() {
 
 	if s.Net != nil {
 		nt := stats.NewTable("NIU statistics", "NIU", "issued", "completed", "posted", "stall cycles", "peak table")
-		for _, name := range []string{"axi", "ocp", "ahb", "pvci", "bvci", "avci", "prop"} {
+		for _, name := range masters {
 			st := s.MasterNIUs[name].Stats()
 			nt.AddRow(name, st.Issued, st.Completed, st.Posted, st.StallCycles, st.PeakTable)
 		}

@@ -62,6 +62,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
 	trans := flag.Bool("trans", false, "transaction-level load through the SoC's NIUs")
 	hotspotMem := flag.Bool("hotspot-mem", false, "trans: all masters hammer one memory")
+	wb := flag.Bool("wb", false, "trans: include the WISHBONE master (and its memory) in the driven SoC")
 	flag.Parse()
 
 	top, err := traffic.ParseTopology(*topo)
@@ -75,7 +76,7 @@ func main() {
 			socTopo = soc.Mesh
 		}
 		runTrans(*seed, socTopo, *rate, *window, *payload, zeroAsNeg(*readFrac),
-			*hotspotMem, zeroAsNegI(*warmup), *measure, *drain, *jsonOut)
+			*hotspotMem, *wb, zeroAsNegI(*warmup), *measure, *drain, *jsonOut)
 		return
 	}
 
@@ -199,10 +200,10 @@ func printRun(res traffic.Result, showFlows bool) {
 }
 
 func runTrans(seed int64, topo soc.Topology, rate float64, window, bytes int,
-	readFrac float64, hotspot bool, warmup, measure, drain int64, jsonOut bool) {
+	readFrac float64, hotspot, wishbone bool, warmup, measure, drain int64, jsonOut bool) {
 	tr := traffic.RunTrans(traffic.TransConfig{
 		Seed: seed, Topology: topo, Rate: rate, Window: window, Bytes: bytes,
-		ReadFrac: readFrac, Hotspot: hotspot,
+		ReadFrac: readFrac, Hotspot: hotspot, Wishbone: wishbone,
 		Warmup: warmup, Measure: measure, Drain: drain,
 	})
 	if jsonOut {

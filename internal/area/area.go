@@ -40,6 +40,7 @@ const (
 	ProtoBVCI Protocol = "BVCI"
 	ProtoAVCI Protocol = "AVCI"
 	ProtoProp Protocol = "PROP"
+	ProtoWB   Protocol = "WB"
 )
 
 // controlGates is the fixed front-end FSM cost per protocol: channel
@@ -52,6 +53,7 @@ var controlGates = map[Protocol]int{
 	ProtoBVCI: 800,  // cell counter + EOP
 	ProtoAVCI: 1200, // BVCI + packet-ID handling
 	ProtoProp: 1500, // descriptor/chunk/ack engines
+	ProtoWB:   700,  // single handshake + CTI/BTE burst sequencer
 }
 
 // tableEntryBits is the storage per outstanding-transaction entry in the

@@ -213,3 +213,30 @@ func TestE10MeshSaturatesBelowCrossbar(t *testing.T) {
 		}
 	}
 }
+
+func TestE11WishboneAdapter(t *testing.T) {
+	r := E11WishboneAdapter(1)
+	if len(r.Tables) != 3 {
+		t.Fatalf("tables: %d", len(r.Tables))
+	}
+	// The fully-ordered Wishbone NIU must sit in AHB/BVCI's cost class:
+	// cheaper than the AHB NIU (whose lock FSM it lacks), within 2x of
+	// BVCI.
+	if r.Gates["wb"] >= r.Gates["ahb"] {
+		t.Fatalf("wb master NIU %d gates, not below ahb %d", r.Gates["wb"], r.Gates["ahb"])
+	}
+	if r.Gates["wb"]*2 < r.Gates["bvci"] || r.Gates["wb"] > r.Gates["bvci"]*2 {
+		t.Fatalf("wb master NIU %d gates outside BVCI class %d", r.Gates["wb"], r.Gates["bvci"])
+	}
+	for proto, m := range r.MeanLat {
+		if m <= 0 {
+			t.Fatalf("%s latency not measured", proto)
+		}
+	}
+	// Registered-feedback bursts must beat classic handshake-per-beat
+	// cycles — the reason the burst extension exists.
+	if r.RegFeedbackReadLat >= r.ClassicReadLat {
+		t.Fatalf("registered feedback %.1f cyc not below classic %.1f cyc",
+			r.RegFeedbackReadLat, r.ClassicReadLat)
+	}
+}

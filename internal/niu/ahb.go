@@ -25,7 +25,12 @@ func ahbRespFor(st core.Status) ahb.Resp {
 // AHBMaster is the master-side NIU for an AHB 2.0 socket: fully ordered,
 // single tag, with HLOCK mapped onto the legacy-lock NoC service.
 type AHBMaster struct {
-	*masterBase
+	*MasterEngine
+}
+
+// ahbMasterAdapter converts between the AHB socket and the engine.
+type ahbMasterAdapter struct {
+	eng  *MasterEngine
 	port *ahb.Port
 	rspQ []ahb.Rsp
 }
@@ -38,88 +43,87 @@ type ahbMeta struct {
 // ordering handles: the model is always fully-ordered.
 func NewAHBMaster(clk *sim.Clock, net *transport.Network, amap *core.AddressMap, port *ahb.Port, cfg MasterConfig) *AHBMaster {
 	cfg.Ordering = OrderFully
-	n := &AHBMaster{masterBase: newMasterBase(net, amap, cfg, core.FullyOrdered), port: port}
-	clk.Register(n)
-	return n
+	e := NewMasterEngine(net, amap, cfg, core.FullyOrdered)
+	e.Bind(clk, &ahbMasterAdapter{eng: e, port: port})
+	return &AHBMaster{e}
 }
 
-// Eval implements sim.Clocked.
-func (n *AHBMaster) Eval(cycle int64) {
-	// Responses: strictly in order, one per cycle.
-	if rsp, entry := n.recvResponse(); rsp != nil {
-		meta := entry.Meta.(ahbMeta)
-		out := ahb.Rsp{Resp: ahbRespFor(rsp.Status)}
-		if !meta.write {
-			out.Data = rsp.Data
-		}
-		n.rspQ = append(n.rspQ, out)
+// DeliverResponse implements MasterAdapter: responses come back strictly
+// in order, one per cycle.
+func (a *ahbMasterAdapter) DeliverResponse(rsp *core.Response, entry *core.Entry) {
+	meta := entry.Meta.(ahbMeta)
+	out := ahb.Rsp{Resp: ahbRespFor(rsp.Status)}
+	if !meta.write {
+		out.Data = rsp.Data
 	}
-	if len(n.rspQ) > 0 && n.port.Rsp.CanPush(1) {
-		n.port.Rsp.Push(n.rspQ[0])
-		n.rspQ = n.rspQ[1:]
-	}
-
-	// Requests.
-	hreq, ok := n.port.Req.Peek()
-	if !ok {
-		return
-	}
-	beats := hreq.NumBeats()
-	var cmd core.Cmd
-	switch {
-	case hreq.Write && hreq.Lock && hreq.Unlock:
-		cmd = core.CmdWriteUnlk
-	case hreq.Write:
-		cmd = core.CmdWrite
-	case hreq.Lock:
-		cmd = core.CmdReadLock
-	default:
-		cmd = core.CmdRead
-	}
-	req := &core.Request{
-		Cmd: cmd, Addr: hreq.Addr, Size: hreq.Size, Len: uint16(beats),
-		Burst:  ahbBurstToCore(hreq.Burst),
-		Locked: hreq.Lock, Unlock: hreq.Unlock,
-	}
-	if hreq.Write {
-		req.Data = hreq.Data
-	}
-	switch n.tryIssue(req, 0, ahbMeta{write: hreq.Write}, cycle) {
-	case issueOK:
-		n.port.Req.Pop()
-	case issueDecodeErr, issueUnsupported:
-		// AHB signals both as ERROR on the socket (locked transfers
-		// without the LegacyLock service are refused here).
-		n.port.Req.Pop()
-		out := ahb.Rsp{Resp: ahb.RespError}
-		if !hreq.Write {
-			out.Data = make([]byte, beats*int(hreq.Size))
-		}
-		n.rspQ = append(n.rspQ, out)
-	case issueStall:
-	}
+	a.rspQ = append(a.rspQ, out)
 }
 
-// Update implements sim.Clocked.
-func (n *AHBMaster) Update(cycle int64) {}
+// StreamSocket implements MasterAdapter.
+func (a *ahbMasterAdapter) StreamSocket() { a.rspQ = pushOne(a.rspQ, a.port.Rsp) }
+
+// PumpRequests implements MasterAdapter.
+func (a *ahbMasterAdapter) PumpRequests(cycle int64) {
+	a.eng.PumpOne(cycle, func() (Candidate, bool) {
+		hreq, ok := a.port.Req.Peek()
+		if !ok {
+			return Candidate{}, false
+		}
+		beats := hreq.NumBeats()
+		var cmd core.Cmd
+		switch {
+		case hreq.Write && hreq.Lock && hreq.Unlock:
+			cmd = core.CmdWriteUnlk
+		case hreq.Write:
+			cmd = core.CmdWrite
+		case hreq.Lock:
+			cmd = core.CmdReadLock
+		default:
+			cmd = core.CmdRead
+		}
+		req := &core.Request{
+			Cmd: cmd, Addr: hreq.Addr, Size: hreq.Size, Len: uint16(beats),
+			Burst:  ahbBurstToCore(hreq.Burst),
+			Locked: hreq.Lock, Unlock: hreq.Unlock,
+		}
+		if hreq.Write {
+			req.Data = hreq.Data
+		}
+		return Candidate{
+			Req: req, ProtoID: 0, Meta: ahbMeta{write: hreq.Write},
+			Consume: func() { a.port.Req.Pop() },
+			// AHB signals both decode errors and disabled services as
+			// ERROR on the socket (locked transfers without the
+			// LegacyLock service are refused here).
+			LocalError: func() {
+				out := ahb.Rsp{Resp: ahb.RespError}
+				if !hreq.Write {
+					out.Data = make([]byte, beats*int(hreq.Size))
+				}
+				a.rspQ = append(a.rspQ, out)
+			},
+		}, true
+	})
+}
 
 // AHBSlave is the slave-side NIU for an AHB target IP. AHB has no FIXED
 // burst: fixed-address bursts from other sockets are adapted into
 // repeated SINGLE transfers — the kind of per-socket impedance matching
 // NIUs exist for.
 type AHBSlave struct {
-	*slaveBase
+	*SlaveEngine
+}
+
+// ahbSlaveAdapter executes checked requests against the target socket.
+type ahbSlaveAdapter struct {
 	eng *ahb.Master
 }
 
 // NewAHBSlave creates the NIU on clk.
 func NewAHBSlave(clk *sim.Clock, net *transport.Network, port *ahb.Port, cfg SlaveConfig) *AHBSlave {
-	n := &AHBSlave{
-		slaveBase: newSlaveBase(net, cfg),
-		eng:       ahb.NewMaster(clk, port, 2),
-	}
-	clk.Register(n)
-	return n
+	e := NewSlaveEngine(net, cfg)
+	e.Bind(clk, &ahbSlaveAdapter{eng: ahb.NewMaster(clk, port, 2)})
+	return &AHBSlave{e}
 }
 
 // coreBurstToAHB picks the AHB burst encoding for a request.
@@ -149,50 +153,41 @@ func coreBurstToAHB(b core.BurstKind, beats int) (ahb.Burst, int) {
 	}
 }
 
-// Eval implements sim.Clocked.
-func (n *AHBSlave) Eval(cycle int64) {
-	n.drainResponses()
-	req, ok := n.recvRequest()
-	if !ok {
-		return
-	}
-	if early := n.execCheck(req); early != nil {
-		n.respond(req, early)
-		return
-	}
+// Execute implements SlaveAdapter.
+func (a *ahbSlaveAdapter) Execute(req *core.Request, respond func(*core.Response)) {
 	r := req
 	beats := int(req.Len)
 	if req.Burst == core.BurstFixed && beats > 1 {
-		n.execFixed(r, beats)
+		a.execFixed(r, beats, respond)
 		return
 	}
 	burst, incr := coreBurstToAHB(req.Burst, beats)
 	switch {
 	case req.Cmd.IsRead():
-		n.eng.Read(req.Addr, req.Size, burst, incr, func(res ahb.ReadResult) {
-			n.respond(r, &core.Response{Status: statusFor(r, res.Resp != ahb.RespOkay), Data: res.Data})
+		a.eng.Read(req.Addr, req.Size, burst, incr, func(res ahb.ReadResult) {
+			respond(&core.Response{Status: statusFor(r, res.Resp != ahb.RespOkay), Data: res.Data})
 		})
 	case req.Cmd == core.CmdWritePost:
-		n.eng.Write(req.Addr, req.Size, burst, req.Data, nil)
+		a.eng.Write(req.Addr, req.Size, burst, req.Data, nil)
 	default:
-		n.eng.Write(req.Addr, req.Size, burst, req.Data, func(resp ahb.Resp) {
-			n.respond(r, &core.Response{Status: statusFor(r, resp != ahb.RespOkay)})
+		a.eng.Write(req.Addr, req.Size, burst, req.Data, func(resp ahb.Resp) {
+			respond(&core.Response{Status: statusFor(r, resp != ahb.RespOkay)})
 		})
 	}
 }
 
 // execFixed adapts a FIXED burst into repeated SINGLE transfers.
-func (n *AHBSlave) execFixed(r *core.Request, beats int) {
+func (a *ahbSlaveAdapter) execFixed(r *core.Request, beats int, respond func(*core.Response)) {
 	s := int(r.Size)
 	if r.Cmd.IsRead() {
 		data := make([]byte, 0, beats*s)
 		remaining := beats
 		for i := 0; i < beats; i++ {
-			n.eng.Read(r.Addr, r.Size, ahb.BurstSingle, 0, func(res ahb.ReadResult) {
+			a.eng.Read(r.Addr, r.Size, ahb.BurstSingle, 0, func(res ahb.ReadResult) {
 				data = append(data, res.Data...)
 				remaining--
 				if remaining == 0 {
-					n.respond(r, &core.Response{Status: statusFor(r, false), Data: data})
+					respond(&core.Response{Status: statusFor(r, false), Data: data})
 				}
 			})
 		}
@@ -204,15 +199,12 @@ func (n *AHBSlave) execFixed(r *core.Request, beats int) {
 		cb := func(ahb.Resp) {
 			remaining--
 			if remaining == 0 && r.Cmd.ExpectsResponse() {
-				n.respond(r, &core.Response{Status: statusFor(r, false)})
+				respond(&core.Response{Status: statusFor(r, false)})
 			}
 		}
 		if !r.Cmd.ExpectsResponse() {
 			cb = nil
 		}
-		n.eng.Write(r.Addr, r.Size, ahb.BurstSingle, beat, cb)
+		a.eng.Write(r.Addr, r.Size, ahb.BurstSingle, beat, cb)
 	}
 }
-
-// Update implements sim.Clocked.
-func (n *AHBSlave) Update(cycle int64) {}

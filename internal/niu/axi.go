@@ -61,7 +61,14 @@ func axiRespFor(st core.Status) axi.Resp {
 // AXIMaster is the master-side NIU for an AXI socket: the IP's AXI master
 // engine connects to the other end of the port.
 type AXIMaster struct {
-	*masterBase
+	*MasterEngine
+}
+
+// axiMasterAdapter converts between the five AXI channels and the
+// engine: AR and AW/W are two independent request sources, R streams
+// beats, B carries write responses.
+type axiMasterAdapter struct {
+	eng  *MasterEngine
 	port *axi.Port
 
 	wQ      []axi.WBeat // buffered write data awaiting its AW
@@ -89,72 +96,60 @@ type axiMeta struct {
 // NewAXIMaster creates the NIU and registers it on clk. AXI's natural
 // ordering model is ID-ordered.
 func NewAXIMaster(clk *sim.Clock, net *transport.Network, amap *core.AddressMap, port *axi.Port, cfg MasterConfig) *AXIMaster {
-	n := &AXIMaster{masterBase: newMasterBase(net, amap, cfg, core.IDOrdered), port: port}
-	clk.Register(n)
-	return n
+	e := NewMasterEngine(net, amap, cfg, core.IDOrdered)
+	e.Bind(clk, &axiMasterAdapter{eng: e, port: port})
+	return &AXIMaster{e}
 }
 
-// Eval implements sim.Clocked.
-func (n *AXIMaster) Eval(cycle int64) {
-	n.pumpResponses()
-	n.streamR()
-	n.pumpB()
-	n.acceptAR(cycle)
-	n.acceptWrites(cycle)
-}
-
-// Update implements sim.Clocked.
-func (n *AXIMaster) Update(cycle int64) {}
-
-func (n *AXIMaster) pumpResponses() {
-	rsp, entry := n.recvResponse()
-	if rsp == nil {
-		return
-	}
+// DeliverResponse implements MasterAdapter.
+func (a *axiMasterAdapter) DeliverResponse(rsp *core.Response, entry *core.Entry) {
 	meta := entry.Meta.(axiMeta)
 	if meta.write {
-		n.bQ = append(n.bQ, axi.BBeat{ID: meta.id, Resp: axiRespFor(rsp.Status)})
+		a.bQ = append(a.bQ, axi.BBeat{ID: meta.id, Resp: axiRespFor(rsp.Status)})
 		return
 	}
-	data := rsp.Data
-	want := meta.beats * int(meta.size)
-	if len(data) < want {
-		data = append(data, make([]byte, want-len(data))...) // error responses carry no data
-	}
-	n.rStream = append(n.rStream, axiRead{
-		id: meta.id, data: data, size: int(meta.size), beats: meta.beats,
+	a.rStream = append(a.rStream, axiRead{
+		id: meta.id, data: padData(rsp.Data, meta.beats*int(meta.size)),
+		size: int(meta.size), beats: meta.beats,
 		resp: axiRespFor(rsp.Status),
 	})
 }
 
-func (n *AXIMaster) streamR() {
-	if len(n.rStream) == 0 || !n.port.R.CanPush(1) {
-		return
-	}
-	r := &n.rStream[0]
-	lo := n.rBeat * r.size
-	last := n.rBeat == r.beats-1
-	n.port.R.Push(axi.RBeat{ID: r.id, Data: r.data[lo : lo+r.size], Resp: r.resp, Last: last})
-	if last {
-		n.rStream = n.rStream[1:]
-		n.rBeat = 0
-	} else {
-		n.rBeat++
-	}
+// StreamSocket implements MasterAdapter: one R beat and one B beat per
+// cycle.
+func (a *axiMasterAdapter) StreamSocket() {
+	a.streamR()
+	a.bQ = pushOne(a.bQ, a.port.B)
 }
 
-func (n *AXIMaster) pumpB() {
-	if len(n.bQ) > 0 && n.port.B.CanPush(1) {
-		n.port.B.Push(n.bQ[0])
-		n.bQ = n.bQ[1:]
+// PumpRequests implements MasterAdapter: AR and AW/W issue
+// independently, one attempt each per cycle.
+func (a *axiMasterAdapter) PumpRequests(cycle int64) {
+	a.acceptAR(cycle)
+	a.acceptWrites(cycle)
+}
+
+func (a *axiMasterAdapter) streamR() {
+	if len(a.rStream) == 0 || !a.port.R.CanPush(1) {
+		return
+	}
+	r := &a.rStream[0]
+	lo := a.rBeat * r.size
+	last := a.rBeat == r.beats-1
+	a.port.R.Push(axi.RBeat{ID: r.id, Data: r.data[lo : lo+r.size], Resp: r.resp, Last: last})
+	if last {
+		a.rStream = a.rStream[1:]
+		a.rBeat = 0
+	} else {
+		a.rBeat++
 	}
 }
 
 // priorityFor maps the AXI QoS signal onto the NoC priority, defaulting
 // to the NIU's configured priority.
-func (n *AXIMaster) priorityFor(qos uint8) noctypes.Priority {
+func (a *axiMasterAdapter) priorityFor(qos uint8) noctypes.Priority {
 	if qos == 0 {
-		return n.cfg.Priority
+		return a.eng.Config().Priority
 	}
 	if qos > 3 {
 		qos = 3
@@ -162,43 +157,43 @@ func (n *AXIMaster) priorityFor(qos uint8) noctypes.Priority {
 	return noctypes.Priority(qos)
 }
 
-func (n *AXIMaster) acceptAR(cycle int64) {
-	ar, ok := n.port.AR.Peek()
+func (a *axiMasterAdapter) acceptAR(cycle int64) {
+	ar, ok := a.port.AR.Peek()
 	if !ok {
 		return
 	}
 	cmd := core.CmdRead
 	excl := false
-	if ar.Lock && n.cfg.Services.Exclusive {
+	if ar.Lock && a.eng.Config().Services.Exclusive {
 		cmd = core.CmdReadEx
 		excl = true
 	} // exclusive demoted to plain read when the service is off (AXI: OKAY)
 	req := &core.Request{
 		Cmd: cmd, Addr: ar.Addr, Size: ar.Size, Len: uint16(ar.Beats()),
 		Burst: axiBurstToCore(ar.Burst), Exclusive: excl,
-		Priority: n.priorityFor(ar.QoS),
+		Priority: a.priorityFor(ar.QoS),
 	}
 	meta := axiMeta{id: ar.ID, write: false, size: ar.Size, beats: ar.Beats(), excl: excl}
-	switch n.tryIssue(req, axiProtoID(ar.ID, false), meta, cycle) {
-	case issueOK:
-		n.port.AR.Pop()
-	case issueDecodeErr:
-		n.port.AR.Pop()
-		n.rStream = append(n.rStream, axiRead{
+	switch a.eng.Issue(req, axiProtoID(ar.ID, false), meta, cycle) {
+	case IssueOK:
+		a.port.AR.Pop()
+	case IssueDecodeErr:
+		a.port.AR.Pop()
+		a.rStream = append(a.rStream, axiRead{
 			id: ar.ID, data: make([]byte, ar.Beats()*int(ar.Size)),
 			size: int(ar.Size), beats: ar.Beats(), resp: axi.RespDECERR,
 		})
-	case issueStall, issueUnsupported:
+	case IssueStall, IssueUnsupported:
 		// retry next cycle (unsupported cannot happen for reads)
 	}
 }
 
-func (n *AXIMaster) acceptWrites(cycle int64) {
+func (a *axiMasterAdapter) acceptWrites(cycle int64) {
 	// Buffer write data as it arrives.
-	if w, ok := n.port.W.Pop(); ok {
-		n.wQ = append(n.wQ, w)
+	if w, ok := a.port.W.Pop(); ok {
+		a.wQ = append(a.wQ, w)
 	}
-	aw, ok := n.port.AW.Peek()
+	aw, ok := a.port.AW.Peek()
 	if !ok {
 		return
 	}
@@ -206,7 +201,7 @@ func (n *AXIMaster) acceptWrites(cycle int64) {
 	// to one transaction-layer request.
 	need := aw.Beats()
 	have := -1
-	for i, w := range n.wQ {
+	for i, w := range a.wQ {
 		if w.Last {
 			have = i + 1
 			break
@@ -216,13 +211,13 @@ func (n *AXIMaster) acceptWrites(cycle int64) {
 		return // last beat not yet arrived
 	}
 	if have != need {
-		panic(fmt.Sprintf("niu: %v: WLAST after %d beats, AWLEN wants %d", n.cfg.Node, have, need))
+		panic(fmt.Sprintf("niu: %v: WLAST after %d beats, AWLEN wants %d", a.eng.Config().Node, have, need))
 	}
 	data := make([]byte, 0, need*int(aw.Size))
 	be := make([]byte, 0, need*int(aw.Size))
 	hasStrb := false
 	for i := 0; i < need; i++ {
-		w := n.wQ[i]
+		w := a.wQ[i]
 		data = append(data, w.Data...)
 		if w.Strb != nil {
 			hasStrb = true
@@ -235,28 +230,28 @@ func (n *AXIMaster) acceptWrites(cycle int64) {
 	}
 	cmd := core.CmdWrite
 	excl := false
-	if aw.Lock && n.cfg.Services.Exclusive {
+	if aw.Lock && a.eng.Config().Services.Exclusive {
 		cmd = core.CmdWriteEx
 		excl = true
 	}
 	req := &core.Request{
 		Cmd: cmd, Addr: aw.Addr, Size: aw.Size, Len: uint16(need),
 		Burst: axiBurstToCore(aw.Burst), Data: data, Exclusive: excl,
-		Priority: n.priorityFor(aw.QoS),
+		Priority: a.priorityFor(aw.QoS),
 	}
 	if hasStrb {
 		req.BE = be
 	}
 	meta := axiMeta{id: aw.ID, write: true, size: aw.Size, beats: need, excl: excl}
-	switch n.tryIssue(req, axiProtoID(aw.ID, true), meta, cycle) {
-	case issueOK:
-		n.port.AW.Pop()
-		n.wQ = n.wQ[need:]
-	case issueDecodeErr:
-		n.port.AW.Pop()
-		n.wQ = n.wQ[need:]
-		n.bQ = append(n.bQ, axi.BBeat{ID: aw.ID, Resp: axi.RespDECERR})
-	case issueStall, issueUnsupported:
+	switch a.eng.Issue(req, axiProtoID(aw.ID, true), meta, cycle) {
+	case IssueOK:
+		a.port.AW.Pop()
+		a.wQ = a.wQ[need:]
+	case IssueDecodeErr:
+		a.port.AW.Pop()
+		a.wQ = a.wQ[need:]
+		a.bQ = append(a.bQ, axi.BBeat{ID: aw.ID, Resp: axi.RespDECERR})
+	case IssueStall, IssueUnsupported:
 	}
 }
 
@@ -264,54 +259,42 @@ func (n *AXIMaster) acceptWrites(cycle int64) {
 // transaction-layer requests by driving the target's socket with an
 // embedded AXI master engine.
 type AXISlave struct {
-	*slaveBase
+	*SlaveEngine
+}
+
+type axiSlaveAdapter struct {
 	eng *axi.Master
 }
 
 // NewAXISlave creates the NIU (and its embedded engine) on clk.
 func NewAXISlave(clk *sim.Clock, net *transport.Network, port *axi.Port, cfg SlaveConfig) *AXISlave {
-	n := &AXISlave{
-		slaveBase: newSlaveBase(net, cfg),
-		eng:       axi.NewMaster(clk, port, nil),
-	}
-	clk.Register(n)
-	return n
+	e := NewSlaveEngine(net, cfg)
+	e.Bind(clk, &axiSlaveAdapter{eng: axi.NewMaster(clk, port, nil)})
+	return &AXISlave{e}
 }
 
-// Eval implements sim.Clocked.
-func (n *AXISlave) Eval(cycle int64) {
-	n.drainResponses()
-	req, ok := n.recvRequest()
-	if !ok {
-		return
-	}
-	if early := n.execCheck(req); early != nil {
-		n.respond(req, early)
-		return
-	}
+// Execute implements SlaveAdapter.
+func (a *axiSlaveAdapter) Execute(req *core.Request, respond func(*core.Response)) {
 	engID := int(req.Src)<<8 | int(req.Tag)
 	r := req // capture
 	switch {
 	case req.Cmd.IsRead():
-		n.eng.Read(engID, req.Addr, req.Size, int(req.Len), coreBurstToAXI(req.Burst),
+		a.eng.Read(engID, req.Addr, req.Size, int(req.Len), coreBurstToAXI(req.Burst),
 			func(res axi.ReadResult) {
 				st := statusFor(r, res.Resp == axi.RespSLVERR || res.Resp == axi.RespDECERR)
-				n.respond(r, &core.Response{Status: st, Data: res.Data})
+				respond(&core.Response{Status: st, Data: res.Data})
 			})
 	case req.Cmd == core.CmdWritePost:
-		n.eng.Write(engID, req.Addr, req.Size, coreBurstToAXI(req.Burst), req.Data, nil)
+		a.eng.Write(engID, req.Addr, req.Size, coreBurstToAXI(req.Burst), req.Data, nil)
 	default: // all response-carrying writes (incl. resolved exclusives)
 		cb := func(resp axi.Resp) {
 			st := statusFor(r, resp == axi.RespSLVERR || resp == axi.RespDECERR)
-			n.respond(r, &core.Response{Status: st})
+			respond(&core.Response{Status: st})
 		}
 		if r.BE != nil {
-			n.eng.WriteStrobed(engID, req.Addr, req.Size, coreBurstToAXI(req.Burst), req.Data, req.BE, cb)
+			a.eng.WriteStrobed(engID, req.Addr, req.Size, coreBurstToAXI(req.Burst), req.Data, req.BE, cb)
 		} else {
-			n.eng.Write(engID, req.Addr, req.Size, coreBurstToAXI(req.Burst), req.Data, cb)
+			a.eng.Write(engID, req.Addr, req.Size, coreBurstToAXI(req.Burst), req.Data, cb)
 		}
 	}
 }
-
-// Update implements sim.Clocked.
-func (n *AXISlave) Update(cycle int64) {}

@@ -1,0 +1,469 @@
+// The protocol-neutral NIU engine. The paper's §2 recipe is that one
+// VC-neutral transaction layer terminates any IP socket behind a thin
+// converter; this file is that recipe factored into code. MasterEngine
+// and SlaveEngine own everything every NIU shares — the core.Table
+// bookkeeping, tag/ordering policy, lock-token protocol, packet
+// encode/decode, priority defaulting, response routing, service gating
+// and the exclusive monitor — while each socket protocol supplies only a
+// small adapter (decode socket request → core.Request, encode
+// core.Response → socket signals). Adding a protocol to the NoC is
+// writing one MasterAdapter and/or one SlaveAdapter; the Wishbone
+// adapter in wishbone.go is the worked example.
+package niu
+
+import (
+	"fmt"
+
+	"gonoc/internal/core"
+	"gonoc/internal/sim"
+	"gonoc/internal/transport"
+)
+
+// IssueResult describes the outcome of MasterEngine.Issue.
+type IssueResult uint8
+
+// Issue outcomes.
+const (
+	IssueOK          IssueResult = iota
+	IssueStall                   // resources busy this cycle; retry later
+	IssueDecodeErr               // no target at this address: answer locally
+	IssueUnsupported             // request uses a disabled service
+)
+
+// MasterAdapter is the protocol-specific quarter of a master NIU: the
+// socket-facing converter the engine pumps once per cycle. Adapters keep
+// a reference to their engine and issue converted requests through
+// MasterEngine.Issue (or the PumpOne helper for single-channel sockets).
+//
+// The engine calls the three methods in a fixed per-cycle order —
+// DeliverResponse, StreamSocket, PumpRequests — so an adapter sees at
+// most one fabric response, then gets one chance to move a beat onto the
+// socket, then one chance to convert socket requests into fabric issues.
+type MasterAdapter interface {
+	// DeliverResponse consumes one fabric response. entry is the
+	// transaction-table entry retired by this response; entry.Meta holds
+	// whatever the adapter stored at issue time.
+	DeliverResponse(rsp *core.Response, entry *core.Entry)
+	// StreamSocket pushes at most one queued response beat onto the
+	// socket (no-op for adapters that answer the socket elsewhere).
+	StreamSocket()
+	// PumpRequests decodes pending socket requests and issues them via
+	// the engine. Multi-channel sockets (AXI) may attempt several issues
+	// in one call.
+	PumpRequests(cycle int64)
+}
+
+// MasterEngine is the protocol-independent three-quarters of every
+// master NIU: it owns the transaction table, the tag/ordering policy,
+// the legacy-lock token protocol, request/response wire codecs and the
+// transport.Endpoint exchange, and it drives a MasterAdapter once per
+// cycle. One engine type serves all socket protocols — the load-bearing
+// consequence of the paper's VC-neutrality claim.
+type MasterEngine struct {
+	cfg     MasterConfig
+	model   core.OrderingModel
+	ep      *transport.Endpoint
+	net     *transport.Network
+	amap    *core.AddressMap
+	table   *core.Table
+	tags    *core.TagPolicy
+	seq     uint64
+	stats   MasterStats
+	adapter MasterAdapter
+}
+
+// NewMasterEngine creates the protocol-independent half of a master NIU.
+// natural is the socket's inherent ordering model, which cfg.Ordering
+// may override. The engine is inert until Bind attaches its adapter and
+// registers it on a clock.
+func NewMasterEngine(net *transport.Network, amap *core.AddressMap, cfg MasterConfig, natural core.OrderingModel) *MasterEngine {
+	cfg = cfg.withDefaults()
+	model := cfg.Ordering.resolve(natural)
+	if model == core.FullyOrdered {
+		cfg.NumTags = 1
+	}
+	ep := net.Endpoint(cfg.Node)
+	if ep == nil {
+		panic(fmt.Sprintf("niu: node %v not attached to the network", cfg.Node))
+	}
+	return &MasterEngine{
+		cfg:   cfg,
+		model: model,
+		ep:    ep,
+		net:   net,
+		amap:  amap,
+		table: core.NewTable(cfg.Table),
+		tags:  core.NewTagPolicy(model, cfg.NumTags),
+	}
+}
+
+// Bind attaches the protocol adapter and registers the engine on clk.
+func (e *MasterEngine) Bind(clk *sim.Clock, a MasterAdapter) {
+	if e.adapter != nil {
+		panic("niu: master engine already bound")
+	}
+	e.adapter = a
+	clk.Register(e)
+}
+
+// Model returns the resolved ordering model.
+func (e *MasterEngine) Model() core.OrderingModel { return e.model }
+
+// Stats returns a copy of the NIU's counters.
+func (e *MasterEngine) Stats() MasterStats {
+	s := e.stats
+	s.PeakTable = e.table.Peak()
+	return s
+}
+
+// Table exposes the transaction table (for the area model and tests).
+func (e *MasterEngine) Table() *core.Table { return e.table }
+
+// Config returns the NIU configuration.
+func (e *MasterEngine) Config() MasterConfig { return e.cfg }
+
+// Eval implements sim.Clocked: one fabric response, one socket beat,
+// then the request pump — the shared transaction-pump cadence every
+// legacy NIU hand-rolled.
+func (e *MasterEngine) Eval(cycle int64) {
+	if rsp, entry := e.recvResponse(); rsp != nil {
+		e.adapter.DeliverResponse(rsp, entry)
+	}
+	e.adapter.StreamSocket()
+	e.adapter.PumpRequests(cycle)
+}
+
+// Update implements sim.Clocked.
+func (e *MasterEngine) Update(cycle int64) {}
+
+// Issue attempts to convert and inject one transaction-layer request.
+// protoID is the socket's ordering handle (0 for fully-ordered sockets,
+// thread ID for OCP, direction-qualified transaction ID for AXI/AVCI).
+// meta is adapter-private context stored in the table entry and returned
+// on completion.
+func (e *MasterEngine) Issue(req *core.Request, protoID int, meta any, cycle int64) IssueResult {
+	// Exclusive-access demotion is a per-protocol decision (AXI demotes
+	// to a plain access per its spec; OCP answers FAIL locally), handled
+	// by the adapters before this point. Legacy locks, by contrast, are
+	// gated here: without the service there is no lock token.
+	if req.Locked && !e.cfg.Services.LegacyLock {
+		return IssueUnsupported
+	}
+	dst, _, ok := e.amap.Decode(req.Addr)
+	if !ok {
+		e.stats.DecodeErrors++
+		return IssueDecodeErr
+	}
+	if !e.ep.CanSend() {
+		e.stats.StallCycles++
+		return IssueStall
+	}
+	// Legacy lock sequences serialize on the fabric-wide token before any
+	// packet is injected (§3: LOCK impacts the transport layer).
+	if req.Locked {
+		if !e.net.TryAcquireLock(e.cfg.Node) {
+			e.stats.StallCycles++
+			return IssueStall
+		}
+	}
+	tag, ok := e.tags.Map(protoID)
+	if !ok {
+		e.stats.StallCycles++
+		return IssueStall
+	}
+	expectsRsp := req.Cmd.ExpectsResponse()
+	if expectsRsp && !e.table.CanIssue(tag, dst) {
+		e.tags.Release(tag)
+		e.stats.StallCycles++
+		return IssueStall
+	}
+
+	e.seq++
+	req.Src = e.cfg.Node
+	req.Dst = dst
+	req.Tag = tag
+	req.Seq = e.seq
+	if req.Priority == 0 {
+		req.Priority = e.cfg.Priority
+	}
+	pkt := &transport.Packet{
+		Header: transport.Header{
+			Kind:     transport.KindReq,
+			Dst:      dst,
+			Src:      e.cfg.Node,
+			Tag:      tag,
+			Priority: req.Priority,
+			Locked:   req.Locked,
+			Unlock:   req.Unlock,
+			User:     e.cfg.Services.UserBitsFor(req),
+		},
+		Payload: core.EncodeRequest(req),
+	}
+	if !e.ep.TrySend(pkt) {
+		if expectsRsp {
+			e.tags.Release(tag)
+		}
+		e.stats.StallCycles++
+		return IssueStall
+	}
+	if expectsRsp {
+		e.table.Issue(&core.Entry{Tag: tag, Dst: dst, Cmd: req.Cmd, Seq: e.seq, Issue: cycle, Meta: meta})
+	} else {
+		e.tags.Release(tag)
+		e.stats.Posted++
+	}
+	e.stats.Issued++
+	return IssueOK
+}
+
+// Candidate is one socket request converted for issue, as produced by a
+// single-channel adapter's decode step.
+type Candidate struct {
+	Req     *core.Request
+	ProtoID int
+	Meta    any
+	// Consume pops the socket request; it runs on IssueOK and before
+	// LocalError.
+	Consume func()
+	// LocalError answers the socket locally when the request cannot
+	// enter the fabric (address decode error or disabled service).
+	LocalError func()
+}
+
+// PumpOne runs the standard single-channel pump shared by every
+// one-request-at-a-time socket (AHB, PVCI, BVCI, AVCI, Wishbone):
+// peek-decode one request, try to issue it, and either consume it,
+// answer it locally, or leave it on the socket for the next cycle.
+func (e *MasterEngine) PumpOne(cycle int64, decode func() (Candidate, bool)) {
+	c, ok := decode()
+	if !ok {
+		return
+	}
+	switch e.Issue(c.Req, c.ProtoID, c.Meta, cycle) {
+	case IssueOK:
+		c.Consume()
+	case IssueDecodeErr, IssueUnsupported:
+		c.Consume()
+		c.LocalError()
+	case IssueStall:
+		// Leave the request on the socket; retry next cycle.
+	}
+}
+
+// recvResponse pops and decodes one response packet, retiring its table
+// entry. Returns nil when no response is available this cycle.
+func (e *MasterEngine) recvResponse() (*core.Response, *core.Entry) {
+	pkt, ok := e.ep.Recv()
+	if !ok {
+		return nil, nil
+	}
+	if pkt.Kind != transport.KindRsp {
+		panic(fmt.Sprintf("niu: master NIU %v received a request packet", e.cfg.Node))
+	}
+	rsp, err := core.DecodeResponse(pkt.Payload)
+	if err != nil {
+		panic(fmt.Sprintf("niu: %v: corrupt response payload: %v", e.cfg.Node, err))
+	}
+	entry, cerr := e.table.Complete(pkt.Tag)
+	if cerr != nil {
+		panic(fmt.Sprintf("niu: %v: %v", e.cfg.Node, cerr))
+	}
+	e.tags.Release(pkt.Tag)
+	// A lock sequence ends when its unlocking transaction answers.
+	if entry.Cmd == core.CmdWriteUnlk {
+		e.net.ReleaseLock(e.cfg.Node)
+	}
+	rsp.Src = pkt.Src
+	rsp.Dst = pkt.Dst
+	rsp.Tag = pkt.Tag
+	rsp.Seq = entry.Seq
+	e.stats.Completed++
+	return rsp, entry
+}
+
+// SlaveAdapter is the protocol-specific quarter of a slave NIU: it
+// executes one checked transaction-layer request against the target IP
+// by driving that IP's socket. respond must be invoked exactly once for
+// response-expecting commands, and never for posted writes.
+type SlaveAdapter interface {
+	Execute(req *core.Request, respond func(*core.Response))
+}
+
+// SlaveEngine is the protocol-independent half of every slave NIU: it
+// owns request decode, the concurrency bound, the response queue, the
+// service gating and the exclusive-access monitor (§3: the entire
+// slave-side hardware the exclusive NoC service costs), and hands each
+// admitted request to a SlaveAdapter.
+type SlaveEngine struct {
+	cfg      SlaveConfig
+	ep       *transport.Endpoint
+	monitor  *core.ExclusiveMonitor
+	inFlight int
+	rspQ     []*transport.Packet
+	stats    SlaveStats
+	adapter  SlaveAdapter
+}
+
+// NewSlaveEngine creates the protocol-independent half of a slave NIU.
+// The engine is inert until Bind attaches its adapter.
+func NewSlaveEngine(net *transport.Network, cfg SlaveConfig) *SlaveEngine {
+	cfg = cfg.withDefaults()
+	ep := net.Endpoint(cfg.Node)
+	if ep == nil {
+		panic(fmt.Sprintf("niu: node %v not attached to the network", cfg.Node))
+	}
+	e := &SlaveEngine{cfg: cfg, ep: ep}
+	if cfg.Services.Exclusive {
+		e.monitor = core.NewExclusiveMonitor()
+	}
+	return e
+}
+
+// Bind attaches the protocol adapter and registers the engine on clk.
+func (e *SlaveEngine) Bind(clk *sim.Clock, a SlaveAdapter) {
+	if e.adapter != nil {
+		panic("niu: slave engine already bound")
+	}
+	e.adapter = a
+	clk.Register(e)
+}
+
+// Stats returns a copy of the NIU's counters.
+func (e *SlaveEngine) Stats() SlaveStats { return e.stats }
+
+// Monitor exposes the exclusive monitor (nil when the service is off).
+func (e *SlaveEngine) Monitor() *core.ExclusiveMonitor { return e.monitor }
+
+// Eval implements sim.Clocked: drain one queued response, admit one
+// request, gate it through the services, and hand it to the adapter.
+func (e *SlaveEngine) Eval(cycle int64) {
+	e.drainResponses()
+	req, ok := e.recvRequest()
+	if !ok {
+		return
+	}
+	if early := e.execCheck(req); early != nil {
+		e.respond(req, early)
+		return
+	}
+	r := req
+	e.adapter.Execute(r, func(rsp *core.Response) { e.respond(r, rsp) })
+}
+
+// Update implements sim.Clocked.
+func (e *SlaveEngine) Update(cycle int64) {}
+
+// recvRequest pops and decodes one request packet, respecting the
+// concurrency bound.
+func (e *SlaveEngine) recvRequest() (*core.Request, bool) {
+	if e.inFlight >= e.cfg.MaxConcurrent || len(e.rspQ) >= e.cfg.ResponseQueue {
+		return nil, false
+	}
+	pkt, ok := e.ep.Recv()
+	if !ok {
+		return nil, false
+	}
+	if pkt.Kind != transport.KindReq {
+		panic(fmt.Sprintf("niu: slave NIU %v received a response packet", e.cfg.Node))
+	}
+	req, err := core.DecodeRequest(pkt.Payload)
+	if err != nil {
+		panic(fmt.Sprintf("niu: %v: corrupt request payload: %v", e.cfg.Node, err))
+	}
+	req.Src = pkt.Src
+	req.Dst = pkt.Dst
+	req.Tag = pkt.Tag
+	e.stats.Requests++
+	if req.Cmd.ExpectsResponse() {
+		e.inFlight++
+	}
+	return req, true
+}
+
+// respond queues a response packet for injection.
+func (e *SlaveEngine) respond(req *core.Request, rsp *core.Response) {
+	rsp.Src = e.cfg.Node
+	rsp.Dst = req.Src
+	rsp.Tag = req.Tag
+	pkt := &transport.Packet{
+		Header: transport.Header{
+			Kind:     transport.KindRsp,
+			Dst:      req.Src, // responses route back via MstAddr
+			Src:      e.cfg.Node,
+			Tag:      req.Tag,
+			Priority: req.Priority,
+		},
+		Payload: core.EncodeResponse(rsp),
+	}
+	e.rspQ = append(e.rspQ, pkt)
+	e.inFlight--
+	e.stats.Responses++
+}
+
+// drainResponses injects queued responses, one TrySend per cycle.
+func (e *SlaveEngine) drainResponses() {
+	if len(e.rspQ) == 0 {
+		return
+	}
+	if e.ep.TrySend(e.rspQ[0]) {
+		e.rspQ = e.rspQ[1:]
+	}
+}
+
+// execCheck applies service gating and the exclusive monitor before a
+// request touches the target IP. It returns a ready-made error/fail
+// response when the request must not proceed, or nil to continue.
+//
+// This function is the §3 recipe in code: the exclusive service is one
+// user bit (already carried by the packet) plus this NIU-local state.
+func (e *SlaveEngine) execCheck(req *core.Request) *core.Response {
+	switch req.Cmd {
+	case core.CmdReadEx:
+		if e.monitor == nil {
+			e.stats.Unsupported++
+			return &core.Response{Status: core.StErrUnsupported}
+		}
+		lo, hi := core.BurstSpan(req.Burst, req.Addr, req.Size, req.Len)
+		e.monitor.Reserve(req.Src, lo, hi)
+		return nil
+	case core.CmdWriteEx:
+		if e.monitor == nil {
+			e.stats.Unsupported++
+			return &core.Response{Status: core.StErrUnsupported}
+		}
+		lo, hi := core.BurstSpan(req.Burst, req.Addr, req.Size, req.Len)
+		if !e.monitor.TryExclusiveWrite(req.Src, lo, hi) {
+			e.stats.ExclusiveNak++
+			return &core.Response{Status: core.StExFail}
+		}
+		e.stats.ExclusiveOK++
+		e.monitor.ObserveWrite(lo, hi)
+		return nil
+	default:
+		if req.Cmd.IsWrite() && e.monitor != nil {
+			lo, hi := core.BurstSpan(req.Burst, req.Addr, req.Size, req.Len)
+			e.monitor.ObserveWrite(lo, hi)
+		}
+		return nil
+	}
+}
+
+// padData extends read data to want bytes (error responses carry no
+// data; the sockets still expect full-length beats).
+func padData(data []byte, want int) []byte {
+	if len(data) >= want {
+		return data
+	}
+	return append(data, make([]byte, want-len(data))...)
+}
+
+// pushOne moves the head of q onto pipe if the pipe has room, returning
+// the (possibly shortened) queue — the one-beat-per-cycle socket
+// response drain every adapter shares.
+func pushOne[T any](q []T, pipe *sim.Pipe[T]) []T {
+	if len(q) > 0 && pipe.CanPush(1) {
+		pipe.Push(q[0])
+		q = q[1:]
+	}
+	return q
+}

@@ -1,26 +1,23 @@
 // Package niu implements Network Interface Units: the paper's converters
 // between foreign IP socket protocols and the NoC transaction layer.
 //
-// A master-side NIU terminates an IP master's socket (AHB, AXI, OCP, VCI
-// flavours, proprietary), maps the socket's ordering handles onto NoC
-// Tags via a core.TagPolicy, tracks outstanding transactions in a
-// core.Table sized by the configuration (the paper's gate-count scaling
-// knobs), and exchanges packets with the fabric through a
-// transport.Endpoint.
-//
-// A slave-side NIU does the inverse: it executes arriving transaction-
-// layer requests against a target IP by driving that IP's socket with an
-// embedded protocol master engine, and owns the per-service NIU state —
-// notably the exclusive-access monitor, which is all the slave-side
-// hardware the AXI/OCP exclusive "NoC service" costs (§3).
+// Every NIU is the same machine: a protocol-neutral engine (engine.go)
+// that owns the transaction table, tag/ordering policy, packetization
+// and the transport.Endpoint exchange, plus a thin per-protocol adapter
+// that translates between the socket's signalling and core.Request /
+// core.Response. A master-side NIU terminates an IP master's socket
+// (AHB, AXI, OCP, VCI flavours, Wishbone, proprietary) through a
+// MasterAdapter; a slave-side NIU executes arriving transaction-layer
+// requests against a target IP by driving that IP's socket with an
+// embedded protocol master engine, through a SlaveAdapter. The slave
+// engine also owns the per-service NIU state — notably the exclusive-
+// access monitor, which is all the slave-side hardware the AXI/OCP
+// exclusive "NoC service" costs (§3).
 package niu
 
 import (
-	"fmt"
-
 	"gonoc/internal/core"
 	"gonoc/internal/noctypes"
-	"gonoc/internal/transport"
 )
 
 // OrderingOverride optionally replaces a protocol's natural ordering
@@ -30,8 +27,8 @@ import (
 type OrderingOverride uint8
 
 // Ordering overrides. OrderDefault keeps the protocol's natural model
-// (AHB/PVCI/BVCI fully-ordered, OCP thread-ordered, AXI/AVCI/prop
-// ID-ordered).
+// (AHB/PVCI/BVCI/Wishbone fully-ordered, OCP thread-ordered,
+// AXI/AVCI/prop ID-ordered).
 const (
 	OrderDefault OrderingOverride = iota
 	OrderFully
@@ -87,177 +84,6 @@ type MasterStats struct {
 	PeakTable    int
 }
 
-// masterBase is the protocol-independent half of every master NIU.
-type masterBase struct {
-	cfg   MasterConfig
-	model core.OrderingModel
-	ep    *transport.Endpoint
-	net   *transport.Network
-	amap  *core.AddressMap
-	table *core.Table
-	tags  *core.TagPolicy
-	seq   uint64
-	stats MasterStats
-}
-
-func newMasterBase(net *transport.Network, amap *core.AddressMap, cfg MasterConfig, natural core.OrderingModel) *masterBase {
-	cfg = cfg.withDefaults()
-	model := cfg.Ordering.resolve(natural)
-	if model == core.FullyOrdered {
-		cfg.NumTags = 1
-	}
-	ep := net.Endpoint(cfg.Node)
-	if ep == nil {
-		panic(fmt.Sprintf("niu: node %v not attached to the network", cfg.Node))
-	}
-	return &masterBase{
-		cfg:   cfg,
-		model: model,
-		ep:    ep,
-		net:   net,
-		amap:  amap,
-		table: core.NewTable(cfg.Table),
-		tags:  core.NewTagPolicy(model, cfg.NumTags),
-	}
-}
-
-// Model returns the resolved ordering model.
-func (b *masterBase) Model() core.OrderingModel { return b.model }
-
-// Stats returns a copy of the NIU's counters.
-func (b *masterBase) Stats() MasterStats {
-	s := b.stats
-	s.PeakTable = b.table.Peak()
-	return s
-}
-
-// Table exposes the transaction table (for the area model and tests).
-func (b *masterBase) Table() *core.Table { return b.table }
-
-// Config returns the NIU configuration.
-func (b *masterBase) Config() MasterConfig { return b.cfg }
-
-// issueResult describes the outcome of tryIssue.
-type issueResult uint8
-
-const (
-	issueOK          issueResult = iota
-	issueStall                   // resources busy this cycle; retry later
-	issueDecodeErr               // no target at this address: answer locally
-	issueUnsupported             // request uses a disabled service
-)
-
-// tryIssue attempts to convert and inject one transaction-layer request.
-// protoID is the socket's ordering handle (0 for fully-ordered sockets,
-// thread ID for OCP, direction-qualified transaction ID for AXI/AVCI).
-// meta is NIU-private context stored in the table entry and returned on
-// completion.
-func (b *masterBase) tryIssue(req *core.Request, protoID int, meta any, cycle int64) issueResult {
-	// Exclusive-access demotion is a per-protocol decision (AXI demotes
-	// to a plain access per its spec; OCP answers FAIL locally), handled
-	// by the concrete NIUs before this point. Legacy locks, by contrast,
-	// are gated here: without the service there is no lock token.
-	if req.Locked && !b.cfg.Services.LegacyLock {
-		return issueUnsupported
-	}
-	dst, _, ok := b.amap.Decode(req.Addr)
-	if !ok {
-		b.stats.DecodeErrors++
-		return issueDecodeErr
-	}
-	if !b.ep.CanSend() {
-		b.stats.StallCycles++
-		return issueStall
-	}
-	// Legacy lock sequences serialize on the fabric-wide token before any
-	// packet is injected (§3: LOCK impacts the transport layer).
-	if req.Locked {
-		if !b.net.TryAcquireLock(b.cfg.Node) {
-			b.stats.StallCycles++
-			return issueStall
-		}
-	}
-	tag, ok := b.tags.Map(protoID)
-	if !ok {
-		b.stats.StallCycles++
-		return issueStall
-	}
-	expectsRsp := req.Cmd.ExpectsResponse()
-	if expectsRsp && !b.table.CanIssue(tag, dst) {
-		b.tags.Release(tag)
-		b.stats.StallCycles++
-		return issueStall
-	}
-
-	b.seq++
-	req.Src = b.cfg.Node
-	req.Dst = dst
-	req.Tag = tag
-	req.Seq = b.seq
-	if req.Priority == 0 {
-		req.Priority = b.cfg.Priority
-	}
-	pkt := &transport.Packet{
-		Header: transport.Header{
-			Kind:     transport.KindReq,
-			Dst:      dst,
-			Src:      b.cfg.Node,
-			Tag:      tag,
-			Priority: req.Priority,
-			Locked:   req.Locked,
-			Unlock:   req.Unlock,
-			User:     b.cfg.Services.UserBitsFor(req),
-		},
-		Payload: core.EncodeRequest(req),
-	}
-	if !b.ep.TrySend(pkt) {
-		if expectsRsp {
-			b.tags.Release(tag)
-		}
-		b.stats.StallCycles++
-		return issueStall
-	}
-	if expectsRsp {
-		b.table.Issue(&core.Entry{Tag: tag, Dst: dst, Cmd: req.Cmd, Seq: b.seq, Issue: cycle, Meta: meta})
-	} else {
-		b.tags.Release(tag)
-		b.stats.Posted++
-	}
-	b.stats.Issued++
-	return issueOK
-}
-
-// recvResponse pops and decodes one response packet, retiring its table
-// entry. Returns nil when no response is available this cycle.
-func (b *masterBase) recvResponse() (*core.Response, *core.Entry) {
-	pkt, ok := b.ep.Recv()
-	if !ok {
-		return nil, nil
-	}
-	if pkt.Kind != transport.KindRsp {
-		panic(fmt.Sprintf("niu: master NIU %v received a request packet", b.cfg.Node))
-	}
-	rsp, err := core.DecodeResponse(pkt.Payload)
-	if err != nil {
-		panic(fmt.Sprintf("niu: %v: corrupt response payload: %v", b.cfg.Node, err))
-	}
-	entry, cerr := b.table.Complete(pkt.Tag)
-	if cerr != nil {
-		panic(fmt.Sprintf("niu: %v: %v", b.cfg.Node, cerr))
-	}
-	b.tags.Release(pkt.Tag)
-	// A lock sequence ends when its unlocking transaction answers.
-	if entry.Cmd == core.CmdWriteUnlk {
-		b.net.ReleaseLock(b.cfg.Node)
-	}
-	rsp.Src = pkt.Src
-	rsp.Dst = pkt.Dst
-	rsp.Tag = pkt.Tag
-	rsp.Seq = entry.Seq
-	b.stats.Completed++
-	return rsp, entry
-}
-
 // SlaveConfig sizes a slave-side NIU.
 type SlaveConfig struct {
 	Node     noctypes.NodeID
@@ -286,130 +112,6 @@ type SlaveStats struct {
 	ExclusiveOK  uint64
 	ExclusiveNak uint64
 	Unsupported  uint64
-}
-
-// slaveBase is the protocol-independent half of every slave NIU.
-type slaveBase struct {
-	cfg      SlaveConfig
-	ep       *transport.Endpoint
-	monitor  *core.ExclusiveMonitor
-	inFlight int
-	rspQ     []*transport.Packet
-	stats    SlaveStats
-}
-
-func newSlaveBase(net *transport.Network, cfg SlaveConfig) *slaveBase {
-	cfg = cfg.withDefaults()
-	ep := net.Endpoint(cfg.Node)
-	if ep == nil {
-		panic(fmt.Sprintf("niu: node %v not attached to the network", cfg.Node))
-	}
-	sb := &slaveBase{cfg: cfg, ep: ep}
-	if cfg.Services.Exclusive {
-		sb.monitor = core.NewExclusiveMonitor()
-	}
-	return sb
-}
-
-// Stats returns a copy of the NIU's counters.
-func (b *slaveBase) Stats() SlaveStats { return b.stats }
-
-// Monitor exposes the exclusive monitor (nil when the service is off).
-func (b *slaveBase) Monitor() *core.ExclusiveMonitor { return b.monitor }
-
-// recvRequest pops and decodes one request packet, respecting the
-// concurrency bound.
-func (b *slaveBase) recvRequest() (*core.Request, bool) {
-	if b.inFlight >= b.cfg.MaxConcurrent || len(b.rspQ) >= b.cfg.ResponseQueue {
-		return nil, false
-	}
-	pkt, ok := b.ep.Recv()
-	if !ok {
-		return nil, false
-	}
-	if pkt.Kind != transport.KindReq {
-		panic(fmt.Sprintf("niu: slave NIU %v received a response packet", b.cfg.Node))
-	}
-	req, err := core.DecodeRequest(pkt.Payload)
-	if err != nil {
-		panic(fmt.Sprintf("niu: %v: corrupt request payload: %v", b.cfg.Node, err))
-	}
-	req.Src = pkt.Src
-	req.Dst = pkt.Dst
-	req.Tag = pkt.Tag
-	b.stats.Requests++
-	if req.Cmd.ExpectsResponse() {
-		b.inFlight++
-	}
-	return req, true
-}
-
-// respond queues a response packet for injection.
-func (b *slaveBase) respond(req *core.Request, rsp *core.Response) {
-	rsp.Src = b.cfg.Node
-	rsp.Dst = req.Src
-	rsp.Tag = req.Tag
-	pkt := &transport.Packet{
-		Header: transport.Header{
-			Kind:     transport.KindRsp,
-			Dst:      req.Src, // responses route back via MstAddr
-			Src:      b.cfg.Node,
-			Tag:      req.Tag,
-			Priority: req.Priority,
-		},
-		Payload: core.EncodeResponse(rsp),
-	}
-	b.rspQ = append(b.rspQ, pkt)
-	b.inFlight--
-	b.stats.Responses++
-}
-
-// drainResponses injects queued responses, one TrySend per cycle.
-func (b *slaveBase) drainResponses() {
-	if len(b.rspQ) == 0 {
-		return
-	}
-	if b.ep.TrySend(b.rspQ[0]) {
-		b.rspQ = b.rspQ[1:]
-	}
-}
-
-// execCheck applies service gating and the exclusive monitor before a
-// request touches the target IP. It returns a ready-made error/fail
-// response when the request must not proceed, or nil to continue.
-//
-// This function is the §3 recipe in code: the exclusive service is one
-// user bit (already carried by the packet) plus this NIU-local state.
-func (b *slaveBase) execCheck(req *core.Request) *core.Response {
-	switch req.Cmd {
-	case core.CmdReadEx:
-		if b.monitor == nil {
-			b.stats.Unsupported++
-			return &core.Response{Status: core.StErrUnsupported}
-		}
-		lo, hi := core.BurstSpan(req.Burst, req.Addr, req.Size, req.Len)
-		b.monitor.Reserve(req.Src, lo, hi)
-		return nil
-	case core.CmdWriteEx:
-		if b.monitor == nil {
-			b.stats.Unsupported++
-			return &core.Response{Status: core.StErrUnsupported}
-		}
-		lo, hi := core.BurstSpan(req.Burst, req.Addr, req.Size, req.Len)
-		if !b.monitor.TryExclusiveWrite(req.Src, lo, hi) {
-			b.stats.ExclusiveNak++
-			return &core.Response{Status: core.StExFail}
-		}
-		b.stats.ExclusiveOK++
-		b.monitor.ObserveWrite(lo, hi)
-		return nil
-	default:
-		if req.Cmd.IsWrite() && b.monitor != nil {
-			lo, hi := core.BurstSpan(req.Burst, req.Addr, req.Size, req.Len)
-			b.monitor.ObserveWrite(lo, hi)
-		}
-		return nil
-	}
 }
 
 // statusFor converts an IP-level error flag into a transaction status,

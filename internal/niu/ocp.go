@@ -46,7 +46,13 @@ func ocpRespFor(st core.Status) ocp.SResp {
 // OCPMaster is the master-side NIU for an OCP socket: thread-ordered,
 // with posted writes and lazy synchronization.
 type OCPMaster struct {
-	*masterBase
+	*MasterEngine
+}
+
+// ocpMasterAdapter assembles per-thread request bursts and streams
+// multi-beat responses back onto the socket.
+type ocpMasterAdapter struct {
+	eng  *MasterEngine
 	port *ocp.Port
 
 	asm     map[int]*ocpAsm // per-thread request-burst assembly
@@ -80,83 +86,65 @@ type ocpMeta struct {
 // NewOCPMaster creates the NIU and registers it on clk. OCP's natural
 // ordering model is thread-ordered.
 func NewOCPMaster(clk *sim.Clock, net *transport.Network, amap *core.AddressMap, port *ocp.Port, cfg MasterConfig) *OCPMaster {
-	n := &OCPMaster{
-		masterBase: newMasterBase(net, amap, cfg, core.ThreadOrdered),
-		port:       port,
-		asm:        make(map[int]*ocpAsm),
-	}
-	clk.Register(n)
-	return n
+	e := NewMasterEngine(net, amap, cfg, core.ThreadOrdered)
+	e.Bind(clk, &ocpMasterAdapter{eng: e, port: port, asm: make(map[int]*ocpAsm)})
+	return &OCPMaster{e}
 }
 
-// Eval implements sim.Clocked.
-func (n *OCPMaster) Eval(cycle int64) {
-	n.pumpResponses()
-	n.streamResp()
-	n.acceptRequests(cycle)
-}
-
-// Update implements sim.Clocked.
-func (n *OCPMaster) Update(cycle int64) {}
-
-func (n *OCPMaster) pumpResponses() {
-	rsp, entry := n.recvResponse()
-	if rsp == nil {
-		return
-	}
+// DeliverResponse implements MasterAdapter.
+func (a *ocpMasterAdapter) DeliverResponse(rsp *core.Response, entry *core.Entry) {
 	meta := entry.Meta.(ocpMeta)
 	st := ocpRespFor(rsp.Status)
 	if meta.cmd.IsRead() {
-		want := meta.beats * int(meta.size)
-		data := rsp.Data
-		if len(data) < want {
-			data = append(data, make([]byte, want-len(data))...)
-		}
-		n.rspQ = append(n.rspQ, ocpRspStream{
-			thread: meta.thread, cmd: meta.cmd, data: data,
+		a.rspQ = append(a.rspQ, ocpRspStream{
+			thread: meta.thread, cmd: meta.cmd,
+			data: padData(rsp.Data, meta.beats*int(meta.size)),
 			size: int(meta.size), beats: meta.beats, resp: st,
 		})
 		return
 	}
 	// Writes answer with a single response beat.
-	n.rspQ = append(n.rspQ, ocpRspStream{thread: meta.thread, cmd: meta.cmd, beats: 1, resp: st})
+	a.rspQ = append(a.rspQ, ocpRspStream{thread: meta.thread, cmd: meta.cmd, beats: 1, resp: st})
 }
 
-func (n *OCPMaster) streamResp() {
-	if len(n.rspQ) == 0 || !n.port.Resp.CanPush(1) {
+// StreamSocket implements MasterAdapter: one response beat per cycle.
+func (a *ocpMasterAdapter) StreamSocket() {
+	if len(a.rspQ) == 0 || !a.port.Resp.CanPush(1) {
 		return
 	}
-	r := &n.rspQ[0]
-	last := n.rspBeat == r.beats-1
+	r := &a.rspQ[0]
+	last := a.rspBeat == r.beats-1
 	beat := ocp.RespBeat{Resp: r.resp, ThreadID: r.thread, Last: last}
 	if r.data != nil {
-		lo := n.rspBeat * r.size
+		lo := a.rspBeat * r.size
 		beat.Data = r.data[lo : lo+r.size]
 	}
-	n.port.Resp.Push(beat)
+	a.port.Resp.Push(beat)
 	if last {
-		n.rspQ = n.rspQ[1:]
-		n.rspBeat = 0
+		a.rspQ = a.rspQ[1:]
+		a.rspBeat = 0
 	} else {
-		n.rspBeat++
+		a.rspBeat++
 	}
 }
 
 // localFail answers a request on the socket without touching the fabric
 // (used for WRC with the exclusive service disabled).
-func (n *OCPMaster) localFail(thread int, resp ocp.SResp) {
-	n.rspQ = append(n.rspQ, ocpRspStream{thread: thread, beats: 1, resp: resp})
+func (a *ocpMasterAdapter) localFail(thread int, resp ocp.SResp) {
+	a.rspQ = append(a.rspQ, ocpRspStream{thread: thread, beats: 1, resp: resp})
 }
 
-func (n *OCPMaster) acceptRequests(cycle int64) {
-	b, ok := n.port.Req.Peek()
+// PumpRequests implements MasterAdapter: OCP requests arrive one beat
+// per cycle; the conversion happens on the last beat.
+func (a *ocpMasterAdapter) PumpRequests(cycle int64) {
+	b, ok := a.port.Req.Peek()
 	if !ok {
 		return
 	}
-	a := n.asm[b.ThreadID]
-	if a == nil {
-		a = &ocpAsm{first: b}
-		n.asm[b.ThreadID] = a
+	asm := a.asm[b.ThreadID]
+	if asm == nil {
+		asm = &ocpAsm{first: b}
+		a.asm[b.ThreadID] = asm
 	}
 	// Assemble the burst one beat per cycle; the conversion happens on
 	// the last beat.
@@ -164,32 +152,32 @@ func (n *OCPMaster) acceptRequests(cycle int64) {
 		// Only consume the beat if, on the last beat, issue could
 		// proceed — otherwise the socket stalls (peek without pop).
 		if !b.Last {
-			n.port.Req.Pop()
-			a.data = append(a.data, b.Data...)
-			a.be = append(a.be, beOrFull(b.ByteEn, len(b.Data))...)
-			a.beats++
+			a.port.Req.Pop()
+			asm.data = append(asm.data, b.Data...)
+			asm.be = append(asm.be, beOrFull(b.ByteEn, len(b.Data))...)
+			asm.beats++
 			return
 		}
 	}
 	if !b.Last {
 		// Multi-beat read request phase: just count the beats.
-		n.port.Req.Pop()
-		a.beats++
+		a.port.Req.Pop()
+		asm.beats++
 		return
 	}
 	// Last beat: build the request.
-	first := a.first
-	data := append(append([]byte(nil), a.data...), func() []byte {
+	first := asm.first
+	data := append(append([]byte(nil), asm.data...), func() []byte {
 		if b.Cmd.IsWrite() {
 			return b.Data
 		}
 		return nil
 	}()...)
-	be := a.be
+	be := asm.be
 	if b.Cmd.IsWrite() {
-		be = append(append([]byte(nil), a.be...), beOrFull(b.ByteEn, len(b.Data))...)
+		be = append(append([]byte(nil), asm.be...), beOrFull(b.ByteEn, len(b.Data))...)
 	}
-	beats := a.beats + 1
+	beats := asm.beats + 1
 
 	var cmd core.Cmd
 	excl := false
@@ -201,18 +189,18 @@ func (n *OCPMaster) acceptRequests(cycle int64) {
 	case ocp.CmdRD:
 		cmd = core.CmdRead
 	case ocp.CmdRDL:
-		if n.cfg.Services.Exclusive {
+		if a.eng.Config().Services.Exclusive {
 			cmd, excl = core.CmdReadEx, true
 		} else {
 			cmd = core.CmdRead // demoted: plain read, reservation never set
 		}
 	case ocp.CmdWRC:
-		if !n.cfg.Services.Exclusive {
+		if !a.eng.Config().Services.Exclusive {
 			// Without the service a conditional can never succeed; fail
 			// locally rather than silently losing atomicity.
-			n.port.Req.Pop()
-			delete(n.asm, b.ThreadID)
-			n.localFail(b.ThreadID, ocp.RespFAIL)
+			a.port.Req.Pop()
+			delete(a.asm, b.ThreadID)
+			a.localFail(b.ThreadID, ocp.RespFAIL)
 			return
 		}
 		cmd, excl = core.CmdWriteEx, true
@@ -232,25 +220,25 @@ func (n *OCPMaster) acceptRequests(cycle int64) {
 		}
 	}
 	meta := ocpMeta{thread: first.ThreadID, cmd: cmd, size: first.Size, beats: beats}
-	switch n.tryIssue(req, first.ThreadID, meta, cycle) {
-	case issueOK:
-		n.port.Req.Pop()
-		delete(n.asm, b.ThreadID)
-	case issueDecodeErr:
-		n.port.Req.Pop()
-		delete(n.asm, b.ThreadID)
+	switch a.eng.Issue(req, first.ThreadID, meta, cycle) {
+	case IssueOK:
+		a.port.Req.Pop()
+		delete(a.asm, b.ThreadID)
+	case IssueDecodeErr:
+		a.port.Req.Pop()
+		delete(a.asm, b.ThreadID)
 		if cmd.ExpectsResponse() {
 			if cmd.IsRead() {
-				n.rspQ = append(n.rspQ, ocpRspStream{
+				a.rspQ = append(a.rspQ, ocpRspStream{
 					thread: first.ThreadID, cmd: cmd,
 					data: make([]byte, beats*int(first.Size)), size: int(first.Size),
 					beats: beats, resp: ocp.RespERR,
 				})
 			} else {
-				n.localFail(first.ThreadID, ocp.RespERR)
+				a.localFail(first.ThreadID, ocp.RespERR)
 			}
 		}
-	case issueStall, issueUnsupported:
+	case IssueStall, IssueUnsupported:
 		// Leave the last beat in the socket; retry next cycle.
 	}
 }
@@ -277,7 +265,10 @@ func anyMasked(be []byte) bool {
 
 // OCPSlave is the slave-side NIU for an OCP target IP.
 type OCPSlave struct {
-	*slaveBase
+	*SlaveEngine
+}
+
+type ocpSlaveAdapter struct {
 	eng *ocp.Master
 	// thread allocation: the engine's threads are a hardware resource of
 	// the NIU; requests hash onto them by tag.
@@ -290,43 +281,27 @@ func NewOCPSlave(clk *sim.Clock, net *transport.Network, port *ocp.Port, threads
 	if threads <= 0 {
 		threads = 1
 	}
-	n := &OCPSlave{
-		slaveBase: newSlaveBase(net, cfg),
-		eng:       ocp.NewMaster(clk, port),
-		threads:   threads,
-	}
-	clk.Register(n)
-	return n
+	e := NewSlaveEngine(net, cfg)
+	e.Bind(clk, &ocpSlaveAdapter{eng: ocp.NewMaster(clk, port), threads: threads})
+	return &OCPSlave{e}
 }
 
-// Eval implements sim.Clocked.
-func (n *OCPSlave) Eval(cycle int64) {
-	n.drainResponses()
-	req, ok := n.recvRequest()
-	if !ok {
-		return
-	}
-	if early := n.execCheck(req); early != nil {
-		n.respond(req, early)
-		return
-	}
-	th := int(req.Tag) % n.threads
+// Execute implements SlaveAdapter.
+func (a *ocpSlaveAdapter) Execute(req *core.Request, respond func(*core.Response)) {
+	th := int(req.Tag) % a.threads
 	r := req
 	switch {
 	case req.Cmd.IsRead():
-		n.eng.Read(th, req.Addr, req.Size, int(req.Len), coreBurstToOCP(req.Burst),
+		a.eng.Read(th, req.Addr, req.Size, int(req.Len), coreBurstToOCP(req.Burst),
 			func(res ocp.ReadResult) {
-				n.respond(r, &core.Response{Status: statusFor(r, res.Resp == ocp.RespERR), Data: res.Data})
+				respond(&core.Response{Status: statusFor(r, res.Resp == ocp.RespERR), Data: res.Data})
 			})
 	case req.Cmd == core.CmdWritePost:
-		n.eng.Write(th, req.Addr, req.Size, coreBurstToOCP(req.Burst), req.Data, nil)
+		a.eng.Write(th, req.Addr, req.Size, coreBurstToOCP(req.Burst), req.Data, nil)
 	default:
-		n.eng.WriteNonPosted(th, req.Addr, req.Size, coreBurstToOCP(req.Burst), req.Data,
+		a.eng.WriteNonPosted(th, req.Addr, req.Size, coreBurstToOCP(req.Burst), req.Data,
 			func(s ocp.SResp) {
-				n.respond(r, &core.Response{Status: statusFor(r, s == ocp.RespERR)})
+				respond(&core.Response{Status: statusFor(r, s == ocp.RespERR)})
 			})
 	}
 }
-
-// Update implements sim.Clocked.
-func (n *OCPSlave) Update(cycle int64) {}

@@ -17,9 +17,14 @@ const propBurstBytes = 64
 // It is the paper's §2 recipe exercised end-to-end: the stream/ack
 // semantics that exist in no standard socket are absorbed entirely into
 // NIU state (stream tables, ack coalescing counters) and ordinary
-// read/write packets — zero transport-layer changes.
+// read/write packets — zero transport-layer changes, zero engine
+// changes: even this socket is just another MasterAdapter.
 type PropMaster struct {
-	*masterBase
+	*MasterEngine
+}
+
+type propMasterAdapter struct {
+	eng  *MasterEngine
 	port *prop.Port
 
 	wrStreams map[int]*propWrState
@@ -27,7 +32,6 @@ type PropMaster struct {
 	rdStreams map[int]*propRdState
 	rdOrder   []int // active read streams, for chunk emission fairness
 	ackQ      []prop.Ack
-	wrBuf     []prop.Chunk
 }
 
 type propWrState struct {
@@ -55,48 +59,49 @@ type propMeta struct {
 
 // NewPropMaster creates the NIU on clk.
 func NewPropMaster(clk *sim.Clock, net *transport.Network, amap *core.AddressMap, port *prop.Port, cfg MasterConfig) *PropMaster {
-	n := &PropMaster{
-		masterBase: newMasterBase(net, amap, cfg, core.IDOrdered),
-		port:       port,
-		wrStreams:  make(map[int]*propWrState),
-		rdStreams:  make(map[int]*propRdState),
-	}
-	clk.Register(n)
-	return n
+	e := NewMasterEngine(net, amap, cfg, core.IDOrdered)
+	e.Bind(clk, &propMasterAdapter{
+		eng:       e,
+		port:      port,
+		wrStreams: make(map[int]*propWrState),
+		rdStreams: make(map[int]*propRdState),
+	})
+	return &PropMaster{e}
 }
 
-// Eval implements sim.Clocked.
-func (n *PropMaster) Eval(cycle int64) {
-	n.pumpResponses()
-	n.acceptSocket()
-	n.issueWrites(cycle)
-	n.issueReads(cycle)
-	n.emitChunks()
-	n.emitAcks()
+// StreamSocket implements MasterAdapter: the proprietary socket is fed
+// at the end of the pump instead (chunk/ack emission follows issue).
+func (a *propMasterAdapter) StreamSocket() {}
+
+// PumpRequests implements MasterAdapter: absorb socket activity, issue
+// at most one write burst and one read burst, then feed the socket.
+func (a *propMasterAdapter) PumpRequests(cycle int64) {
+	a.acceptSocket()
+	a.issueWrites(cycle)
+	a.issueReads(cycle)
+	a.emitChunks()
+	a.emitAcks()
 }
 
-// Update implements sim.Clocked.
-func (n *PropMaster) Update(cycle int64) {}
-
-func (n *PropMaster) acceptSocket() {
-	if d, ok := n.port.Desc.Pop(); ok {
+func (a *propMasterAdapter) acceptSocket() {
+	if d, ok := a.port.Desc.Pop(); ok {
 		switch d.Op {
 		case prop.OpStreamWrite:
-			if _, dup := n.wrStreams[d.StreamID]; dup {
+			if _, dup := a.wrStreams[d.StreamID]; dup {
 				panic(fmt.Sprintf("niu: prop stream %d already writing", d.StreamID))
 			}
-			n.wrStreams[d.StreamID] = &propWrState{d: d}
-			n.wrOrder = append(n.wrOrder, d.StreamID)
+			a.wrStreams[d.StreamID] = &propWrState{d: d}
+			a.wrOrder = append(a.wrOrder, d.StreamID)
 		case prop.OpStreamRead:
-			if _, dup := n.rdStreams[d.StreamID]; dup {
+			if _, dup := a.rdStreams[d.StreamID]; dup {
 				panic(fmt.Sprintf("niu: prop stream %d already reading", d.StreamID))
 			}
-			n.rdStreams[d.StreamID] = &propRdState{d: d}
-			n.rdOrder = append(n.rdOrder, d.StreamID)
+			a.rdStreams[d.StreamID] = &propRdState{d: d}
+			a.rdOrder = append(a.rdOrder, d.StreamID)
 		}
 	}
-	if c, ok := n.port.Wr.Pop(); ok {
-		st := n.wrStreams[c.StreamID]
+	if c, ok := a.port.Wr.Pop(); ok {
+		st := a.wrStreams[c.StreamID]
 		if st == nil {
 			panic(fmt.Sprintf("niu: prop chunk for unknown stream %d", c.StreamID))
 		}
@@ -106,9 +111,9 @@ func (n *PropMaster) acceptSocket() {
 }
 
 // issueWrites converts buffered stream bytes into write bursts.
-func (n *PropMaster) issueWrites(cycle int64) {
-	for _, id := range n.wrOrder {
-		st := n.wrStreams[id]
+func (a *propMasterAdapter) issueWrites(cycle int64) {
+	for _, id := range a.wrOrder {
+		st := a.wrStreams[id]
 		if st == nil || len(st.buf) == 0 {
 			continue
 		}
@@ -125,7 +130,7 @@ func (n *PropMaster) issueWrites(cycle int64) {
 			Data: append([]byte(nil), st.buf[:sz]...),
 		}
 		meta := propMeta{stream: id, write: true, bytes: sz}
-		if n.tryIssue(req, id, meta, cycle) == issueOK {
+		if a.eng.Issue(req, id, meta, cycle) == IssueOK {
 			st.buf = st.buf[sz:]
 			st.sent += sz
 		}
@@ -134,9 +139,9 @@ func (n *PropMaster) issueWrites(cycle int64) {
 }
 
 // issueReads converts read descriptors into read bursts.
-func (n *PropMaster) issueReads(cycle int64) {
-	for _, id := range n.rdOrder {
-		st := n.rdStreams[id]
+func (a *propMasterAdapter) issueReads(cycle int64) {
+	for _, id := range a.rdOrder {
+		st := a.rdStreams[id]
 		if st == nil || st.issued >= st.d.Bytes {
 			continue
 		}
@@ -149,21 +154,18 @@ func (n *PropMaster) issueReads(cycle int64) {
 			Len: uint16(sz), Burst: core.BurstIncr,
 		}
 		meta := propMeta{stream: id, write: false, bytes: sz}
-		if n.tryIssue(req, 1000+id, meta, cycle) == issueOK {
+		if a.eng.Issue(req, 1000+id, meta, cycle) == IssueOK {
 			st.issued += sz
 		}
 		return
 	}
 }
 
-func (n *PropMaster) pumpResponses() {
-	rsp, entry := n.recvResponse()
-	if rsp == nil {
-		return
-	}
+// DeliverResponse implements MasterAdapter.
+func (a *propMasterAdapter) DeliverResponse(rsp *core.Response, entry *core.Entry) {
 	meta := entry.Meta.(propMeta)
 	if meta.write {
-		st := n.wrStreams[meta.stream]
+		st := a.wrStreams[meta.stream]
 		if st == nil {
 			return
 		}
@@ -174,22 +176,22 @@ func (n *PropMaster) pumpResponses() {
 		// Ack coalescing: the NIU state machine reproduces the socket's
 		// every-AckEvery-chunks contract.
 		for st.ackPend >= prop.AckEvery {
-			n.ackQ = append(n.ackQ, prop.Ack{StreamID: meta.stream, Chunks: prop.AckEvery, OK: !st.failed})
+			a.ackQ = append(a.ackQ, prop.Ack{StreamID: meta.stream, Chunks: prop.AckEvery, OK: !st.failed})
 			st.ackPend -= prop.AckEvery
 		}
 		if done {
-			n.ackQ = append(n.ackQ, prop.Ack{StreamID: meta.stream, Chunks: st.ackPend, Done: true, OK: !st.failed})
-			delete(n.wrStreams, meta.stream)
-			for i, id := range n.wrOrder {
+			a.ackQ = append(a.ackQ, prop.Ack{StreamID: meta.stream, Chunks: st.ackPend, Done: true, OK: !st.failed})
+			delete(a.wrStreams, meta.stream)
+			for i, id := range a.wrOrder {
 				if id == meta.stream {
-					n.wrOrder = append(n.wrOrder[:i], n.wrOrder[i+1:]...)
+					a.wrOrder = append(a.wrOrder[:i], a.wrOrder[i+1:]...)
 					break
 				}
 			}
 		}
 		return
 	}
-	st := n.rdStreams[meta.stream]
+	st := a.rdStreams[meta.stream]
 	if st == nil {
 		return
 	}
@@ -197,12 +199,12 @@ func (n *PropMaster) pumpResponses() {
 }
 
 // emitChunks streams read data back onto the socket, one chunk per cycle.
-func (n *PropMaster) emitChunks() {
-	if !n.port.Rd.CanPush(1) {
+func (a *propMasterAdapter) emitChunks() {
+	if !a.port.Rd.CanPush(1) {
 		return
 	}
-	for i, id := range n.rdOrder {
-		st := n.rdStreams[id]
+	for i, id := range a.rdOrder {
+		st := a.rdStreams[id]
 		if st == nil {
 			continue
 		}
@@ -219,19 +221,14 @@ func (n *PropMaster) emitChunks() {
 			sz = prop.ChunkBytes
 		}
 		last := st.emitted+sz == st.d.Bytes
-		n.port.Rd.Push(prop.Chunk{StreamID: id, Data: st.got[st.emitted : st.emitted+sz], Last: last})
+		a.port.Rd.Push(prop.Chunk{StreamID: id, Data: st.got[st.emitted : st.emitted+sz], Last: last})
 		st.emitted += sz
 		if last {
-			delete(n.rdStreams, id)
-			n.rdOrder = append(n.rdOrder[:i], n.rdOrder[i+1:]...)
+			delete(a.rdStreams, id)
+			a.rdOrder = append(a.rdOrder[:i], a.rdOrder[i+1:]...)
 		}
 		return
 	}
 }
 
-func (n *PropMaster) emitAcks() {
-	if len(n.ackQ) > 0 && n.port.Ack.CanPush(1) {
-		n.port.Ack.Push(n.ackQ[0])
-		n.ackQ = n.ackQ[1:]
-	}
-}
+func (a *propMasterAdapter) emitAcks() { a.ackQ = pushOne(a.ackQ, a.port.Ack) }

@@ -12,7 +12,11 @@ import (
 // PVCIMaster is the master-side NIU for a PVCI socket: single-beat,
 // single-outstanding, fully ordered — the cheapest NIU in the family.
 type PVCIMaster struct {
-	*masterBase
+	*MasterEngine
+}
+
+type pvciMasterAdapter struct {
+	eng  *MasterEngine
 	port *vci.PPort
 	rspQ []vci.PRsp
 }
@@ -25,83 +29,74 @@ func NewPVCIMaster(clk *sim.Clock, net *transport.Network, amap *core.AddressMap
 	if cfg.Table.MaxOutstanding == 0 {
 		cfg.Table.MaxOutstanding = 1 // PVCI is single-outstanding by nature
 	}
-	n := &PVCIMaster{masterBase: newMasterBase(net, amap, cfg, core.FullyOrdered), port: port}
-	clk.Register(n)
-	return n
+	e := NewMasterEngine(net, amap, cfg, core.FullyOrdered)
+	e.Bind(clk, &pvciMasterAdapter{eng: e, port: port})
+	return &PVCIMaster{e}
 }
 
-// Eval implements sim.Clocked.
-func (n *PVCIMaster) Eval(cycle int64) {
-	if rsp, entry := n.recvResponse(); rsp != nil {
-		meta := entry.Meta.(pvciMeta)
-		out := vci.PRsp{Err: !rsp.Status.OK()}
-		if !meta.write {
-			out.Data = rsp.Data
-		}
-		n.rspQ = append(n.rspQ, out)
+// DeliverResponse implements MasterAdapter.
+func (a *pvciMasterAdapter) DeliverResponse(rsp *core.Response, entry *core.Entry) {
+	meta := entry.Meta.(pvciMeta)
+	out := vci.PRsp{Err: !rsp.Status.OK()}
+	if !meta.write {
+		out.Data = rsp.Data
 	}
-	if len(n.rspQ) > 0 && n.port.Rsp.CanPush(1) {
-		n.port.Rsp.Push(n.rspQ[0])
-		n.rspQ = n.rspQ[1:]
-	}
-	preq, ok := n.port.Req.Peek()
-	if !ok {
-		return
-	}
-	var req *core.Request
-	if preq.Write {
-		req = &core.Request{
-			Cmd: core.CmdWrite, Addr: preq.Addr, Size: uint8(len(preq.Data)), Len: 1,
-			Burst: core.BurstIncr, Data: preq.Data, BE: preq.BE,
-		}
-	} else {
-		nBytes := preq.N
-		if nBytes < 1 || nBytes > 4 {
-			nBytes = 4
-		}
-		req = &core.Request{
-			Cmd: core.CmdRead, Addr: preq.Addr, Size: uint8(nBytes), Len: 1, Burst: core.BurstIncr,
-		}
-	}
-	switch n.tryIssue(req, 0, pvciMeta{write: preq.Write}, cycle) {
-	case issueOK:
-		n.port.Req.Pop()
-	case issueDecodeErr, issueUnsupported:
-		n.port.Req.Pop()
-		n.rspQ = append(n.rspQ, vci.PRsp{Err: true})
-	case issueStall:
-	}
+	a.rspQ = append(a.rspQ, out)
 }
 
-// Update implements sim.Clocked.
-func (n *PVCIMaster) Update(cycle int64) {}
+// StreamSocket implements MasterAdapter.
+func (a *pvciMasterAdapter) StreamSocket() { a.rspQ = pushOne(a.rspQ, a.port.Rsp) }
+
+// PumpRequests implements MasterAdapter.
+func (a *pvciMasterAdapter) PumpRequests(cycle int64) {
+	a.eng.PumpOne(cycle, func() (Candidate, bool) {
+		preq, ok := a.port.Req.Peek()
+		if !ok {
+			return Candidate{}, false
+		}
+		var req *core.Request
+		if preq.Write {
+			req = &core.Request{
+				Cmd: core.CmdWrite, Addr: preq.Addr, Size: uint8(len(preq.Data)), Len: 1,
+				Burst: core.BurstIncr, Data: preq.Data, BE: preq.BE,
+			}
+		} else {
+			nBytes := preq.N
+			if nBytes < 1 || nBytes > 4 {
+				nBytes = 4
+			}
+			req = &core.Request{
+				Cmd: core.CmdRead, Addr: preq.Addr, Size: uint8(nBytes), Len: 1, Burst: core.BurstIncr,
+			}
+		}
+		return Candidate{
+			Req: req, ProtoID: 0, Meta: pvciMeta{write: preq.Write},
+			Consume:    func() { a.port.Req.Pop() },
+			LocalError: func() { a.rspQ = append(a.rspQ, vci.PRsp{Err: true}) },
+		}, true
+	})
+}
 
 // PVCISlave is the slave-side NIU for a PVCI target. PVCI moves at most
 // 4 bytes per transaction, so burst requests from richer sockets are
 // split into word-sized operations — heavy adaptation, honestly costed.
 type PVCISlave struct {
-	*slaveBase
+	*SlaveEngine
+}
+
+type pvciSlaveAdapter struct {
 	eng *vci.PMaster
 }
 
 // NewPVCISlave creates the NIU on clk.
 func NewPVCISlave(clk *sim.Clock, net *transport.Network, port *vci.PPort, cfg SlaveConfig) *PVCISlave {
-	n := &PVCISlave{slaveBase: newSlaveBase(net, cfg), eng: vci.NewPMaster(clk, port)}
-	clk.Register(n)
-	return n
+	e := NewSlaveEngine(net, cfg)
+	e.Bind(clk, &pvciSlaveAdapter{eng: vci.NewPMaster(clk, port)})
+	return &PVCISlave{e}
 }
 
-// Eval implements sim.Clocked.
-func (n *PVCISlave) Eval(cycle int64) {
-	n.drainResponses()
-	req, ok := n.recvRequest()
-	if !ok {
-		return
-	}
-	if early := n.execCheck(req); early != nil {
-		n.respond(req, early)
-		return
-	}
+// Execute implements SlaveAdapter.
+func (a *pvciSlaveAdapter) Execute(req *core.Request, respond func(*core.Response)) {
 	r := req
 	beats := int(req.Len)
 	// Word-split each beat into <=4-byte PVCI operations.
@@ -129,12 +124,12 @@ func (n *PVCISlave) Eval(cycle int64) {
 		anyErr := false
 		for _, o := range ops {
 			o := o
-			n.eng.Read(o.addr, o.n, func(d []byte, err bool) {
+			a.eng.Read(o.addr, o.n, func(d []byte, err bool) {
 				copy(data[o.off:o.off+o.n], d)
 				anyErr = anyErr || err
 				remaining--
 				if remaining == 0 {
-					n.respond(r, &core.Response{Status: statusFor(r, anyErr), Data: data})
+					respond(&core.Response{Status: statusFor(r, anyErr), Data: data})
 				}
 			})
 		}
@@ -152,7 +147,7 @@ func (n *PVCISlave) Eval(cycle int64) {
 			anyErr = anyErr || err
 			remaining--
 			if remaining == 0 && r.Cmd.ExpectsResponse() {
-				n.respond(r, &core.Response{Status: statusFor(r, anyErr)})
+				respond(&core.Response{Status: statusFor(r, anyErr)})
 			}
 		}
 		if !r.Cmd.ExpectsResponse() {
@@ -161,29 +156,23 @@ func (n *PVCISlave) Eval(cycle int64) {
 		data := append([]byte(nil), r.Data[o.off:o.off+o.n]...)
 		if be != nil {
 			// PVCI write with byte enables travels as a masked write.
-			n.engWriteBE(o.addr, data, be, cb)
+			a.eng.WriteBE(o.addr, data, be, cb)
 		} else {
-			n.eng.Write(o.addr, data, cb)
+			a.eng.Write(o.addr, data, cb)
 		}
 	}
 }
-
-// engWriteBE issues a PVCI write carrying byte enables.
-func (n *PVCISlave) engWriteBE(addr uint64, data, be []byte, cb func(bool)) {
-	// The PVCI socket model accepts BE via the request's BE field; the
-	// master engine API exposes plain writes, so push through a wrapper.
-	n.eng.WriteBE(addr, data, be, cb)
-}
-
-// Update implements sim.Clocked.
-func (n *PVCISlave) Update(cycle int64) {}
 
 // ---------------------------------------------------------------- BVCI --
 
 // BVCIMaster is the master-side NIU for a BVCI socket: bursts, fully
 // ordered.
 type BVCIMaster struct {
-	*masterBase
+	*MasterEngine
+}
+
+type bvciMasterAdapter struct {
+	eng  *MasterEngine
 	port *vci.BPort
 	rspQ []vci.BRsp
 }
@@ -193,110 +182,104 @@ type bvciMeta struct{ write bool }
 // NewBVCIMaster creates the NIU on clk.
 func NewBVCIMaster(clk *sim.Clock, net *transport.Network, amap *core.AddressMap, port *vci.BPort, cfg MasterConfig) *BVCIMaster {
 	cfg.Ordering = OrderFully
-	n := &BVCIMaster{masterBase: newMasterBase(net, amap, cfg, core.FullyOrdered), port: port}
-	clk.Register(n)
-	return n
+	e := NewMasterEngine(net, amap, cfg, core.FullyOrdered)
+	e.Bind(clk, &bvciMasterAdapter{eng: e, port: port})
+	return &BVCIMaster{e}
 }
 
-// Eval implements sim.Clocked.
-func (n *BVCIMaster) Eval(cycle int64) {
-	if rsp, entry := n.recvResponse(); rsp != nil {
-		meta := entry.Meta.(bvciMeta)
-		out := vci.BRsp{Err: !rsp.Status.OK()}
-		if !meta.write {
-			out.Data = rsp.Data
-		}
-		n.rspQ = append(n.rspQ, out)
+// DeliverResponse implements MasterAdapter.
+func (a *bvciMasterAdapter) DeliverResponse(rsp *core.Response, entry *core.Entry) {
+	meta := entry.Meta.(bvciMeta)
+	out := vci.BRsp{Err: !rsp.Status.OK()}
+	if !meta.write {
+		out.Data = rsp.Data
 	}
-	if len(n.rspQ) > 0 && n.port.Rsp.CanPush(1) {
-		n.port.Rsp.Push(n.rspQ[0])
-		n.rspQ = n.rspQ[1:]
-	}
-	breq, ok := n.port.Req.Peek()
-	if !ok {
-		return
-	}
-	burst := core.BurstIncr
-	if breq.Wrap {
-		burst = core.BurstWrap
-	}
-	var req *core.Request
-	if breq.Op == vci.OpWrite {
-		req = &core.Request{
-			Cmd: core.CmdWrite, Addr: breq.Addr, Size: breq.Size, Len: uint16(breq.Beats),
-			Burst: burst, Data: breq.Data,
-		}
-	} else {
-		req = &core.Request{
-			Cmd: core.CmdRead, Addr: breq.Addr, Size: breq.Size, Len: uint16(breq.Beats), Burst: burst,
-		}
-	}
-	switch n.tryIssue(req, 0, bvciMeta{write: breq.Op == vci.OpWrite}, cycle) {
-	case issueOK:
-		n.port.Req.Pop()
-	case issueDecodeErr, issueUnsupported:
-		n.port.Req.Pop()
-		out := vci.BRsp{Err: true}
-		if breq.Op == vci.OpRead {
-			out.Data = make([]byte, breq.Beats*int(breq.Size))
-		}
-		n.rspQ = append(n.rspQ, out)
-	case issueStall:
-	}
+	a.rspQ = append(a.rspQ, out)
 }
 
-// Update implements sim.Clocked.
-func (n *BVCIMaster) Update(cycle int64) {}
+// StreamSocket implements MasterAdapter.
+func (a *bvciMasterAdapter) StreamSocket() { a.rspQ = pushOne(a.rspQ, a.port.Rsp) }
+
+// PumpRequests implements MasterAdapter.
+func (a *bvciMasterAdapter) PumpRequests(cycle int64) {
+	a.eng.PumpOne(cycle, func() (Candidate, bool) {
+		breq, ok := a.port.Req.Peek()
+		if !ok {
+			return Candidate{}, false
+		}
+		burst := core.BurstIncr
+		if breq.Wrap {
+			burst = core.BurstWrap
+		}
+		var req *core.Request
+		if breq.Op == vci.OpWrite {
+			req = &core.Request{
+				Cmd: core.CmdWrite, Addr: breq.Addr, Size: breq.Size, Len: uint16(breq.Beats),
+				Burst: burst, Data: breq.Data,
+			}
+		} else {
+			req = &core.Request{
+				Cmd: core.CmdRead, Addr: breq.Addr, Size: breq.Size, Len: uint16(breq.Beats), Burst: burst,
+			}
+		}
+		return Candidate{
+			Req: req, ProtoID: 0, Meta: bvciMeta{write: breq.Op == vci.OpWrite},
+			Consume: func() { a.port.Req.Pop() },
+			LocalError: func() {
+				out := vci.BRsp{Err: true}
+				if breq.Op == vci.OpRead {
+					out.Data = make([]byte, breq.Beats*int(breq.Size))
+				}
+				a.rspQ = append(a.rspQ, out)
+			},
+		}, true
+	})
+}
 
 // BVCISlave is the slave-side NIU for a BVCI target IP.
 type BVCISlave struct {
-	*slaveBase
+	*SlaveEngine
+}
+
+type bvciSlaveAdapter struct {
 	eng *vci.BMaster
 }
 
 // NewBVCISlave creates the NIU on clk.
 func NewBVCISlave(clk *sim.Clock, net *transport.Network, port *vci.BPort, cfg SlaveConfig) *BVCISlave {
-	n := &BVCISlave{slaveBase: newSlaveBase(net, cfg), eng: vci.NewBMaster(clk, port, 2)}
-	clk.Register(n)
-	return n
+	e := NewSlaveEngine(net, cfg)
+	e.Bind(clk, &bvciSlaveAdapter{eng: vci.NewBMaster(clk, port, 2)})
+	return &BVCISlave{e}
 }
 
-// Eval implements sim.Clocked.
-func (n *BVCISlave) Eval(cycle int64) {
-	n.drainResponses()
-	req, ok := n.recvRequest()
-	if !ok {
-		return
-	}
-	if early := n.execCheck(req); early != nil {
-		n.respond(req, early)
-		return
-	}
+// Execute implements SlaveAdapter.
+func (a *bvciSlaveAdapter) Execute(req *core.Request, respond func(*core.Response)) {
 	r := req
 	wrap := req.Burst == core.BurstWrap
 	switch {
 	case req.Cmd.IsRead():
-		n.eng.Read(req.Addr, req.Size, int(req.Len), wrap, func(d []byte, err bool) {
-			n.respond(r, &core.Response{Status: statusFor(r, err), Data: d})
+		a.eng.Read(req.Addr, req.Size, int(req.Len), wrap, func(d []byte, err bool) {
+			respond(&core.Response{Status: statusFor(r, err), Data: d})
 		})
 	case req.Cmd == core.CmdWritePost:
-		n.eng.Write(req.Addr, req.Size, req.Data, nil)
+		a.eng.Write(req.Addr, req.Size, req.Data, nil)
 	default:
-		n.eng.Write(req.Addr, req.Size, req.Data, func(err bool) {
-			n.respond(r, &core.Response{Status: statusFor(r, err)})
+		a.eng.Write(req.Addr, req.Size, req.Data, func(err bool) {
+			respond(&core.Response{Status: statusFor(r, err)})
 		})
 	}
 }
-
-// Update implements sim.Clocked.
-func (n *BVCISlave) Update(cycle int64) {}
 
 // ---------------------------------------------------------------- AVCI --
 
 // AVCIMaster is the master-side NIU for an AVCI socket: packet IDs map
 // onto NoC tags, out-of-order across IDs.
 type AVCIMaster struct {
-	*masterBase
+	*MasterEngine
+}
+
+type avciMasterAdapter struct {
+	eng  *MasterEngine
 	port *vci.APort
 	rspQ []vci.ARsp
 }
@@ -308,103 +291,93 @@ type avciMeta struct {
 
 // NewAVCIMaster creates the NIU on clk.
 func NewAVCIMaster(clk *sim.Clock, net *transport.Network, amap *core.AddressMap, port *vci.APort, cfg MasterConfig) *AVCIMaster {
-	n := &AVCIMaster{masterBase: newMasterBase(net, amap, cfg, core.IDOrdered), port: port}
-	clk.Register(n)
-	return n
+	e := NewMasterEngine(net, amap, cfg, core.IDOrdered)
+	e.Bind(clk, &avciMasterAdapter{eng: e, port: port})
+	return &AVCIMaster{e}
 }
 
-// Eval implements sim.Clocked.
-func (n *AVCIMaster) Eval(cycle int64) {
-	if rsp, entry := n.recvResponse(); rsp != nil {
-		meta := entry.Meta.(avciMeta)
-		out := vci.ARsp{ID: meta.id}
-		out.Err = !rsp.Status.OK()
-		if !meta.write {
-			out.Data = rsp.Data
-		}
-		n.rspQ = append(n.rspQ, out)
+// DeliverResponse implements MasterAdapter.
+func (a *avciMasterAdapter) DeliverResponse(rsp *core.Response, entry *core.Entry) {
+	meta := entry.Meta.(avciMeta)
+	out := vci.ARsp{ID: meta.id}
+	out.Err = !rsp.Status.OK()
+	if !meta.write {
+		out.Data = rsp.Data
 	}
-	if len(n.rspQ) > 0 && n.port.Rsp.CanPush(1) {
-		n.port.Rsp.Push(n.rspQ[0])
-		n.rspQ = n.rspQ[1:]
-	}
-	areq, ok := n.port.Req.Peek()
-	if !ok {
-		return
-	}
-	burst := core.BurstIncr
-	if areq.Wrap {
-		burst = core.BurstWrap
-	}
-	var req *core.Request
-	write := areq.Op == vci.OpWrite
-	if write {
-		req = &core.Request{
-			Cmd: core.CmdWrite, Addr: areq.Addr, Size: areq.Size, Len: uint16(areq.Beats),
-			Burst: burst, Data: areq.Data,
-		}
-	} else {
-		req = &core.Request{
-			Cmd: core.CmdRead, Addr: areq.Addr, Size: areq.Size, Len: uint16(areq.Beats), Burst: burst,
-		}
-	}
-	switch n.tryIssue(req, areq.ID, avciMeta{id: areq.ID, write: write}, cycle) {
-	case issueOK:
-		n.port.Req.Pop()
-	case issueDecodeErr, issueUnsupported:
-		n.port.Req.Pop()
-		out := vci.ARsp{ID: areq.ID}
-		out.Err = true
-		if !write {
-			out.Data = make([]byte, areq.Beats*int(areq.Size))
-		}
-		n.rspQ = append(n.rspQ, out)
-	case issueStall:
-	}
+	a.rspQ = append(a.rspQ, out)
 }
 
-// Update implements sim.Clocked.
-func (n *AVCIMaster) Update(cycle int64) {}
+// StreamSocket implements MasterAdapter.
+func (a *avciMasterAdapter) StreamSocket() { a.rspQ = pushOne(a.rspQ, a.port.Rsp) }
+
+// PumpRequests implements MasterAdapter.
+func (a *avciMasterAdapter) PumpRequests(cycle int64) {
+	a.eng.PumpOne(cycle, func() (Candidate, bool) {
+		areq, ok := a.port.Req.Peek()
+		if !ok {
+			return Candidate{}, false
+		}
+		burst := core.BurstIncr
+		if areq.Wrap {
+			burst = core.BurstWrap
+		}
+		var req *core.Request
+		write := areq.Op == vci.OpWrite
+		if write {
+			req = &core.Request{
+				Cmd: core.CmdWrite, Addr: areq.Addr, Size: areq.Size, Len: uint16(areq.Beats),
+				Burst: burst, Data: areq.Data,
+			}
+		} else {
+			req = &core.Request{
+				Cmd: core.CmdRead, Addr: areq.Addr, Size: areq.Size, Len: uint16(areq.Beats), Burst: burst,
+			}
+		}
+		return Candidate{
+			Req: req, ProtoID: areq.ID, Meta: avciMeta{id: areq.ID, write: write},
+			Consume: func() { a.port.Req.Pop() },
+			LocalError: func() {
+				out := vci.ARsp{ID: areq.ID}
+				out.Err = true
+				if !write {
+					out.Data = make([]byte, areq.Beats*int(areq.Size))
+				}
+				a.rspQ = append(a.rspQ, out)
+			},
+		}, true
+	})
+}
 
 // AVCISlave is the slave-side NIU for an AVCI target IP.
 type AVCISlave struct {
-	*slaveBase
+	*SlaveEngine
+}
+
+type avciSlaveAdapter struct {
 	eng *vci.AMaster
 }
 
 // NewAVCISlave creates the NIU on clk.
 func NewAVCISlave(clk *sim.Clock, net *transport.Network, port *vci.APort, cfg SlaveConfig) *AVCISlave {
-	n := &AVCISlave{slaveBase: newSlaveBase(net, cfg), eng: vci.NewAMaster(clk, port)}
-	clk.Register(n)
-	return n
+	e := NewSlaveEngine(net, cfg)
+	e.Bind(clk, &avciSlaveAdapter{eng: vci.NewAMaster(clk, port)})
+	return &AVCISlave{e}
 }
 
-// Eval implements sim.Clocked.
-func (n *AVCISlave) Eval(cycle int64) {
-	n.drainResponses()
-	req, ok := n.recvRequest()
-	if !ok {
-		return
-	}
-	if early := n.execCheck(req); early != nil {
-		n.respond(req, early)
-		return
-	}
+// Execute implements SlaveAdapter.
+func (a *avciSlaveAdapter) Execute(req *core.Request, respond func(*core.Response)) {
 	r := req
 	engID := int(req.Src)<<8 | int(req.Tag)
 	switch {
 	case req.Cmd.IsRead():
-		n.eng.Read(engID, req.Addr, req.Size, int(req.Len), func(d []byte, err bool) {
-			n.respond(r, &core.Response{Status: statusFor(r, err), Data: d})
+		a.eng.Read(engID, req.Addr, req.Size, int(req.Len), func(d []byte, err bool) {
+			respond(&core.Response{Status: statusFor(r, err), Data: d})
 		})
 	case req.Cmd == core.CmdWritePost:
-		n.eng.Write(engID, req.Addr, req.Size, req.Data, nil)
+		a.eng.Write(engID, req.Addr, req.Size, req.Data, nil)
 	default:
-		n.eng.Write(engID, req.Addr, req.Size, req.Data, func(err bool) {
-			n.respond(r, &core.Response{Status: statusFor(r, err)})
+		a.eng.Write(engID, req.Addr, req.Size, req.Data, func(err bool) {
+			respond(&core.Response{Status: statusFor(r, err)})
 		})
 	}
 }
-
-// Update implements sim.Clocked.
-func (n *AVCISlave) Update(cycle int64) {}

@@ -1,0 +1,240 @@
+package niu
+
+import (
+	"gonoc/internal/core"
+	"gonoc/internal/protocols/wishbone"
+	"gonoc/internal/sim"
+	"gonoc/internal/transport"
+)
+
+// This file is the neutrality proof for the NIU engine, and the worked
+// example for README.md's "Adding a protocol adapter": WISHBONE was
+// ported onto the NoC after the engine was extracted, touching nothing
+// but these two adapters — no core, transport, or engine changes.
+
+// wbCTIToCore maps a WISHBONE cycle announcement onto the transaction
+// layer's burst vocabulary. ok is false when the cycle cannot be
+// expressed: core.BeatAddr wraps at Len*Size, so a wrap burst is only
+// representable when the BTE modulo equals the beat count — anything
+// else would silently execute with the wrong wrap window.
+func wbCTIToCore(c wishbone.Cycle) (kind core.BurstKind, ok bool) {
+	switch {
+	case c.CTI == wishbone.ConstAddr:
+		return core.BurstFixed, true
+	case c.BTE != wishbone.Linear && c.Beats > 1:
+		if wishbone.WrapBeats(c.BTE) != c.Beats {
+			return 0, false
+		}
+		return core.BurstWrap, true
+	default:
+		return core.BurstIncr, true
+	}
+}
+
+// coreBurstToWB picks the WISHBONE announcement for a request; wrap
+// lengths outside the BTE vocabulary (4/8/16) report ok=false and must
+// be adapted beat by beat.
+func coreBurstToWB(b core.BurstKind, beats int) (cti wishbone.CTI, bte wishbone.BTE, ok bool) {
+	switch b {
+	case core.BurstFixed:
+		return wishbone.ConstAddr, wishbone.Linear, true
+	case core.BurstWrap:
+		switch beats {
+		case 4:
+			return wishbone.Incrementing, wishbone.Wrap4, true
+		case 8:
+			return wishbone.Incrementing, wishbone.Wrap8, true
+		case 16:
+			return wishbone.Incrementing, wishbone.Wrap16, true
+		}
+		return 0, 0, false
+	default:
+		if beats == 1 {
+			return wishbone.Classic, wishbone.Linear, true
+		}
+		return wishbone.Incrementing, wishbone.Linear, true
+	}
+}
+
+// WBMaster is the master-side NIU for a WISHBONE socket: fully ordered,
+// single tag — the same cost class as AHB and BVCI.
+type WBMaster struct {
+	*MasterEngine
+}
+
+type wbMasterAdapter struct {
+	eng  *MasterEngine
+	port *wishbone.Port
+	rspQ []wishbone.Rsp
+}
+
+type wbMeta struct{ write bool }
+
+// NewWBMaster creates the NIU on clk. WISHBONE has no ordering handles:
+// the model is always fully-ordered.
+func NewWBMaster(clk *sim.Clock, net *transport.Network, amap *core.AddressMap, port *wishbone.Port, cfg MasterConfig) *WBMaster {
+	cfg.Ordering = OrderFully
+	e := NewMasterEngine(net, amap, cfg, core.FullyOrdered)
+	e.Bind(clk, &wbMasterAdapter{eng: e, port: port})
+	return &WBMaster{e}
+}
+
+// DeliverResponse implements MasterAdapter.
+func (a *wbMasterAdapter) DeliverResponse(rsp *core.Response, entry *core.Entry) {
+	meta := entry.Meta.(wbMeta)
+	out := wishbone.Rsp{Err: !rsp.Status.OK()}
+	if !meta.write {
+		out.Data = rsp.Data
+	}
+	a.rspQ = append(a.rspQ, out)
+}
+
+// StreamSocket implements MasterAdapter.
+func (a *wbMasterAdapter) StreamSocket() { a.rspQ = pushOne(a.rspQ, a.port.Rsp) }
+
+// queueErr answers cyc locally with ERR_I (zero-padded data for reads)
+// — the one error shape shared by decode errors, disabled services,
+// and unexpressible wrap windows.
+func (a *wbMasterAdapter) queueErr(cyc wishbone.Cycle) {
+	out := wishbone.Rsp{Err: true}
+	if !cyc.Write {
+		out.Data = make([]byte, cyc.Beats*int(cyc.Size))
+	}
+	a.rspQ = append(a.rspQ, out)
+}
+
+// PumpRequests implements MasterAdapter.
+func (a *wbMasterAdapter) PumpRequests(cycle int64) {
+	a.eng.PumpOne(cycle, func() (Candidate, bool) {
+		cyc, ok := a.port.Req.Peek()
+		if !ok {
+			return Candidate{}, false
+		}
+		burst, exprOK := wbCTIToCore(cyc)
+		if !exprOK {
+			// The wrap window is not expressible on the fabric: refuse
+			// the cycle loudly (ERR_I) instead of corrupting addresses.
+			a.port.Req.Pop()
+			a.queueErr(cyc)
+			return Candidate{}, false
+		}
+		var req *core.Request
+		if cyc.Write {
+			req = &core.Request{
+				Cmd: core.CmdWrite, Addr: cyc.Addr, Size: cyc.Size, Len: uint16(cyc.Beats),
+				Burst: burst, Data: cyc.Data, BE: cyc.Sel,
+			}
+		} else {
+			req = &core.Request{
+				Cmd: core.CmdRead, Addr: cyc.Addr, Size: cyc.Size, Len: uint16(cyc.Beats),
+				Burst: burst,
+			}
+		}
+		return Candidate{
+			Req: req, ProtoID: 0, Meta: wbMeta{write: cyc.Write},
+			Consume: func() { a.port.Req.Pop() },
+			// WISHBONE signals both decode errors and disabled services
+			// as ERR_I on the socket (PumpOne has already consumed).
+			LocalError: func() { a.queueErr(cyc) },
+		}, true
+	})
+}
+
+// WBSlave is the slave-side NIU for a WISHBONE target IP. Wrap bursts
+// outside the BTE vocabulary (e.g. an AXI 2-beat wrap) are adapted into
+// per-beat classic cycles at explicitly wrapped addresses.
+type WBSlave struct {
+	*SlaveEngine
+}
+
+type wbSlaveAdapter struct {
+	eng *wishbone.Master
+}
+
+// NewWBSlave creates the NIU on clk.
+func NewWBSlave(clk *sim.Clock, net *transport.Network, port *wishbone.Port, cfg SlaveConfig) *WBSlave {
+	e := NewSlaveEngine(net, cfg)
+	e.Bind(clk, &wbSlaveAdapter{eng: wishbone.NewMaster(clk, port)})
+	return &WBSlave{e}
+}
+
+// Execute implements SlaveAdapter.
+func (a *wbSlaveAdapter) Execute(req *core.Request, respond func(*core.Response)) {
+	r := req
+	beats := int(req.Len)
+	cti, bte, ok := coreBurstToWB(req.Burst, beats)
+	if !ok {
+		a.execBeatwise(r, beats, respond)
+		return
+	}
+	switch {
+	case req.Cmd.IsRead():
+		a.eng.Read(req.Addr, req.Size, beats, cti, bte, func(d []byte, err bool) {
+			respond(&core.Response{Status: statusFor(r, err), Data: d})
+		})
+	case req.Cmd == core.CmdWritePost:
+		if r.BE != nil {
+			a.eng.WriteSel(req.Addr, req.Size, req.Data, req.BE, cti, bte, nil)
+		} else {
+			a.eng.Write(req.Addr, req.Size, req.Data, cti, bte, nil)
+		}
+	default:
+		cb := func(err bool) {
+			respond(&core.Response{Status: statusFor(r, err)})
+		}
+		if r.BE != nil {
+			a.eng.WriteSel(req.Addr, req.Size, req.Data, req.BE, cti, bte, cb)
+		} else {
+			a.eng.Write(req.Addr, req.Size, req.Data, cti, bte, cb)
+		}
+	}
+}
+
+// execBeatwise adapts an unsupported wrap burst into per-beat classic
+// cycles at explicitly computed addresses.
+func (a *wbSlaveAdapter) execBeatwise(r *core.Request, beats int, respond func(*core.Response)) {
+	s := int(r.Size)
+	if r.Cmd.IsRead() {
+		data := make([]byte, beats*s)
+		remaining := beats
+		anyErr := false
+		for i := 0; i < beats; i++ {
+			i := i
+			addr := core.BeatAddr(r.Burst, r.Addr, r.Size, r.Len, i)
+			a.eng.Read(addr, r.Size, 1, wishbone.Classic, wishbone.Linear, func(d []byte, err bool) {
+				copy(data[i*s:(i+1)*s], d)
+				anyErr = anyErr || err
+				remaining--
+				if remaining == 0 {
+					respond(&core.Response{Status: statusFor(r, anyErr), Data: data})
+				}
+			})
+		}
+		return
+	}
+	remaining := beats
+	anyErr := false
+	for i := 0; i < beats; i++ {
+		addr := core.BeatAddr(r.Burst, r.Addr, r.Size, r.Len, i)
+		beat := r.Data[i*s : (i+1)*s]
+		var sel []byte
+		if r.BE != nil {
+			sel = r.BE[i*s : (i+1)*s]
+		}
+		cb := func(err bool) {
+			anyErr = anyErr || err
+			remaining--
+			if remaining == 0 && r.Cmd.ExpectsResponse() {
+				respond(&core.Response{Status: statusFor(r, anyErr)})
+			}
+		}
+		if !r.Cmd.ExpectsResponse() {
+			cb = nil
+		}
+		if sel != nil {
+			a.eng.WriteSel(addr, r.Size, beat, sel, wishbone.Classic, wishbone.Linear, cb)
+		} else {
+			a.eng.Write(addr, r.Size, beat, wishbone.Classic, wishbone.Linear, cb)
+		}
+	}
+}

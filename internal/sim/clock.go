@@ -48,6 +48,7 @@ type Clock struct {
 	cycle   int64
 	comps   []Clocked
 	started bool
+	edgeFn  func() // cached method value; rescheduling c.edge directly allocates a closure per cycle
 }
 
 // NewClock creates a clock on kernel k with the given period. The first
@@ -88,11 +89,12 @@ func (c *Clock) Start() {
 		return
 	}
 	c.started = true
+	c.edgeFn = c.edge
 	first := c.offset
 	if first < c.k.Now() {
 		first = c.k.Now()
 	}
-	if err := c.k.At(first, c.edge); err != nil {
+	if err := c.k.At(first, c.edgeFn); err != nil {
 		panic(err)
 	}
 }
@@ -105,7 +107,7 @@ func (c *Clock) edge() {
 	for _, comp := range c.comps {
 		comp.Update(c.cycle)
 	}
-	c.k.After(c.period, c.edge)
+	c.k.After(c.period, c.edgeFn)
 }
 
 // TimeFor returns the simulation time spanned by n cycles of this clock.

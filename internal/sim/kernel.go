@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -54,23 +53,56 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
+// rather than built on container/heap because the interface-based API
+// boxes every event into an interface{} on push and pop — two heap
+// allocations per clock edge on the simulator's hottest path.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the fn reference
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Kernel is a discrete-event simulator. The zero value is not usable; call
@@ -105,7 +137,7 @@ func (k *Kernel) At(t Time, fn func()) error {
 		return fmt.Errorf("%w: now=%v requested=%v", ErrPast, k.now, t)
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	k.events.push(event{at: t, seq: k.seq, fn: fn})
 	return nil
 }
 
@@ -126,7 +158,7 @@ func (k *Kernel) Step() bool {
 	if k.stopped || len(k.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(event)
+	e := k.events.pop()
 	k.now = e.at
 	k.steps++
 	e.fn()

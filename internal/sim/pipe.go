@@ -16,7 +16,8 @@ import "fmt"
 // NewPipe constructor does this automatically.
 type Pipe[T any] struct {
 	name    string
-	buf     []T // committed entries, FIFO order
+	buf     []T // committed entries; the FIFO window starts at head
+	head    int // index of the oldest committed entry in buf
 	pending []T // pushed this cycle, not yet visible
 	cap     int
 
@@ -76,40 +77,50 @@ func (p *Pipe[T]) Push(v T) bool {
 }
 
 // Len returns the number of committed (consumable) entries.
-func (p *Pipe[T]) Len() int { return len(p.buf) }
+func (p *Pipe[T]) Len() int { return len(p.buf) - p.head }
 
 // Empty reports whether no committed entries are available.
-func (p *Pipe[T]) Empty() bool { return len(p.buf) == 0 }
+func (p *Pipe[T]) Empty() bool { return p.Len() == 0 }
 
 // Occupancy returns committed plus staged entries (total storage in use).
-func (p *Pipe[T]) Occupancy() int { return len(p.buf) + len(p.pending) }
+func (p *Pipe[T]) Occupancy() int { return p.Len() + len(p.pending) }
 
 // Peek returns the oldest committed entry without removing it.
 func (p *Pipe[T]) Peek() (T, bool) {
 	var zero T
-	if len(p.buf) == 0 {
+	if p.Len() == 0 {
 		return zero, false
 	}
-	return p.buf[0], true
+	return p.buf[p.head], true
 }
 
 // PeekAt returns the i-th oldest committed entry (0 = head).
 func (p *Pipe[T]) PeekAt(i int) (T, bool) {
 	var zero T
-	if i < 0 || i >= len(p.buf) {
+	if i < 0 || i >= p.Len() {
 		return zero, false
 	}
-	return p.buf[i], true
+	return p.buf[p.head+i], true
 }
 
-// Pop removes and returns the oldest committed entry.
+// Pop removes and returns the oldest committed entry. The freed slot is
+// zeroed (releasing any references) and its storage reclaimed in place:
+// popping advances a head index instead of re-slicing, so the backing
+// array is reused forever instead of creeping forward and forcing
+// Update's append to reallocate — the fabric's flit pipes push and pop
+// every cycle, making this the simulator's hottest allocation site.
 func (p *Pipe[T]) Pop() (T, bool) {
 	var zero T
-	if len(p.buf) == 0 {
+	if p.Len() == 0 {
 		return zero, false
 	}
-	v := p.buf[0]
-	p.buf = p.buf[1:]
+	v := p.buf[p.head]
+	p.buf[p.head] = zero
+	p.head++
+	if p.head == len(p.buf) {
+		p.buf = p.buf[:0]
+		p.head = 0
+	}
 	p.pops++
 	return v, true
 }
@@ -121,10 +132,18 @@ func (p *Pipe[T]) Eval(cycle int64) {}
 // the capacity snapshot.
 func (p *Pipe[T]) Update(cycle int64) {
 	if len(p.pending) > 0 {
+		if p.head > 0 {
+			// Compact the live window to the front so the append below
+			// reuses the backing array's full capacity.
+			n := copy(p.buf, p.buf[p.head:])
+			clear(p.buf[n:])
+			p.buf = p.buf[:n]
+			p.head = 0
+		}
 		p.buf = append(p.buf, p.pending...)
 		p.pending = p.pending[:0]
 	}
-	p.startLen = len(p.buf)
+	p.startLen = p.Len()
 	if p.startLen > p.maxOcc {
 		p.maxOcc = p.startLen
 	}

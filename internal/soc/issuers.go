@@ -4,6 +4,7 @@ import (
 	"gonoc/internal/protocols/ahb"
 	"gonoc/internal/protocols/axi"
 	"gonoc/internal/protocols/ocp"
+	"gonoc/internal/protocols/wishbone"
 )
 
 // Issuer abstracts "perform one transaction" over a protocol master
@@ -41,7 +42,7 @@ func beatsFor(n int) int {
 // out-of-order-capable sockets keep multiple transactions in flight.
 func (s *System) Issuers() map[string]Issuer {
 	var axiID, ocpTh, avciID, propID int
-	return map[string]Issuer{
+	issuers := map[string]Issuer{
 		"axi": func(write bool, addr uint64, n int, done func(bool)) {
 			id := axiID % 4
 			axiID++
@@ -121,6 +122,23 @@ func (s *System) Issuers() map[string]Issuer {
 			s.PropM.StreamRead(id+1, addr, n, func(_ []byte) { done(true) })
 		},
 	}
+	// The Wishbone master exists only when the system was built with
+	// Config.Wishbone; callers discover it by key presence.
+	if s.WBM != nil {
+		issuers["wb"] = func(write bool, addr uint64, n int, done func(bool)) {
+			beats := beatsFor(n)
+			cti := wishbone.Classic
+			if beats > 1 {
+				cti = wishbone.Incrementing
+			}
+			if write {
+				s.WBM.Write(addr, 4, fill(addr, beats*4), cti, wishbone.Linear, func(err bool) { done(!err) })
+				return
+			}
+			s.WBM.Read(addr, 4, beats, cti, wishbone.Linear, func(_ []byte, err bool) { done(!err) })
+		}
+	}
+	return issuers
 }
 
 // ahbBurst maps a beat count onto the nearest AHB burst encoding.

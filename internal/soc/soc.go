@@ -27,6 +27,7 @@ import (
 	"gonoc/internal/protocols/ocp"
 	"gonoc/internal/protocols/prop"
 	"gonoc/internal/protocols/vci"
+	"gonoc/internal/protocols/wishbone"
 	"gonoc/internal/sim"
 	"gonoc/internal/transport"
 )
@@ -40,6 +41,7 @@ const (
 	NodeBVCIM
 	NodeAVCIM
 	NodePropM
+	NodeWBM // present only when Config.Wishbone is set
 )
 
 // Slave nodes and bases.
@@ -48,11 +50,13 @@ const (
 	NodeOCPMem  noctypes.NodeID = 101
 	NodeAHBMem  noctypes.NodeID = 102
 	NodeBVCIMem noctypes.NodeID = 103
+	NodeWBMem   noctypes.NodeID = 104 // present only when Config.Wishbone is set
 
 	BaseAXIMem  = 0x1000_0000
 	BaseOCPMem  = 0x2000_0000
 	BaseAHBMem  = 0x3000_0000
 	BaseBVCIMem = 0x4000_0000
+	BaseWBMem   = 0x5000_0000
 	MemSize     = 1 << 20
 )
 
@@ -75,6 +79,13 @@ type Config struct {
 	// Quiet builds the system without traffic generators, for
 	// experiments that drive the protocol engines directly.
 	Quiet bool
+	// Wishbone adds an eighth master (a WISHBONE IP behind its NIU) and
+	// a fifth memory target (a WISHBONE memory with registered-feedback
+	// burst support) to the NoC build. Off by default so the historical
+	// seven-master system — and every seeded result derived from it —
+	// is unchanged. BuildBus ignores the flag: the Fig-2 reference bus
+	// predates the WISHBONE IP.
+	Wishbone bool
 
 	// NoC knobs.
 	Net         transport.NetConfig
@@ -133,6 +144,7 @@ type System struct {
 	BVCIM *vci.BMaster
 	AVCIM *vci.AMaster
 	PropM *prop.Master
+	WBM   *wishbone.Master // nil unless Config.Wishbone (NoC builds only)
 
 	// Generators keyed by protocol name.
 	Gens map[string]ip.Generator
@@ -153,8 +165,11 @@ func buildCommon(cfg Config) *System {
 	amap.MustAdd("ocp-mem", BaseOCPMem, MemSize, NodeOCPMem)
 	amap.MustAdd("ahb-mem", BaseAHBMem, MemSize, NodeAHBMem)
 	amap.MustAdd("bvci-mem", BaseBVCIMem, MemSize, NodeBVCIMem)
+	if cfg.Wishbone {
+		amap.MustAdd("wb-mem", BaseWBMem, MemSize, NodeWBMem)
+	}
 	amap.Freeze()
-	return &System{
+	s := &System{
 		Cfg: cfg, K: k, Clk: clk, AMap: amap,
 		Gens:       make(map[string]ip.Generator),
 		MasterNIUs: make(map[string]NIUStatser),
@@ -165,6 +180,10 @@ func buildCommon(cfg Config) *System {
 			"bvci": mem.NewBacking(MemSize),
 		},
 	}
+	if cfg.Wishbone {
+		s.Stores["wb"] = mem.NewBacking(MemSize)
+	}
+	return s
 }
 
 // genRegions maps each master onto a private 64 KiB window, deliberately
@@ -186,6 +205,8 @@ func genRegion(master string) ip.Region {
 		return ip.Region{Base: BaseOCPMem + 0x20000, Size: 0x10000}
 	case "prop":
 		return ip.Region{Base: BaseAHBMem + 0x20000, Size: 0x10000}
+	case "wb":
+		return ip.Region{Base: BaseWBMem, Size: 0x10000}
 	}
 	panic("soc: unknown master " + master)
 }
@@ -209,9 +230,13 @@ func BuildNoC(cfg Config) *System {
 		NodeAXIM, NodeOCPM, NodeAHBM, NodePVCIM, NodeBVCIM, NodeAVCIM, NodePropM,
 		NodeAXIMem, NodeOCPMem, NodeAHBMem, NodeBVCIMem,
 	}
+	if cfg.Wishbone {
+		nodes = append(nodes, NodeWBM, NodeWBMem)
+	}
 	switch cfg.Topology {
 	case Mesh:
-		spec := transport.MeshSpec{W: 4, H: 3, Nodes: map[noctypes.NodeID]transport.Coord{}}
+		h := (len(nodes) + 3) / 4 // grow rows as sockets are added (4x3 historically)
+		spec := transport.MeshSpec{W: 4, H: h, Nodes: map[noctypes.NodeID]transport.Coord{}}
 		for i, n := range nodes {
 			spec.Nodes[n] = transport.Coord{X: i % 4, Y: i / 4}
 		}
@@ -261,6 +286,12 @@ func BuildNoC(cfg Config) *System {
 	s.PropM = prop.NewMaster(s.Clk, propPort)
 	s.MasterNIUs["prop"] = niu.NewPropMaster(s.Clk, s.Net, s.AMap, propPort, mcfg(NodePropM))
 
+	if cfg.Wishbone {
+		wbPort := wishbone.NewPort(s.Clk, "m.wb", 4)
+		s.WBM = wishbone.NewMaster(s.Clk, wbPort)
+		s.MasterNIUs["wb"] = niu.NewWBMaster(s.Clk, s.Net, s.AMap, wbPort, mcfg(NodeWBM))
+	}
+
 	// Slaves: protocol memory + slave NIU per socket.
 	scfg := func(node noctypes.NodeID) niu.SlaveConfig {
 		return niu.SlaveConfig{Node: node, Services: cfg.Services, MaxConcurrent: 4}
@@ -280,6 +311,13 @@ func BuildNoC(cfg Config) *System {
 	bvciSP := vci.NewBPort(s.Clk, "s.bvci", 4)
 	vci.NewBMemory(s.Clk, bvciSP, s.Stores["bvci"], BaseBVCIMem, cfg.MemLatency)
 	niu.NewBVCISlave(s.Clk, s.Net, bvciSP, scfg(NodeBVCIMem))
+
+	if cfg.Wishbone {
+		wbSP := wishbone.NewPort(s.Clk, "s.wb", 4)
+		wishbone.NewMemory(s.Clk, wbSP, s.Stores["wb"], BaseWBMem,
+			wishbone.MemoryConfig{Latency: cfg.MemLatency, RegisteredFeedback: true})
+		niu.NewWBSlave(s.Clk, s.Net, wbSP, scfg(NodeWBMem))
+	}
 
 	if !cfg.Quiet {
 		s.makeGens()
@@ -356,6 +394,9 @@ func (s *System) makeGens() {
 	s.Gens["bvci"] = ip.NewBVCIGen(s.Clk, s.BVCIM, s.genCfg("bvci", 5))
 	s.Gens["avci"] = ip.NewAVCIGen(s.Clk, s.AVCIM, s.genCfg("avci", 6))
 	s.Gens["prop"] = ip.NewPropGen(s.Clk, s.PropM, s.genCfg("prop", 7))
+	if s.WBM != nil {
+		s.Gens["wb"] = ip.NewWBGen(s.Clk, s.WBM, s.genCfg("wb", 8))
+	}
 }
 
 // AllDone reports whether every generator has finished.

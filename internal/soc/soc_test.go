@@ -135,3 +135,59 @@ func TestIssuersDriveEveryMasterThroughNIUs(t *testing.T) {
 		t.Fatalf("only %d/7 issuer pairs completed", done)
 	}
 }
+
+func TestWishboneNoCCompletes(t *testing.T) {
+	for _, topo := range []Topology{Crossbar, Mesh, Tree} {
+		s := BuildNoC(Config{Seed: 11, RequestsPerMaster: 10, Topology: topo, Wishbone: true})
+		if _, err := s.Run(5_000_000); err != nil {
+			t.Fatalf("topology %d: %v", topo, err)
+		}
+		g := s.Gens["wb"].Stats()
+		if g.Completed != 10 || g.Mismatches != 0 || g.Errors != 0 {
+			t.Fatalf("topology %d: wb generator stats %+v", topo, g)
+		}
+		if s.MasterNIUs["wb"].Stats().Issued == 0 {
+			t.Fatalf("topology %d: wb NIU saw no traffic", topo)
+		}
+	}
+}
+
+func TestWishboneOffByDefault(t *testing.T) {
+	s := BuildNoC(Config{Seed: 1, Quiet: true})
+	if s.WBM != nil {
+		t.Fatal("Wishbone master present without Config.Wishbone")
+	}
+	if _, ok := s.Issuers()["wb"]; ok {
+		t.Fatal("wb issuer present without Config.Wishbone")
+	}
+	if _, ok := s.Stores["wb"]; ok {
+		t.Fatal("wb store present without Config.Wishbone")
+	}
+}
+
+func TestWishboneIssuer(t *testing.T) {
+	s := BuildNoC(Config{Seed: 2, Quiet: true, Wishbone: true})
+	is, ok := s.Issuers()["wb"]
+	if !ok {
+		t.Fatal("wb issuer missing")
+	}
+	done, failed := 0, 0
+	is(true, BaseWBMem+0x40, 16, func(ok bool) {
+		if !ok {
+			failed++
+		}
+		done++
+		is(false, BaseWBMem+0x40, 16, func(ok bool) {
+			if !ok {
+				failed++
+			}
+			done++
+		})
+	})
+	for c := 0; c < 4000 && done < 2; c++ {
+		s.Clk.RunCycles(1)
+	}
+	if done != 2 || failed != 0 {
+		t.Fatalf("wb issuer round trip: done=%d failed=%d", done, failed)
+	}
+}

@@ -20,7 +20,8 @@ type TransConfig struct {
 	Window   int     // max outstanding per master (default 2)
 	Bytes    int     // bytes per transaction (default 16)
 	ReadFrac float64 // fraction of reads (default 0.5; negative = all writes)
-	Hotspot  bool    // true: all masters hammer the AXI memory; false: spread over all four memories
+	Hotspot  bool    // true: all masters hammer the AXI memory; false: spread over the memories
+	Wishbone bool    // add the Wishbone master (and its memory) to the driven SoC
 
 	Warmup  int64 // default 500; negative = none
 	Measure int64 // default 4000
@@ -76,16 +77,23 @@ type TransResult struct {
 	Incomplete int           `json:"incomplete"`
 }
 
-// transMasters is the driving order (also the report order).
+// transMasters is the driving order (also the report order); "wb" joins
+// at the end when TransConfig.Wishbone is set, so the established
+// seven-master seeds are undisturbed.
 var transMasters = []string{"axi", "ocp", "ahb", "pvci", "bvci", "avci", "prop"}
 
 // RunTrans drives the mixed SoC through its NIUs and measures
 // transaction latency per master.
 func RunTrans(tc TransConfig) TransResult {
 	tc = tc.withDefaults()
-	s := soc.BuildNoC(soc.Config{Seed: tc.Seed, Quiet: true, Topology: tc.Topology})
+	s := soc.BuildNoC(soc.Config{Seed: tc.Seed, Quiet: true, Topology: tc.Topology, Wishbone: tc.Wishbone})
 	issuers := s.Issuers()
+	masters := transMasters
 	bases := []uint64{soc.BaseAXIMem, soc.BaseOCPMem, soc.BaseAHBMem, soc.BaseBVCIMem}
+	if tc.Wishbone {
+		masters = append(append([]string(nil), transMasters...), "wb")
+		bases = append(append([]uint64(nil), bases...), soc.BaseWBMem)
+	}
 
 	type mstate struct {
 		name     string
@@ -104,8 +112,8 @@ func RunTrans(tc TransConfig) TransResult {
 		measuring bool
 		cmplMeas  int
 	)
-	states := make([]*mstate, 0, len(transMasters))
-	for i, name := range transMasters {
+	states := make([]*mstate, 0, len(masters))
+	for i, name := range masters {
 		st := &mstate{name: name, issue: issuers[name], rng: root.Fork("trans." + name)}
 		// Each master owns a private 16 KiB lane inside each memory so
 		// bursts stay window-local without aliasing another master's.

@@ -67,3 +67,22 @@ func TestTransHotspotConcentratesLoad(t *testing.T) {
 		t.Fatalf("hotspot mean %.1f not above spread mean %.1f", mh, ms)
 	}
 }
+
+func TestTransWishbone(t *testing.T) {
+	tr := RunTrans(TransConfig{Seed: 3, Rate: 0.1, Warmup: 100, Measure: 800, Wishbone: true})
+	found := false
+	for _, m := range tr.PerMaster {
+		if m.Master == "wb" {
+			found = true
+			if m.Done == 0 || m.Errors != 0 {
+				t.Fatalf("wb master digest: %+v", m)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("wb master missing from transaction-level digest")
+	}
+	if tr.Incomplete != 0 {
+		t.Fatalf("%d transactions stuck at drain", tr.Incomplete)
+	}
+}

@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"testing"
+
+	"gonoc/internal/noctypes"
+	"gonoc/internal/sim"
+)
+
+// BenchmarkPacketize measures the send-side hot path in isolation:
+// serializing one 32-byte-payload packet into 8-byte flits. Run with
+// -benchmem; allocs/op here is guarded by CI against the committed
+// baseline in BENCH_transport.json.
+func BenchmarkPacketize(b *testing.B) {
+	payload := make([]byte, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := &Packet{Header: Header{Dst: 1, Src: 2, Tag: 3}, Payload: payload, ID: uint64(i)}
+		flits := Packetize(p, 8)
+		if len(flits) != 6 {
+			b.Fatal("bad flit count")
+		}
+	}
+}
+
+// BenchmarkFabricTransfer measures the full per-packet transport path —
+// TrySend, flit injection, crossbar traversal, reassembly, Recv — on a
+// two-node crossbar moving 32-byte payloads.
+func BenchmarkFabricTransfer(b *testing.B) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "bench", sim.Nanosecond, 0)
+	nodes := []noctypes.NodeID{1, 2}
+	net := NewCrossbar(clk, NetConfig{BufDepth: 16}, nodes)
+	src, dst := net.Endpoint(1), net.Endpoint(2)
+	payload := make([]byte, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent, got := 0, 0
+	for got < b.N {
+		if sent < b.N && src.CanSend() {
+			p := &Packet{Header: Header{Kind: KindReq, Dst: 2, Src: 1}, Payload: payload}
+			if src.TrySend(p) {
+				sent++
+			}
+		}
+		clk.RunCycles(1)
+		for {
+			if _, ok := dst.Recv(); !ok {
+				break
+			}
+			got++
+		}
+	}
+}

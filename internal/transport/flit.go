@@ -44,17 +44,32 @@ func (f Flit) String() string {
 // Packetize serializes a packet and splits it into flits of at most
 // flitBytes data each. The packet's PayloadLen is set as a side effect.
 func Packetize(p *Packet, flitBytes int) []Flit {
+	return PacketizeInto(p, flitBytes, nil)
+}
+
+// PacketizeInto is Packetize reusing the caller's flit slice (overwritten
+// from its start, grown as needed). The flit headers may be recycled once
+// the flits have been copied onward; the serialized wire bytes they
+// reference are freshly allocated per call, because they must survive
+// until reassembly at the far endpoint.
+func PacketizeInto(p *Packet, flitBytes int, flits []Flit) []Flit {
 	if flitBytes <= 0 {
 		panic(fmt.Sprintf("transport: flitBytes must be positive, got %d", flitBytes))
 	}
 	p.PayloadLen = uint32(len(p.Payload))
-	wire := append(EncodeHeader(&p.Header), p.Payload...)
+	wire := make([]byte, 0, HeaderBytes+len(p.Payload))
+	wire = AppendHeader(wire, &p.Header)
+	wire = append(wire, p.Payload...)
 	vc := VCNormal
 	if p.Locked {
 		vc = VCLocked
 	}
 	n := (len(wire) + flitBytes - 1) / flitBytes
-	flits := make([]Flit, 0, n)
+	if cap(flits) < n {
+		flits = make([]Flit, 0, n)
+	} else {
+		flits = flits[:0]
+	}
 	for i := 0; i < n; i++ {
 		lo := i * flitBytes
 		hi := lo + flitBytes

@@ -19,11 +19,11 @@ type NetConfig struct {
 
 // WithDefaults returns the configuration with zero fields filled the
 // way fabric builders will fill them, so callers sizing packets or
-// buffers against the config see the fabric's real numbers.
-func (c NetConfig) WithDefaults() NetConfig { return c.withDefaults() }
-
-// withDefaults fills zero fields.
-func (c NetConfig) withDefaults() NetConfig {
+// buffers against the config see the fabric's real numbers. (This is
+// the package's only defaulting method: the other config types in the
+// repo keep theirs unexported because nothing outside their packages
+// sizes against them.)
+func (c NetConfig) WithDefaults() NetConfig {
 	if c.FlitBytes == 0 {
 		c.FlitBytes = 8
 	}
@@ -81,7 +81,7 @@ type Network struct {
 }
 
 func newNetwork(clk *sim.Clock, cfg NetConfig) *Network {
-	return &Network{clk: clk, cfg: cfg.withDefaults(), eps: make(map[noctypes.NodeID]*Endpoint)}
+	return &Network{clk: clk, cfg: cfg.WithDefaults(), eps: make(map[noctypes.NodeID]*Endpoint)}
 }
 
 // Config returns the fabric configuration.
@@ -212,6 +212,7 @@ type Endpoint struct {
 
 	stage   []Flit // staged by TrySend this cycle
 	sendQ   []Flit // committed, injecting one per cycle
+	scratch []Flit // packetization scratch, reused across TrySends
 	pending int    // packets not yet fully injected
 
 	ej    *sim.Pipe[Flit]
@@ -240,7 +241,11 @@ func (ep *Endpoint) TrySend(p *Packet) bool {
 	if p.Src != ep.node {
 		panic(fmt.Sprintf("transport: %v sending packet with Src=%v", ep.node, p.Src))
 	}
-	flits := Packetize(p, ep.net.cfg.FlitBytes)
+	// The flit headers are copied into the stage queue, so the scratch
+	// slice is safely reused on the next TrySend; only the wire bytes
+	// (freshly allocated by PacketizeInto) travel with the flits.
+	ep.scratch = PacketizeInto(p, ep.net.cfg.FlitBytes, ep.scratch)
+	flits := ep.scratch
 	if ep.net.cfg.Mode == StoreAndForward && len(flits) > ep.net.cfg.BufDepth {
 		panic(fmt.Sprintf("transport: SAF packet of %d flits exceeds BufDepth %d", len(flits), ep.net.cfg.BufDepth))
 	}

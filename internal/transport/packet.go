@@ -78,7 +78,14 @@ const (
 
 // EncodeHeader serializes the header into 16 wire bytes.
 func EncodeHeader(h *Header) []byte {
-	buf := make([]byte, HeaderBytes)
+	return AppendHeader(make([]byte, 0, HeaderBytes), h)
+}
+
+// AppendHeader serializes the header onto dst and returns the extended
+// slice — the allocation-free form of EncodeHeader for hot paths that
+// already own a buffer.
+func AppendHeader(dst []byte, h *Header) []byte {
+	var buf [HeaderBytes]byte
 	buf[0] = hdrMagic
 	var fl byte
 	if h.Kind == KindRsp {
@@ -97,7 +104,7 @@ func EncodeHeader(h *Header) []byte {
 	buf[8] = uint8(h.Priority)
 	buf[9] = h.User
 	binary.LittleEndian.PutUint32(buf[10:14], h.PayloadLen)
-	return buf
+	return append(dst, buf[:]...)
 }
 
 // DecodeHeader parses 16 wire bytes into a header.
