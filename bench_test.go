@@ -1,5 +1,5 @@
 // Package gonoc_test holds the repository-level benchmark harness: one
-// benchmark per experiment table/figure (E1–E11; see README.md).
+// benchmark per experiment table/figure (E1–E12; see README.md).
 // Each benchmark runs the corresponding experiment end to end and reports
 // the headline simulated-cycle metrics alongside wall-clock ns/op, so
 // `go test -bench=. -benchmem` regenerates every result.
@@ -194,6 +194,42 @@ func BenchmarkE11Wishbone(b *testing.B) {
 	}
 	b.ReportMetric(res.ClassicReadLat, "wb-classic-lat")
 	b.ReportMetric(res.RegFeedbackReadLat, "wb-regfb-lat")
+}
+
+// BenchmarkE12TopologyCampaign runs the cross-topology campaign (all
+// five fabrics, uniform and hotspot, shared rate schedule) and reports
+// the headline saturation throughputs.
+func BenchmarkE12TopologyCampaign(b *testing.B) {
+	var res experiments.E12Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.E12TopologyCampaign(int64(i + 1))
+		if len(res.Campaign.Points) != 40 {
+			b.Fatal("campaign incomplete")
+		}
+	}
+	b.ReportMetric(res.SatTput["uniform"]["torus"], "torus-sat-tput")
+	b.ReportMetric(res.SatTput["uniform"]["ring"], "ring-sat-tput")
+	b.ReportMetric(res.SatTput["uniform"]["tree"], "tree-sat-tput")
+}
+
+// BenchmarkTrafficCampaignParallel measures the campaign runner itself:
+// the E12-sized point set on the full worker pool, wall-clock per
+// campaign.
+func BenchmarkTrafficCampaignParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cr := traffic.Campaign(traffic.CampaignConfig{
+			Base: traffic.Config{
+				Seed: int64(i + 1), Nodes: 16, PayloadBytes: 32,
+				Warmup: 300, Measure: 1500, Drain: 10000,
+			},
+			Topologies: []traffic.Topology{traffic.Crossbar, traffic.Mesh, traffic.Torus, traffic.Ring, traffic.Tree},
+			Patterns:   []traffic.Pattern{traffic.UniformRandom, traffic.Hotspot},
+			Rates:      []float64{0.02, 0.06, 0.12, 0.20},
+		})
+		if len(cr.Points) != 40 {
+			b.Fatal("campaign incomplete")
+		}
+	}
 }
 
 // BenchmarkFig1MixedNoCWishbone is the Fig-1 mixed SoC with the

@@ -1,4 +1,4 @@
-// Command nocbench runs the full reproduction suite — experiments E1–E11,
+// Command nocbench runs the full reproduction suite — experiments E1–E12,
 // described in the package docs of internal/experiments and summarized in
 // the top-level README.md — and prints the paper-style tables.
 //
@@ -53,6 +53,7 @@ func main() {
 		{"E9", func() []*stats.Table { return []*stats.Table{experiments.E9ServiceAblation(*seed)} }},
 		{"E10", func() []*stats.Table { return experiments.E10TrafficSweep(*seed).Tables }},
 		{"E11", func() []*stats.Table { return experiments.E11WishboneAdapter(*seed).Tables }},
+		{"E12", func() []*stats.Table { return experiments.E12TopologyCampaign(*seed).Tables }},
 	}
 
 	doc := struct {

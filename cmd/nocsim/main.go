@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nocsim [-system noc|bus] [-topology crossbar|mesh|tree]
+//	nocsim [-system noc|bus] [-topology crossbar|mesh|torus|ring|tree]
 //	       [-mode wormhole|saf] [-seed N] [-requests N] [-qos] [-wb]
 //
 // -wb (NoC only) adds an eighth master — a WISHBONE IP behind its NIU —
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	system := flag.String("system", "noc", "interconnect: noc (Fig 1) or bus (Fig 2)")
-	topo := flag.String("topology", "crossbar", "NoC topology: crossbar, mesh, tree")
+	topo := flag.String("topology", "crossbar", "NoC topology: crossbar, mesh, torus, ring, tree")
 	mode := flag.String("mode", "wormhole", "NoC switching: wormhole or saf")
 	seed := flag.Int64("seed", 1, "random seed")
 	requests := flag.Int("requests", 40, "write/read-back pairs per master")
@@ -43,6 +43,10 @@ func main() {
 		cfg.Topology = soc.Crossbar
 	case "mesh":
 		cfg.Topology = soc.Mesh
+	case "torus":
+		cfg.Topology = soc.Torus
+	case "ring":
+		cfg.Topology = soc.Ring
 	case "tree":
 		cfg.Topology = soc.Tree
 	default:

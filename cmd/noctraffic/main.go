@@ -2,25 +2,30 @@
 // workloads of the on-chip-network literature and reports latency and
 // throughput, as text tables or JSON.
 //
-// Three modes:
+// Four modes:
 //
 //   - single run (default): one pattern at one injection rate on a raw
 //     transport fabric, with a latency histogram and optional per-flow
 //     digests (-flows);
 //   - sweep (-sweep): walk injection rates and emit the
 //     latency-vs-offered-load curve with its saturation summary;
+//   - campaign (-campaign): fan a (topology × pattern × rate) product
+//     across a worker pool — each point is an isolated simulation, so
+//     the campaign scales with cores while per-point results stay
+//     bit-identical to a serial run of the same seeds;
 //   - transaction level (-trans): drive the full mixed-protocol SoC
 //     through its existing NIUs at a controlled per-master rate.
 //
 // Usage:
 //
 //	noctraffic [-pattern uniform|hotspot|transpose|bitcomp|neighbor|bursty]
-//	           [-topology crossbar|mesh] [-nodes N] [-mode wormhole|saf]
-//	           [-qos] [-rate R] [-sweep] [-rates R1,R2,...] [-closed]
-//	           [-window N] [-payload B] [-readfrac F] [-hotfrac F]
-//	           [-burstlen N] [-urgentfrac F] [-warmup N] [-measure N]
-//	           [-drain N] [-seed N] [-flows] [-json]
-//	           [-trans] [-hotspot-mem]
+//	           [-topology crossbar|mesh|torus|ring|tree] [-nodes N]
+//	           [-mode wormhole|saf] [-qos] [-rate R] [-sweep]
+//	           [-rates R1,R2,...] [-closed] [-window N] [-payload B]
+//	           [-readfrac F] [-hotfrac F] [-burstlen N] [-urgentfrac F]
+//	           [-warmup N] [-measure N] [-drain N] [-seed N] [-flows]
+//	           [-json] [-campaign] [-topologies T1,T2,...]
+//	           [-patterns P1,P2,...] [-workers N] [-trans] [-hotspot-mem]
 package main
 
 import (
@@ -39,7 +44,7 @@ import (
 
 func main() {
 	pattern := flag.String("pattern", "uniform", "traffic pattern: uniform, hotspot, transpose, bitcomp, neighbor, bursty")
-	topo := flag.String("topology", "crossbar", "fabric: crossbar or mesh")
+	topo := flag.String("topology", "crossbar", "fabric: crossbar, mesh, torus, ring, or tree")
 	nodes := flag.Int("nodes", 16, "endpoint count")
 	mode := flag.String("mode", "wormhole", "switching: wormhole or saf")
 	qos := flag.Bool("qos", false, "priority arbitration in switches")
@@ -60,6 +65,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "root random seed")
 	flows := flag.Bool("flows", false, "print per-flow latency digests (single run)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
+	campaign := flag.Bool("campaign", false, "fan a (topology x pattern x rate) product across a worker pool")
+	topoList := flag.String("topologies", "crossbar,mesh,torus,ring,tree", "campaign: comma-separated topologies")
+	patList := flag.String("patterns", "uniform,hotspot", "campaign: comma-separated patterns")
+	workers := flag.Int("workers", 0, "campaign: worker-pool size (default: GOMAXPROCS)")
 	trans := flag.Bool("trans", false, "transaction-level load through the SoC's NIUs")
 	hotspotMem := flag.Bool("hotspot-mem", false, "trans: all masters hammer one memory")
 	wb := flag.Bool("wb", false, "trans: include the WISHBONE master (and its memory) in the driven SoC")
@@ -71,11 +80,7 @@ func main() {
 	}
 
 	if *trans {
-		socTopo := soc.Crossbar
-		if top == traffic.Mesh {
-			socTopo = soc.Mesh
-		}
-		runTrans(*seed, socTopo, *rate, *window, *payload, zeroAsNeg(*readFrac),
+		runTrans(*seed, socTopology(top), *rate, *window, *payload, zeroAsNeg(*readFrac),
 			*hotspotMem, *wb, zeroAsNegI(*warmup), *measure, *drain, *jsonOut)
 		return
 	}
@@ -106,6 +111,25 @@ func main() {
 		cfg.Net.Mode = transport.StoreAndForward
 	default:
 		log.Fatalf("unknown switching mode %q", *mode)
+	}
+
+	if *campaign {
+		cr := traffic.Campaign(traffic.CampaignConfig{
+			Base:       cfg,
+			Topologies: parseTopologies(*topoList),
+			Patterns:   parsePatterns(*patList),
+			Rates:      parseRates(*ratesFlag),
+			Workers:    *workers,
+		})
+		if *jsonOut {
+			emitJSON(cr)
+			return
+		}
+		fmt.Println(cr.Table().Render())
+		for _, c := range cr.Curves {
+			fmt.Println(c.Table().Render())
+		}
+		return
 	}
 
 	if *sweep {
@@ -143,6 +167,46 @@ func zeroAsNegI(v int64) int64 {
 		return -1
 	}
 	return v
+}
+
+// socTopology maps a packet-level topology onto the SoC builder's enum
+// for -trans runs.
+func socTopology(t traffic.Topology) soc.Topology {
+	switch t {
+	case traffic.Mesh:
+		return soc.Mesh
+	case traffic.Torus:
+		return soc.Torus
+	case traffic.Ring:
+		return soc.Ring
+	case traffic.Tree:
+		return soc.Tree
+	}
+	return soc.Crossbar
+}
+
+func parseTopologies(s string) []traffic.Topology {
+	var out []traffic.Topology
+	for _, f := range strings.Split(s, ",") {
+		t, err := traffic.ParseTopology(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func parsePatterns(s string) []traffic.Pattern {
+	var out []traffic.Pattern
+	for _, f := range strings.Split(s, ",") {
+		p, err := traffic.ParsePattern(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 func parseRates(s string) []float64 {

@@ -240,3 +240,47 @@ func TestE11WishboneAdapter(t *testing.T) {
 			r.RegFeedbackReadLat, r.ClassicReadLat)
 	}
 }
+
+func TestE12TopologyCampaign(t *testing.T) {
+	r := E12TopologyCampaign(7)
+	if len(r.Tables) != 2 {
+		t.Fatalf("tables: %d", len(r.Tables))
+	}
+	if got := len(r.Campaign.Points); got != 5*2*4 {
+		t.Fatalf("campaign points: %d, want 40", got)
+	}
+	uni := r.SatTput["uniform"]
+	if len(uni) != 5 {
+		t.Fatalf("uniform saturation map incomplete: %v", uni)
+	}
+	for topo, tput := range uni {
+		if tput <= 0 {
+			t.Fatalf("%s: degenerate saturation throughput %.4f", topo, tput)
+		}
+	}
+	// Structural expectations at equal offered loads, uniform traffic:
+	// wrap links let the torus sustain more than the mesh; the ring's
+	// two-link bisection saturates below the torus's eight; the tree's
+	// shared root and the mesh's bisection both fall below the
+	// single-switch crossbar (the E10 result, now via the campaign).
+	if uni["torus"] <= uni["mesh"] {
+		t.Fatalf("torus saturation tput %.4f not above mesh %.4f", uni["torus"], uni["mesh"])
+	}
+	if uni["ring"] >= uni["torus"] {
+		t.Fatalf("ring saturation tput %.4f not below torus %.4f", uni["ring"], uni["torus"])
+	}
+	if uni["tree"] >= uni["crossbar"] {
+		t.Fatalf("tree saturation tput %.4f not below crossbar %.4f", uni["tree"], uni["crossbar"])
+	}
+	if uni["mesh"] >= uni["crossbar"] {
+		t.Fatalf("mesh saturation tput %.4f not below crossbar %.4f", uni["mesh"], uni["crossbar"])
+	}
+	// Tail latency is reported for every (pattern, topology) pair.
+	for _, pat := range []string{"uniform", "hotspot"} {
+		for topo, p99 := range r.P99[pat] {
+			if p99 <= 0 {
+				t.Fatalf("%s/%s: p99 = %d", pat, topo, p99)
+			}
+		}
+	}
+}

@@ -24,6 +24,15 @@ type AsyncFifo[T any] struct {
 
 	buf []asyncEntry[T]
 
+	// Credit turnaround: a slot freed by Pop at kernel time T is not
+	// reusable by CanPush until a strictly later time, mirroring
+	// sim.Pipe's one-cycle credit rule (the pop-side pointer has to
+	// cross back through the synchronizer before the producer can see
+	// the space; same-instant reuse would model a zero-latency credit
+	// path no real CDC FIFO has).
+	lastPopAt sim.Time
+	popsNow   int
+
 	pushes, pops uint64
 	maxOcc       int
 }
@@ -45,8 +54,17 @@ func NewAsyncFifo[T any](k *sim.Kernel, name string, depth, syncStages int, cons
 	return &AsyncFifo[T]{name: name, k: k, consumer: consumerClk, depth: depth, syncStages: syncStages}
 }
 
-// CanPush reports whether the producer may push this cycle.
-func (f *AsyncFifo[T]) CanPush() bool { return len(f.buf) < f.depth }
+// CanPush reports whether the producer may push this cycle. Slots freed
+// by Pop at the current kernel instant still count as occupied: the
+// credit becomes visible to the producer at its next evaluation after
+// the pop.
+func (f *AsyncFifo[T]) CanPush() bool {
+	occ := len(f.buf)
+	if f.popsNow > 0 && f.lastPopAt == f.k.Now() {
+		occ += f.popsNow
+	}
+	return occ < f.depth
+}
 
 // Push inserts a value from the producer domain. The value becomes
 // visible to the consumer after the synchronizer delay.
@@ -79,6 +97,11 @@ func (f *AsyncFifo[T]) Pop() (T, bool) {
 	v := f.buf[0].v
 	f.buf = f.buf[1:]
 	f.pops++
+	if f.lastPopAt != f.k.Now() {
+		f.lastPopAt = f.k.Now()
+		f.popsNow = 0
+	}
+	f.popsNow++
 	return v, true
 }
 

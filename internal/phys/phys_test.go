@@ -205,6 +205,36 @@ func TestAsyncFifoSyncDelay(t *testing.T) {
 	}
 }
 
+// TestAsyncFifoCreditTurnaround pins the credit semantics to sim.Pipe's
+// rule: a slot freed by Pop is not reusable by CanPush at the same
+// kernel instant — the credit crosses back to the producer and becomes
+// visible at its next evaluation.
+func TestAsyncFifoCreditTurnaround(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "c", sim.Nanosecond, 0)
+	fifo := NewAsyncFifo[int](k, "cdc", 1, 1, clk)
+	if !fifo.Push(42) {
+		t.Fatal("push to empty fifo failed")
+	}
+	if fifo.CanPush() {
+		t.Fatal("CanPush true on a full fifo")
+	}
+	k.RunUntil(1 * sim.Nanosecond)
+	if v, ok := fifo.Pop(); !ok || v != 42 {
+		t.Fatalf("Pop = %d,%v", v, ok)
+	}
+	if fifo.CanPush() {
+		t.Fatal("slot freed by Pop reusable in the same instant (zero-latency credit)")
+	}
+	k.RunUntil(2 * sim.Nanosecond)
+	if !fifo.CanPush() {
+		t.Fatal("credit not returned after the pop instant")
+	}
+	if !fifo.Push(43) {
+		t.Fatal("push after credit return failed")
+	}
+}
+
 func TestAsyncFifoBackpressure(t *testing.T) {
 	k := sim.NewKernel()
 	clk := sim.NewClock(k, "c", sim.Nanosecond, 0)

@@ -68,6 +68,8 @@ const (
 	Crossbar Topology = iota
 	Mesh
 	Tree
+	Torus
+	Ring
 )
 
 // Config parameterizes a system build.
@@ -234,15 +236,21 @@ func BuildNoC(cfg Config) *System {
 		nodes = append(nodes, NodeWBM, NodeWBMem)
 	}
 	switch cfg.Topology {
-	case Mesh:
+	case Mesh, Torus:
 		h := (len(nodes) + 3) / 4 // grow rows as sockets are added (4x3 historically)
 		spec := transport.MeshSpec{W: 4, H: h, Nodes: map[noctypes.NodeID]transport.Coord{}}
 		for i, n := range nodes {
 			spec.Nodes[n] = transport.Coord{X: i % 4, Y: i / 4}
 		}
-		s.Net = transport.NewMesh(s.Clk, cfg.Net, spec)
+		if cfg.Topology == Torus {
+			s.Net = transport.NewTorus(s.Clk, cfg.Net, spec)
+		} else {
+			s.Net = transport.NewMesh(s.Clk, cfg.Net, spec)
+		}
 	case Tree:
 		s.Net = transport.NewTree(s.Clk, cfg.Net, 3, nodes)
+	case Ring:
+		s.Net = transport.NewRing(s.Clk, cfg.Net, nodes)
 	default:
 		s.Net = transport.NewCrossbar(s.Clk, cfg.Net, nodes)
 	}

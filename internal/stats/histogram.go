@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 )
@@ -104,13 +105,20 @@ func (h *Histogram) Buckets() []HistBucket {
 // PercentileUpper returns the upper bound of the bucket containing the
 // p-th percentile sample (0 < p <= 100), an O(buckets) approximation of
 // the exact percentile. It returns 0 with no samples.
+//
+// The rank uses nearest-rank (ceiling) semantics, ceil(p/100 * total):
+// flooring would read one sample low at every boundary (p95 of 10
+// samples would return the 9th sample's bucket instead of the 10th's).
 func (h *Histogram) PercentileUpper(p float64) int64 {
 	if h.total == 0 {
 		return 0
 	}
-	rank := uint64(p / 100 * float64(h.total))
+	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
 	if rank == 0 {
 		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
 	}
 	var seen uint64
 	for b, c := range h.counts {

@@ -162,6 +162,38 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentileNearestRank(t *testing.T) {
+	// Nine fast samples and one slow one: the p95 of 10 samples is the
+	// 10th by nearest-rank (ceil(0.95*10) = 10). A floored rank read the
+	// 9th sample and reported the fast bucket.
+	var h Histogram
+	for i := 0; i < 9; i++ {
+		h.Record(1)
+	}
+	h.Record(1000)
+	if got := h.PercentileUpper(95); got != 1023 {
+		t.Fatalf("p95 of 9x1+1x1000 = %d, want 1023 (nearest-rank reads the 10th sample)", got)
+	}
+	if got := h.PercentileUpper(90); got != 1 {
+		t.Fatalf("p90 = %d, want 1 (rank 9 is still a fast sample)", got)
+	}
+	if got := h.PercentileUpper(100); got != 1023 {
+		t.Fatalf("p100 = %d, want 1023", got)
+	}
+	// Tiny p never ranks below the first sample; huge totals never rank
+	// above the last.
+	if got := h.PercentileUpper(0.001); got != 1 {
+		t.Fatalf("p0.001 = %d, want 1", got)
+	}
+	var one Histogram
+	one.Record(7)
+	for _, p := range []float64{1, 50, 95, 99, 100} {
+		if got := one.PercentileUpper(p); got != 7 {
+			t.Fatalf("single-sample p%.0f = %d, want 7", p, got)
+		}
+	}
+}
+
 func TestHistogramMergeAndMean(t *testing.T) {
 	var a, b Histogram
 	a.Record(10)

@@ -1,0 +1,161 @@
+package traffic
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gonoc/internal/sim"
+	"gonoc/internal/stats"
+)
+
+// This file is the campaign layer: one call fans a cartesian set of
+// (topology × pattern × rate) load points across a worker pool. Each
+// point owns an isolated sim.Kernel, so points are embarrassingly
+// parallel; the only shared state is the result slot each worker writes,
+// indexed by the point's position in the enumeration. Per-point seeds
+// are forked from the campaign seed by a label naming the point, so a
+// point's stream depends on what it measures — never on worker count,
+// scheduling, or the order other points finish. A campaign with
+// Workers=1 is the serial reference run and produces bit-identical
+// per-point results.
+
+// CampaignConfig describes a cross-product sweep. Base supplies
+// everything but the swept axes (its Topology/Pattern/Rate/ClosedLoop
+// are overridden per point; its Seed seeds the campaign).
+type CampaignConfig struct {
+	Base       Config
+	Topologies []Topology // default: Base.Topology only
+	Patterns   []Pattern  // default: Base.Pattern only
+	Rates      []float64  // default: DefaultRates()
+	Workers    int        // worker-pool size (default: GOMAXPROCS)
+}
+
+// CampaignPoint is one measured load point plus the seed it ran under.
+type CampaignPoint struct {
+	Seed int64 `json:"seed"`
+	Result
+}
+
+// CampaignResult is the merged campaign report.
+type CampaignResult struct {
+	Nodes   int                `json:"nodes"`
+	Workers int                `json:"workers"`
+	Points  []CampaignPoint    `json:"points"` // topology-major, then pattern, then rate
+	Curves  []SweepResult      `json:"curves"` // one latency-vs-load curve per (topology, pattern)
+	Hist    []stats.HistBucket `json:"hist"`   // latency histogram merged across all points
+
+	// ElapsedMS is the campaign's wall-clock time. It is deliberately
+	// excluded from the JSON report and the table: CLI output is
+	// byte-identical for a given seed by repo convention, and wall
+	// clock is the one number here that can't be.
+	ElapsedMS int64 `json:"-"`
+}
+
+// pointSeed derives the deterministic seed for one campaign point.
+func pointSeed(root *sim.RNG, topo Topology, pat Pattern, rate float64) int64 {
+	return root.Fork(fmt.Sprintf("point/%s/%s/%g", topo, pat, rate)).Seed()
+}
+
+// Campaign runs every (topology × pattern × rate) point of cfg across a
+// worker pool and merges the results. Points appear in enumeration
+// order regardless of which worker ran them when.
+func Campaign(cfg CampaignConfig) CampaignResult {
+	if len(cfg.Topologies) == 0 {
+		cfg.Topologies = []Topology{cfg.Base.Topology}
+	}
+	if len(cfg.Patterns) == 0 {
+		cfg.Patterns = []Pattern{cfg.Base.Pattern}
+	}
+	if len(cfg.Rates) == 0 {
+		cfg.Rates = DefaultRates()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Enumerate the full product up front: the job list (and with it
+	// every per-point seed) is fixed before any worker starts.
+	type job struct {
+		idx  int
+		seed int64
+		cfg  Config
+	}
+	root := sim.NewRNG(cfg.Base.Seed)
+	var jobs []job
+	for _, topo := range cfg.Topologies {
+		for _, pat := range cfg.Patterns {
+			for _, rate := range cfg.Rates {
+				c := cfg.Base
+				c.Topology, c.Pattern, c.Rate = topo, pat, rate
+				c.ClosedLoop = false
+				c.Seed = pointSeed(root, topo, pat, rate)
+				jobs = append(jobs, job{idx: len(jobs), seed: c.Seed, cfg: c})
+			}
+		}
+	}
+
+	start := time.Now()
+	points := make([]CampaignPoint, len(jobs))
+	hists := make([]*stats.Histogram, len(jobs))
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				res, hist := run(j.cfg)
+				res.Flows = nil
+				points[j.idx] = CampaignPoint{Seed: j.seed, Result: res}
+				hists[j.idx] = hist
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+
+	cr := CampaignResult{
+		Nodes:     cfg.Base.withDefaults().Nodes,
+		Workers:   workers,
+		Points:    points,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}
+	// Curves: consecutive runs of len(Rates) points share one
+	// (topology, pattern) pair by construction.
+	var merged stats.Histogram
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+	cr.Hist = merged.Buckets()
+	for lo := 0; lo < len(points); lo += len(cfg.Rates) {
+		curve := make([]Result, 0, len(cfg.Rates))
+		for _, p := range points[lo : lo+len(cfg.Rates)] {
+			curve = append(curve, p.Result)
+		}
+		cr.Curves = append(cr.Curves, newSweepResult(curve))
+	}
+	return cr
+}
+
+// Table renders the campaign's saturation summary: one row per
+// (topology, pattern) curve.
+func (cr CampaignResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("campaign — %d points on %d workers", len(cr.Points), cr.Workers),
+		"topology", "pattern", "sat rate", "sat tput", "p99 @min rate", "p99 @max rate")
+	for _, c := range cr.Curves {
+		if len(c.Points) == 0 {
+			continue
+		}
+		first, last := c.Points[0], c.Points[len(c.Points)-1]
+		t.AddRow(c.Topology, c.Pattern, c.SatRate, c.SatThroughput,
+			first.Latency.P99, last.Latency.P99)
+	}
+	return t
+}

@@ -65,17 +65,29 @@ func bitCompDest(i, n int) (int, bool) {
 	return (p - 1) ^ i, true
 }
 
-// meshNeighbors returns the indices adjacent to i on a w x h mesh.
-func meshNeighbors(i, w, h, n int) []int {
+// gridNeighbors returns the indices adjacent to i on a w x h grid. With
+// wrap (torus), edge coordinates fold around; duplicates (a wrap meeting
+// its mesh neighbour on 2-wide dimensions) and self-links (1-wide
+// dimensions) are dropped.
+func gridNeighbors(i, w, h, n int, wrap bool) []int {
 	x, y := i%w, i/w
 	var out []int
 	add := func(nx, ny int) {
-		if nx < 0 || nx >= w || ny < 0 || ny >= h {
+		if wrap {
+			nx, ny = (nx+w)%w, (ny+h)%h
+		} else if nx < 0 || nx >= w || ny < 0 || ny >= h {
 			return
 		}
-		if d := ny*w + nx; d < n {
-			out = append(out, d)
+		d := ny*w + nx
+		if d >= n || d == i {
+			return
 		}
+		for _, seen := range out {
+			if seen == d {
+				return
+			}
+		}
+		out = append(out, d)
 	}
 	add(x+1, y)
 	add(x-1, y)
@@ -104,8 +116,8 @@ func (ch *chooser) next() int {
 		}
 		return uniformOther(ch.rng, ch.n, ch.src)
 	case NearestNeighbor:
-		if ch.cfg.Topology == Mesh {
-			if nb := meshNeighbors(ch.src, ch.w, ch.h, ch.n); len(nb) > 0 {
+		if ch.cfg.Topology == Mesh || ch.cfg.Topology == Torus {
+			if nb := gridNeighbors(ch.src, ch.w, ch.h, ch.n, ch.cfg.Topology == Torus); len(nb) > 0 {
 				return nb[ch.rng.Intn(len(nb))]
 			}
 		}
@@ -128,9 +140,9 @@ func (ch *chooser) next() int {
 }
 
 // geomW/geomH are the logical grid for coordinate patterns: the mesh
-// shape when on a mesh, else the largest inscribed square.
+// (or torus) shape when on one, else the largest inscribed square.
 func (ch *chooser) geomW() int {
-	if ch.cfg.Topology == Mesh {
+	if ch.cfg.Topology == Mesh || ch.cfg.Topology == Torus {
 		return ch.w
 	}
 	s := 1
@@ -141,7 +153,7 @@ func (ch *chooser) geomW() int {
 }
 
 func (ch *chooser) geomH() int {
-	if ch.cfg.Topology == Mesh {
+	if ch.cfg.Topology == Mesh || ch.cfg.Topology == Torus {
 		return ch.h
 	}
 	return ch.geomW()

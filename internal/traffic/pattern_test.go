@@ -44,7 +44,7 @@ func TestBitCompDest(t *testing.T) {
 }
 
 func TestMeshNeighbors(t *testing.T) {
-	nb := meshNeighbors(0, 4, 4, 16)
+	nb := gridNeighbors(0, 4, 4, 16, false)
 	if len(nb) != 2 {
 		t.Fatalf("corner neighbors: %v", nb)
 	}
@@ -55,8 +55,36 @@ func TestMeshNeighbors(t *testing.T) {
 	if !seen[1] || !seen[4] {
 		t.Fatalf("corner neighbors: %v, want {1,4}", nb)
 	}
-	if nb := meshNeighbors(5, 4, 4, 16); len(nb) != 4 {
+	if nb := gridNeighbors(5, 4, 4, 16, false); len(nb) != 4 {
 		t.Fatalf("interior neighbors: %v", nb)
+	}
+}
+
+func TestTorusNeighborsWrap(t *testing.T) {
+	// Corner of a 4x4 torus has 4 neighbours: wrap folds the edges.
+	nb := gridNeighbors(0, 4, 4, 16, true)
+	if len(nb) != 4 {
+		t.Fatalf("torus corner neighbors: %v", nb)
+	}
+	seen := map[int]bool{}
+	for _, d := range nb {
+		seen[d] = true
+	}
+	for _, want := range []int{1, 3, 4, 12} {
+		if !seen[want] {
+			t.Fatalf("torus corner neighbors %v missing %d", nb, want)
+		}
+	}
+	// 2-wide dimension: the wrap link and the mesh link reach the same
+	// node; it must appear once, not twice.
+	if nb := gridNeighbors(0, 2, 2, 4, true); len(nb) != 2 {
+		t.Fatalf("2x2 torus neighbors: %v", nb)
+	}
+	// 1-wide dimension: no self-links.
+	for _, d := range gridNeighbors(2, 1, 4, 4, true) {
+		if d == 2 {
+			t.Fatalf("self link in 1-wide torus: %v", gridNeighbors(2, 1, 4, 4, true))
+		}
 	}
 }
 
@@ -124,10 +152,16 @@ func TestParsers(t *testing.T) {
 	if _, err := ParsePattern("nope"); err == nil {
 		t.Fatal("bad pattern accepted")
 	}
-	if tp, err := ParseTopology("mesh"); err != nil || tp != Mesh {
-		t.Fatal("ParseTopology(mesh)")
+	for _, tp := range Topologies() {
+		got, err := ParseTopology(tp.String())
+		if err != nil || got != tp {
+			t.Fatalf("ParseTopology(%q) = %v, %v", tp.String(), got, err)
+		}
 	}
-	if _, err := ParseTopology("torus"); err == nil {
+	if tp, err := ParseTopology("xbar"); err != nil || tp != Crossbar {
+		t.Fatal("ParseTopology(xbar) alias broken")
+	}
+	if _, err := ParseTopology("hypercube"); err == nil {
 		t.Fatal("bad topology accepted")
 	}
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package traffic
+
+// raceEnabled reports whether this binary was built with -race; tests
+// that assert wall-clock ratios skip under it.
+const raceEnabled = true

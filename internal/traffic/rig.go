@@ -28,6 +28,8 @@ type collector struct {
 	injected  uint64 // request packets accepted by endpoints while measuring
 	completed uint64 // completions observed while measuring (throughput)
 	measDone  uint64 // measured txns completed (any phase)
+
+	tagCollisions uint64 // busy tags skipped at injection after tag wrap
 }
 
 // rig is one assembled packet-level traffic experiment: a fabric plus a
@@ -41,7 +43,10 @@ type rig struct {
 
 	genOn     bool
 	measuring bool
-	col       collector
+	// The measurement window in fabric cycles, [measStart, measEnd).
+	// Known statically: warmup runs from cycle 0.
+	measStart, measEnd int64
+	col                collector
 }
 
 // nodeID maps a source index onto a fabric NodeID (0 is reserved as a
@@ -57,28 +62,44 @@ func newRig(cfg *Config) *rig {
 	}
 	r := &rig{cfg: cfg, k: sim.NewKernel()}
 	r.clk = sim.NewClock(r.k, "traffic", sim.Nanosecond, 0)
+	r.measStart = cfg.Warmup
+	r.measEnd = cfg.Warmup + cfg.Measure
 
 	nodes := make([]noctypes.NodeID, cfg.Nodes)
 	for i := range nodes {
 		nodes[i] = nodeID(i)
 	}
 	switch cfg.Topology {
-	case Mesh:
+	case Mesh, Torus:
 		if cfg.MeshW*cfg.MeshH < cfg.Nodes {
-			panic(fmt.Sprintf("traffic: %dx%d mesh cannot hold %d nodes", cfg.MeshW, cfg.MeshH, cfg.Nodes))
+			panic(fmt.Sprintf("traffic: %dx%d %s cannot hold %d nodes", cfg.MeshW, cfg.MeshH, cfg.Topology, cfg.Nodes))
 		}
 		spec := transport.MeshSpec{W: cfg.MeshW, H: cfg.MeshH, Nodes: map[noctypes.NodeID]transport.Coord{}}
 		for i, n := range nodes {
 			spec.Nodes[n] = transport.Coord{X: i % cfg.MeshW, Y: i / cfg.MeshW}
 		}
-		r.net = transport.NewMesh(r.clk, cfg.Net, spec)
+		if cfg.Topology == Torus {
+			r.net = transport.NewTorus(r.clk, cfg.Net, spec)
+		} else {
+			r.net = transport.NewMesh(r.clk, cfg.Net, spec)
+		}
+	case Ring:
+		r.net = transport.NewRing(r.clk, cfg.Net, nodes)
+	case Tree:
+		r.net = transport.NewTree(r.clk, cfg.Net, cfg.TreeFanout, nodes)
 	default:
 		r.net = transport.NewCrossbar(r.clk, cfg.Net, nodes)
 	}
 
 	r.col.perFlow = make(map[Flow]*stats.Latency)
 	r.net.OnTransit = func(rec transport.TransitRecord) {
-		if !r.measuring {
+		// Membership in the fabric-latency sample is decided by when the
+		// packet entered its source endpoint, not by when it happens to
+		// eject: measured packets that finish during drain stay in (their
+		// omission understated saturation latency), and warmup packets
+		// that eject after the window opens stay out — the same rule
+		// txn.measured applies to end-to-end latency.
+		if rec.QueuedCycle < r.measStart || rec.QueuedCycle >= r.measEnd {
 			return
 		}
 		r.col.netLat.Record(rec.NetworkLatency())
@@ -106,9 +127,16 @@ func (r *rig) run() int64 {
 	r.clk.RunCycles(r.cfg.Measure)
 	r.measuring = false
 	r.genOn = false
-	// Drain: finish the measured transactions, up to the cap.
-	for c := int64(0); c < r.cfg.Drain && r.measuredOutstanding() > 0; c += 64 {
-		r.clk.RunCycles(64)
+	// Drain: finish the measured transactions, up to the cap. The
+	// completion check runs every 64 cycles, with the last step clipped
+	// so the cap is exact rather than overshooting by up to 63 cycles.
+	for c := int64(0); c < r.cfg.Drain && r.measuredOutstanding() > 0; {
+		step := int64(64)
+		if c+step > r.cfg.Drain {
+			step = r.cfg.Drain - c
+		}
+		r.clk.RunCycles(step)
+		c += step
 	}
 	return r.clk.Cycle()
 }

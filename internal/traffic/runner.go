@@ -29,13 +29,14 @@ type Result struct {
 	Throughput float64 `json:"tput"`      // completions during the window
 	Saturated  bool    `json:"saturated"` // throughput fell visibly below offered
 
-	Latency    stats.LatencySummary `json:"latency"`     // generation -> response, cycles
-	NetLatency stats.LatencySummary `json:"net_latency"` // per-packet fabric inject -> eject
-	AvgHops    float64              `json:"avg_hops"`
-	Hist       []stats.HistBucket   `json:"hist"`
-	Flows      []FlowStat           `json:"flows,omitempty"`
-	Incomplete int                  `json:"incomplete"` // measured txns unfinished at drain cap
-	Cycles     int64                `json:"cycles"`     // total cycles simulated
+	Latency       stats.LatencySummary `json:"latency"`     // generation -> response, cycles
+	NetLatency    stats.LatencySummary `json:"net_latency"` // per-packet fabric inject -> eject
+	AvgHops       float64              `json:"avg_hops"`
+	Hist          []stats.HistBucket   `json:"hist"`
+	Flows         []FlowStat           `json:"flows,omitempty"`
+	Incomplete    int                  `json:"incomplete"`     // measured txns unfinished at drain cap
+	TagCollisions uint64               `json:"tag_collisions"` // busy tags skipped after tag-counter wrap
+	Cycles        int64                `json:"cycles"`         // total cycles simulated
 }
 
 // satThreshold: a run counts as saturated when accepted throughput falls
@@ -44,10 +45,18 @@ const satThreshold = 0.9
 
 // Run executes one traffic configuration and returns its digest.
 func Run(cfg Config) Result {
+	res, _ := run(cfg)
+	return res
+}
+
+// run executes one configuration and additionally returns the raw
+// latency histogram, which Campaign merges exactly across points (the
+// exported Result only carries the lossy bucket export).
+func run(cfg Config) (Result, *stats.Histogram) {
 	cfg = cfg.withDefaults()
 	r := newRig(&cfg)
 	cycles := r.run()
-	return r.result(cycles)
+	return r.result(cycles), &r.col.hist
 }
 
 func (r *rig) result(cycles int64) Result {
@@ -55,19 +64,20 @@ func (r *rig) result(cycles int64) Result {
 	col := &r.col
 	nodeCycles := float64(cfg.Nodes) * float64(cfg.Measure)
 	res := Result{
-		Pattern:    cfg.Pattern.String(),
-		Topology:   cfg.Topology.String(),
-		Nodes:      cfg.Nodes,
-		ClosedLoop: cfg.ClosedLoop,
-		Offered:    cfg.Rate,
-		GenRate:    float64(col.generated) / nodeCycles,
-		InjRate:    float64(col.injected) / nodeCycles,
-		Throughput: float64(col.completed) / nodeCycles,
-		Latency:    col.agg.Summary(),
-		NetLatency: col.netLat.Summary(),
-		Hist:       col.hist.Buckets(),
-		Incomplete: int(r.measuredOutstanding()),
-		Cycles:     cycles,
+		Pattern:       cfg.Pattern.String(),
+		Topology:      cfg.Topology.String(),
+		Nodes:         cfg.Nodes,
+		ClosedLoop:    cfg.ClosedLoop,
+		Offered:       cfg.Rate,
+		GenRate:       float64(col.generated) / nodeCycles,
+		InjRate:       float64(col.injected) / nodeCycles,
+		Throughput:    float64(col.completed) / nodeCycles,
+		Latency:       col.agg.Summary(),
+		NetLatency:    col.netLat.Summary(),
+		Hist:          col.hist.Buckets(),
+		Incomplete:    int(r.measuredOutstanding()),
+		TagCollisions: col.tagCollisions,
+		Cycles:        cycles,
 	}
 	if cfg.ClosedLoop {
 		res.Offered = 0

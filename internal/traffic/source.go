@@ -35,7 +35,8 @@ type source struct {
 	q           *sim.Queue[*txn]              // generated, awaiting injection
 	replyQ      *sim.Queue[*transport.Packet] // reflector responses awaiting injection
 	outstanding map[noctypes.Tag]*txn
-	nextTag     uint16
+	nextTag     uint32
+	tagSpace    uint32 // number of distinct tags (tests shrink it)
 	inflight    int
 }
 
@@ -48,6 +49,7 @@ func newSource(r *rig, idx int, rng *sim.RNG) *source {
 		q:           sim.NewQueue[*txn](0),
 		replyQ:      sim.NewQueue[*transport.Packet](0),
 		outstanding: make(map[noctypes.Tag]*txn),
+		tagSpace:    1 << 16,
 	}
 	s.ch = newChooser(r.cfg, idx, rng.Fork("dest"))
 	r.clk.Register(s)
@@ -60,18 +62,42 @@ func (s *source) backlog() int { return s.q.Len() + s.inflight }
 func (s *source) generate(cycle int64) {
 	cfg := s.r.cfg
 	t := &txn{
-		tag:      noctypes.Tag(s.nextTag),
 		dst:      s.ch.next(),
 		read:     s.rng.Bool(cfg.ReadFrac),
 		urgent:   cfg.UrgentFrac > 0 && s.rng.Bool(cfg.UrgentFrac),
 		genCycle: cycle,
 		measured: s.r.measuring,
 	}
-	s.nextTag++
 	s.q.Push(t)
 	if t.measured {
 		s.r.col.generated++
 	}
+}
+
+// freeTag allocates the next transaction tag at injection time. Tags
+// identify outstanding transactions on the wire, and the tag counter
+// wraps after tagSpace generations — routine in saturated open-loop
+// runs — so a fresh tag can still belong to an in-flight transaction.
+// Overwriting that outstanding entry would orphan it (the first
+// response deletes the shared entry; the second finds nothing, leaking
+// inflight and corrupting Incomplete), so busy tags are skipped; skips
+// that precede a successful allocation are reported as
+// Result.TagCollisions. ok is false only when every tag is outstanding
+// — the caller retries next cycle, and that fruitless rescan is not
+// re-counted (it would tally tagSpace per stalled cycle and turn the
+// metric into a stall-duration counter).
+func (s *source) freeTag() (noctypes.Tag, bool) {
+	var skipped uint64
+	for range s.tagSpace {
+		tag := noctypes.Tag(s.nextTag)
+		s.nextTag = (s.nextTag + 1) % s.tagSpace
+		if _, busy := s.outstanding[tag]; !busy {
+			s.r.col.tagCollisions += skipped
+			return tag, true
+		}
+		skipped++
+	}
+	return 0, false
 }
 
 // payloadFor sizes the two packet directions: the data-bearing leg
@@ -186,7 +212,18 @@ func (s *source) Eval(cycle int64) {
 		t, ok := s.q.Peek()
 		// CanSend gates packet construction: under backpressure a blocked
 		// source would otherwise allocate a throwaway packet every cycle.
-		if !ok || !s.ep.CanSend() || !s.ep.TrySend(s.requestPacket(t)) {
+		if !ok || !s.ep.CanSend() {
+			break
+		}
+		// Tags are assigned here, not at generation: only injected
+		// transactions occupy tag space, so a free tag is exactly one
+		// with no outstanding transaction.
+		tag, ok := s.freeTag()
+		if !ok {
+			break // every tag outstanding; retry next cycle
+		}
+		t.tag = tag
+		if !s.ep.TrySend(s.requestPacket(t)) {
 			break
 		}
 		s.q.Pop()

@@ -33,25 +33,35 @@ func Sweep(cfg Config, rates []float64) SweepResult {
 	// cfg is passed to Run un-defaulted: withDefaults is not idempotent
 	// (negative sentinels map to 0, which a second pass would re-default),
 	// so it must run exactly once, inside Run.
-	var sr SweepResult
+	points := make([]Result, 0, len(rates))
 	for _, rate := range rates {
 		c := cfg
 		c.ClosedLoop = false
 		c.Rate = rate
 		res := Run(c)
 		res.Flows = nil
-		sr.Points = append(sr.Points, res)
-		if !res.Saturated && rate > sr.SatRate {
-			sr.SatRate = rate
+		points = append(points, res)
+	}
+	return newSweepResult(points)
+}
+
+// newSweepResult assembles one latency-vs-load curve plus its saturation
+// summary from per-rate points (ascending rate order). Shared by Sweep
+// and Campaign.
+func newSweepResult(points []Result) SweepResult {
+	sr := SweepResult{Points: points}
+	for _, res := range points {
+		if !res.Saturated && res.Offered > sr.SatRate {
+			sr.SatRate = res.Offered
 		}
 		if res.Throughput > sr.SatThroughput {
 			sr.SatThroughput = res.Throughput
 		}
 	}
-	if len(sr.Points) > 0 {
-		sr.Pattern = sr.Points[0].Pattern
-		sr.Topology = sr.Points[0].Topology
-		sr.Nodes = sr.Points[0].Nodes
+	if len(points) > 0 {
+		sr.Pattern = points[0].Pattern
+		sr.Topology = points[0].Topology
+		sr.Nodes = points[0].Nodes
 	}
 	return sr
 }

@@ -86,29 +86,48 @@ func ParsePattern(s string) (Pattern, error) {
 // Topology selects the fabric shape for the packet-level engines.
 type Topology uint8
 
-// Topologies.
+// Topologies. All five transport builders are reachable: topology is a
+// transport-layer choice, so every pattern/rate configuration runs
+// unchanged on any of them.
 const (
 	Crossbar Topology = iota
 	Mesh
+	Torus
+	Ring
+	Tree
 )
+
+var topologyNames = map[Topology]string{
+	Crossbar: "crossbar",
+	Mesh:     "mesh",
+	Torus:    "torus",
+	Ring:     "ring",
+	Tree:     "tree",
+}
+
+// Topologies returns all selectable topologies in display order.
+func Topologies() []Topology { return []Topology{Crossbar, Mesh, Torus, Ring, Tree} }
 
 // String renders the topology's CLI name.
 func (t Topology) String() string {
-	if t == Mesh {
-		return "mesh"
+	if s, ok := topologyNames[t]; ok {
+		return s
 	}
-	return "crossbar"
+	return fmt.Sprintf("topology%d", uint8(t))
 }
 
 // ParseTopology resolves a CLI name to a Topology.
 func ParseTopology(s string) (Topology, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "crossbar", "xbar":
+	name := strings.ToLower(strings.TrimSpace(s))
+	if name == "xbar" {
 		return Crossbar, nil
-	case "mesh":
-		return Mesh, nil
 	}
-	return 0, fmt.Errorf("traffic: unknown topology %q (want crossbar|mesh)", s)
+	for t, n := range topologyNames {
+		if n == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("traffic: unknown topology %q (want crossbar|mesh|torus|ring|tree)", s)
 }
 
 // Config parameterizes one traffic run on a raw transport fabric.
@@ -116,11 +135,12 @@ type Config struct {
 	Seed int64
 
 	// Fabric.
-	Nodes    int      // endpoint count (default 16)
-	Topology Topology // crossbar or mesh
-	MeshW    int      // mesh width (default: square from Nodes)
-	MeshH    int      // mesh height
-	Net      transport.NetConfig
+	Nodes      int      // endpoint count (default 16)
+	Topology   Topology // crossbar, mesh, torus, ring, or tree
+	MeshW      int      // mesh/torus width (default: square from Nodes)
+	MeshH      int      // mesh/torus height
+	TreeFanout int      // tree: endpoints per leaf switch (default 4)
+	Net        transport.NetConfig
 
 	// Workload.
 	Pattern      Pattern
@@ -150,13 +170,16 @@ func (c Config) withDefaults() Config {
 	if c.Nodes == 0 {
 		c.Nodes = 16
 	}
-	if c.Topology == Mesh && (c.MeshW == 0 || c.MeshH == 0) {
+	if (c.Topology == Mesh || c.Topology == Torus) && (c.MeshW == 0 || c.MeshH == 0) {
 		w := 1
 		for (w+1)*(w+1) <= c.Nodes {
 			w++
 		}
 		c.MeshW = w
 		c.MeshH = (c.Nodes + w - 1) / w
+	}
+	if c.TreeFanout == 0 {
+		c.TreeFanout = 4
 	}
 	if c.Rate == 0 {
 		c.Rate = 0.05
@@ -192,10 +215,11 @@ func (c Config) withDefaults() Config {
 		c.Drain = 30000
 	}
 	c.Net = c.Net.WithDefaults()
-	// Store-and-forward buffers must hold a whole packet; size them for
-	// the largest packet this workload produces rather than panicking
-	// deep inside transport.
-	if c.Net.Mode == transport.StoreAndForward {
+	// Store-and-forward buffers — and ring/torus lanes, whose
+	// cut-through admission also buffers whole packets — must hold the
+	// largest packet this workload produces; size them rather than
+	// panicking deep inside transport.
+	if c.Net.Mode == transport.StoreAndForward || c.Topology == Ring || c.Topology == Torus {
 		// The non-data leg carries ackBytes, which is the larger payload
 		// when PayloadBytes is tiny.
 		maxPayload := c.PayloadBytes

@@ -59,7 +59,8 @@ type LinkID struct {
 }
 
 // Network is an assembled fabric: switches, links, and endpoints. Use a
-// topology builder (NewCrossbar, NewMesh, NewTree) to construct one.
+// topology builder (NewCrossbar, NewMesh, NewTorus, NewRing, NewTree)
+// to construct one.
 type Network struct {
 	clk *sim.Clock
 	cfg NetConfig
@@ -70,6 +71,11 @@ type Network struct {
 	epOrder []noctypes.NodeID
 
 	nextPktID uint64
+
+	// cutThrough fabrics (ring, torus) size packets against switch
+	// buffers at TrySend, like store-and-forward: a packet larger than a
+	// lane can never be granted an output under cut-through admission.
+	cutThrough bool
 
 	lockHeld  bool
 	lockOwner noctypes.NodeID
@@ -246,8 +252,8 @@ func (ep *Endpoint) TrySend(p *Packet) bool {
 	// (freshly allocated by PacketizeInto) travel with the flits.
 	ep.scratch = PacketizeInto(p, ep.net.cfg.FlitBytes, ep.scratch)
 	flits := ep.scratch
-	if ep.net.cfg.Mode == StoreAndForward && len(flits) > ep.net.cfg.BufDepth {
-		panic(fmt.Sprintf("transport: SAF packet of %d flits exceeds BufDepth %d", len(flits), ep.net.cfg.BufDepth))
+	if (ep.net.cfg.Mode == StoreAndForward || ep.net.cutThrough) && len(flits) > ep.net.cfg.BufDepth {
+		panic(fmt.Sprintf("transport: packet of %d flits exceeds BufDepth %d (whole-packet buffering required)", len(flits), ep.net.cfg.BufDepth))
 	}
 	ep.stage = append(ep.stage, flits...)
 	ep.pending++

@@ -124,6 +124,57 @@ func TestPerSrcTagOrderPreserved(t *testing.T) {
 	}
 }
 
+// runAllPairs floods one packet per ordered (src,dst) pair into the
+// fabric and asserts every one arrives intact at its destination — the
+// shared delivery (and, for ring/torus, deadlock-freedom) check for
+// multi-switch topologies.
+func runAllPairs(t *testing.T, clk *sim.Clock, net *Network, ids []noctypes.NodeID, maxCycles int) {
+	t.Helper()
+	type key struct{ src, dst noctypes.NodeID }
+	want := map[key]bool{}
+	var sends []*Packet
+	for _, s := range ids {
+		for _, d := range ids {
+			if s == d {
+				continue
+			}
+			p := pkt(s, d, fmt.Sprintf("%d->%d", s, d))
+			sends = append(sends, p)
+			want[key{s, d}] = true
+		}
+	}
+	recvd := map[key]bool{}
+	i := 0
+	for cycle := 0; cycle < maxCycles && len(recvd) < len(want); cycle++ {
+		for i < len(sends) {
+			p := sends[i]
+			if !net.Endpoint(p.Src).TrySend(p) {
+				break
+			}
+			i++
+		}
+		clk.RunCycles(1)
+		for _, id := range ids {
+			for {
+				p, ok := net.Endpoint(id).Recv()
+				if !ok {
+					break
+				}
+				if p.Dst != id {
+					t.Fatalf("misrouted: %v arrived at %v", p, id)
+				}
+				if want := fmt.Sprintf("%d->%d", p.Src, p.Dst); string(p.Payload) != want {
+					t.Fatalf("payload corrupted: %q want %q", p.Payload, want)
+				}
+				recvd[key{p.Src, p.Dst}] = true
+			}
+		}
+	}
+	if len(recvd) != len(want) {
+		t.Fatalf("delivered %d/%d flows", len(recvd), len(want))
+	}
+}
+
 func TestMeshAllPairs(t *testing.T) {
 	for _, mode := range []SwitchingMode{Wormhole, StoreAndForward} {
 		t.Run(mode.String(), func(t *testing.T) {
@@ -140,51 +191,138 @@ func TestMeshAllPairs(t *testing.T) {
 			}
 			cfg := NetConfig{Mode: mode, BufDepth: 16}
 			net := NewMesh(clk, cfg, MeshSpec{W: 3, H: 3, Nodes: nodes})
+			runAllPairs(t, clk, net, ids, 5000)
+		})
+	}
+}
 
-			type key struct{ src, dst noctypes.NodeID }
-			want := map[key]bool{}
-			var sends []*Packet
-			for _, s := range ids {
-				for _, d := range ids {
-					if s == d {
-						continue
-					}
-					p := pkt(s, d, fmt.Sprintf("%d->%d", s, d))
-					sends = append(sends, p)
-					want[key{s, d}] = true
+func TestRingAllPairs(t *testing.T) {
+	for _, mode := range []SwitchingMode{Wormhole, StoreAndForward} {
+		t.Run(mode.String(), func(t *testing.T) {
+			for _, n := range []int{2, 5, 8} {
+				k := sim.NewKernel()
+				clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+				var ids []noctypes.NodeID
+				for i := 0; i < n; i++ {
+					ids = append(ids, noctypes.NodeID(i+1))
 				}
-			}
-			recvd := map[key]bool{}
-			i := 0
-			for cycle := 0; cycle < 5000 && len(recvd) < len(want); cycle++ {
-				for i < len(sends) {
-					p := sends[i]
-					if !net.Endpoint(p.Src).TrySend(p) {
-						break
-					}
-					i++
-				}
-				clk.RunCycles(1)
-				for _, id := range ids {
-					for {
-						p, ok := net.Endpoint(id).Recv()
-						if !ok {
-							break
-						}
-						if p.Dst != id {
-							t.Fatalf("misrouted: %v arrived at %v", p, id)
-						}
-						if want := fmt.Sprintf("%d->%d", p.Src, p.Dst); string(p.Payload) != want {
-							t.Fatalf("payload corrupted: %q want %q", p.Payload, want)
-						}
-						recvd[key{p.Src, p.Dst}] = true
-					}
-				}
-			}
-			if len(recvd) != len(want) {
-				t.Fatalf("%s: delivered %d/%d flows", mode, len(recvd), len(want))
+				net := NewRing(clk, NetConfig{Mode: mode, BufDepth: 16}, ids)
+				runAllPairs(t, clk, net, ids, 8000)
 			}
 		})
+	}
+}
+
+func TestTorusAllPairs(t *testing.T) {
+	for _, mode := range []SwitchingMode{Wormhole, StoreAndForward} {
+		t.Run(mode.String(), func(t *testing.T) {
+			for _, dim := range []struct{ w, h int }{{4, 4}, {3, 2}, {1, 4}} {
+				k := sim.NewKernel()
+				clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+				nodes := map[noctypes.NodeID]Coord{}
+				var ids []noctypes.NodeID
+				for y := 0; y < dim.h; y++ {
+					for x := 0; x < dim.w; x++ {
+						id := noctypes.NodeID(y*dim.w + x + 1)
+						nodes[id] = Coord{x, y}
+						ids = append(ids, id)
+					}
+				}
+				net := NewTorus(clk, NetConfig{Mode: mode, BufDepth: 16}, MeshSpec{W: dim.w, H: dim.h, Nodes: nodes})
+				runAllPairs(t, clk, net, ids, 8000)
+			}
+		})
+	}
+}
+
+// TestRingShorterPathsThanMeshRow pins the wraparound advantage: on an
+// 8-ring the worst-case route is 4 links + ejection, where a 8x1 mesh
+// line would need 7.
+func TestRingWrapShortensPaths(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+	var ids []noctypes.NodeID
+	for i := 0; i < 8; i++ {
+		ids = append(ids, noctypes.NodeID(i+1))
+	}
+	net := NewRing(clk, NetConfig{}, ids)
+	for s := range ids {
+		for d := range ids {
+			if s == d {
+				continue
+			}
+			fwd := (d - s + 8) % 8
+			hops := fwd
+			if hops > 8-fwd {
+				hops = 8 - fwd
+			}
+			if got := len(net.Path(ids[s], ids[d])); got != hops+1 {
+				t.Fatalf("path %v->%v: %d links, want %d", ids[s], ids[d], got, hops+1)
+			}
+		}
+	}
+	// Half-way-around ties split by source parity — even sources go
+	// clockwise, odd counter-clockwise — so neither unidirectional ring
+	// carries all the longest flows.
+	if p := net.Path(ids[0], ids[4]); p[0].Port != ringCW {
+		t.Fatalf("even-source tie did not go clockwise: %v", p)
+	}
+	if p := net.Path(ids[1], ids[5]); p[0].Port != ringCCW {
+		t.Fatalf("odd-source tie did not go counter-clockwise: %v", p)
+	}
+}
+
+// TestTorusDatelineVCSwitch verifies the deadlock-avoidance mechanism
+// itself: a packet that crosses a wrap link arrives on the escape VC,
+// one that stays inside the dimension arrives on VC0.
+func TestTorusDatelineVCSwitch(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+	nodes := map[noctypes.NodeID]Coord{}
+	var ids []noctypes.NodeID
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			id := noctypes.NodeID(y*4 + x + 1)
+			nodes[id] = Coord{x, y}
+			ids = append(ids, id)
+		}
+	}
+	net := NewTorus(clk, NetConfig{}, MeshSpec{W: 4, H: 4, Nodes: nodes})
+
+	lastVC := func(src, dst noctypes.NodeID) uint8 {
+		dstEp := net.Endpoint(dst)
+		net.Endpoint(src).TrySend(pkt(src, dst, "probe"))
+		vc := uint8(255)
+		for c := 0; c < 500; c++ {
+			// Sample the head of the ejection buffer before the endpoint
+			// consumes it: that is the VC the flit travelled its last link
+			// on (the local port never rewrites VCs).
+			if f, ok := dstEp.ej.Peek(); ok {
+				vc = f.VC
+			}
+			clk.RunCycles(1)
+			if _, ok := dstEp.Recv(); ok {
+				if vc == 255 {
+					t.Fatalf("probe %v->%v arrived without an observed flit", src, dst)
+				}
+				return vc
+			}
+		}
+		t.Fatalf("probe %v->%v never arrived", src, dst)
+		return 0
+	}
+
+	// (0,0) -> (1,0): one east hop, no wrap: stays on VC0.
+	if vc := lastVC(ids[0], ids[1]); vc != VCNormal {
+		t.Fatalf("non-wrapping probe on VC%d, want VC0", vc)
+	}
+	// (3,0) -> (0,0): east wrap link is the X dateline: arrives on VC1.
+	if vc := lastVC(ids[3], ids[0]); vc != VCLocked {
+		t.Fatalf("X-wrap probe on VC%d, want VC1 (dateline switch)", vc)
+	}
+	// (0,3) -> (0,0): south wrap is the Y dateline: arrives on VC1.
+	if vc := lastVC(ids[12], ids[0]); vc != VCLocked {
+		t.Fatalf("Y-wrap probe on VC%d, want VC1 (dateline switch)", vc)
 	}
 }
 
@@ -329,4 +467,83 @@ func TestNetworkAccessors(t *testing.T) {
 	if tn.net.Config().FlitBytes != 8 {
 		t.Fatal("defaults not applied")
 	}
+}
+
+// saturate floods the fabric with uniform-random traffic from every
+// node for busy cycles, then stops injecting and counts whether the
+// fabric keeps moving — the deadlock-freedom regression for cyclic
+// topologies (a wedged ring shows zero progress in the quiet phase and
+// never drains).
+func saturate(t *testing.T, clk *sim.Clock, net *Network, ids []noctypes.NodeID, busy, quiet int) {
+	t.Helper()
+	rng := sim.NewRNG(1)
+	for c := 0; c < busy; c++ {
+		for i, id := range ids {
+			d := rng.Intn(len(ids) - 1)
+			if d >= i {
+				d++
+			}
+			ep := net.Endpoint(id)
+			ep.TrySend(&Packet{
+				Header:  Header{Kind: KindReq, Dst: ids[d], Src: id},
+				Payload: make([]byte, 32),
+			})
+			for {
+				if _, ok := ep.Recv(); !ok {
+					break
+				}
+			}
+		}
+		clk.RunCycles(1)
+	}
+	for c := 0; c < quiet && !net.Drained(); c++ {
+		clk.RunCycles(1)
+		for _, id := range ids {
+			for {
+				if _, ok := net.Endpoint(id).Recv(); !ok {
+					break
+				}
+			}
+		}
+	}
+	if !net.Drained() {
+		t.Fatalf("fabric wedged under saturation: %d packets stuck in flight after %d quiet cycles",
+			net.InFlight(), quiet)
+	}
+	// Sanity floor: a wedged fabric stops injecting within its first few
+	// hundred cycles (the frozen ring managed 85 in 3000); a merely
+	// saturated one keeps absorbing packets as fast as it drains them.
+	if net.Injected() < uint64(busy)/4 {
+		t.Fatalf("implausibly few injections under saturation: %d in %d cycles", net.Injected(), busy)
+	}
+}
+
+// TestRingSaturationNoDeadlock pins the fix for the wormhole ring
+// deadlock: dateline VCs alone cannot help when an output port is held
+// head-to-tail by a blocked packet (the physical-link cycle closes
+// around the ring); cut-through admission guarantees held outputs
+// drain.
+func TestRingSaturationNoDeadlock(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+	var ids []noctypes.NodeID
+	for i := 0; i < 16; i++ {
+		ids = append(ids, noctypes.NodeID(i+1))
+	}
+	saturate(t, clk, NewRing(clk, NetConfig{}, ids), ids, 3000, 4000)
+}
+
+func TestTorusSaturationNoDeadlock(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "noc", sim.Nanosecond, 0)
+	nodes := map[noctypes.NodeID]Coord{}
+	var ids []noctypes.NodeID
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			id := noctypes.NodeID(y*4 + x + 1)
+			nodes[id] = Coord{x, y}
+			ids = append(ids, id)
+		}
+	}
+	saturate(t, clk, NewTorus(clk, NetConfig{}, MeshSpec{W: 4, H: 4, Nodes: nodes}), ids, 3000, 4000)
 }

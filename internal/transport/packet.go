@@ -1,7 +1,7 @@
 // Package transport implements the NoC transport layer: packet format,
 // flits, wormhole and store-and-forward switches, quality-of-service
 // arbitration, legacy-lock path reservation, and topology builders
-// (crossbar, mesh, tree).
+// (crossbar, mesh, torus, ring, tree).
 //
 // The transport layer is completely transaction-unaware (paper §1): it
 // imports no transaction-layer types. A packet carries the header triple

@@ -34,6 +34,18 @@ type RouterConfig struct {
 	Mode     SwitchingMode
 	BufDepth int  // flit buffer depth per (input port, VC)
 	QoS      bool // priority-aware output arbitration; false = flat RR
+
+	// CutThrough makes output allocation virtual-cut-through: an output
+	// is granted only when the downstream buffer can hold the candidate
+	// packet entirely. An output then never stalls mid-packet (each
+	// input lane has exactly one feeder output, so reserved space cannot
+	// be stolen), which removes held output ports from the deadlock
+	// dependency graph — on ring and torus fabrics the physical links
+	// form a cycle, and a packet streaming wormhole-style through a held
+	// output would close it even across the dateline VC switch. Ring and
+	// torus builders set this; acyclic fabrics don't need it.
+	CutThrough bool
+	FlitBytes  int // flit width, for CutThrough packet sizing
 }
 
 type laneRef struct{ port, vc int }
@@ -79,6 +91,15 @@ type Router struct {
 	rr       []int               // per output: round-robin port pointer
 
 	table map[noctypes.NodeID]int
+
+	// vcOut, when non-nil, rewrites a flit's virtual channel as it leaves
+	// the switch: vcOut[in][out] is the VC flits arriving on input port
+	// `in` travel on after leaving output `out` (-1 keeps the flit's
+	// current VC). Ring and torus builders use it for dateline VC
+	// switching (Dally/Seitz): a packet crossing the wrap link moves to
+	// the escape VC, which breaks the channel-dependency cycle a ring
+	// would otherwise close.
+	vcOut [][]int8
 
 	stats RouterStats
 }
@@ -152,6 +173,23 @@ func (r *Router) routeFor(dst noctypes.NodeID) int {
 	return p
 }
 
+// setVCOut declares that flits arriving on input port in leave output
+// out on virtual channel vc (overriding the VC they arrived on). Lazily
+// allocates the rewrite table; unset pairs keep the flit's VC.
+func (r *Router) setVCOut(in, out int, vc uint8) {
+	if r.vcOut == nil {
+		r.vcOut = make([][]int8, len(r.lanes))
+		for p := range r.vcOut {
+			row := make([]int8, len(r.lanes))
+			for o := range row {
+				row[o] = -1
+			}
+			r.vcOut[p] = row
+		}
+	}
+	r.vcOut[in][out] = int8(vc)
+}
+
 // connectOut wires output port o to the given per-VC downstream buffers.
 func (r *Router) connectOut(o int, vcBufs [NumVCs]*sim.Pipe[Flit]) {
 	for v := 0; v < NumVCs; v++ {
@@ -206,14 +244,16 @@ func (r *Router) moveFlit(o int, ln laneRef) {
 	if !ok {
 		return // wormhole bubble: body flits not yet arrived
 	}
-	dst := r.outs[o][f.VC]
+	vc := r.outVC(ln.port, o, f.VC)
+	dst := r.outs[o][vc]
 	if dst == nil {
-		panic(fmt.Sprintf("transport: router %q output %d has no VC%d buffer", r.name, o, f.VC))
+		panic(fmt.Sprintf("transport: router %q output %d has no VC%d buffer", r.name, o, vc))
 	}
 	if !dst.CanPush(1) {
 		return // downstream backpressure
 	}
 	lane.Pop()
+	f.VC = vc
 	f.Hops++
 	if !dst.Push(f) {
 		panic("transport: push failed after CanPush")
@@ -236,6 +276,17 @@ func (r *Router) moveFlit(o int, ln laneRef) {
 			}
 		}
 	}
+}
+
+// outVC returns the virtual channel a flit arriving on input port in
+// with channel vc travels on after leaving output o.
+func (r *Router) outVC(in, o int, vc uint8) uint8 {
+	if r.vcOut != nil {
+		if nv := r.vcOut[in][o]; nv >= 0 {
+			return uint8(nv)
+		}
+	}
+	return vc
 }
 
 // ready reports whether the lane at (port,vc) has a packet ready to
@@ -285,6 +336,15 @@ func (r *Router) arbitrate(o int) laneRef {
 			if lk := r.outLock[o]; lk >= 0 && noctypes.NodeID(lk) != f.Hdr.Src {
 				r.stats.LockStalls++
 				continue
+			}
+			// Virtual-cut-through admission: grant only with space for
+			// the whole packet downstream (CanPush keeps the check
+			// consistent with the pipes' one-cycle credit semantics).
+			if r.cfg.CutThrough {
+				need := FlitCount(HeaderBytes+int(f.Hdr.PayloadLen), r.cfg.FlitBytes)
+				if !r.outs[o][r.outVC(p, o, f.VC)].CanPush(need) {
+					continue
+				}
 			}
 			cands = append(cands, cand{laneRef{p, v}, f.Hdr.Priority})
 		}
