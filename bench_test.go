@@ -1,5 +1,5 @@
 // Package gonoc_test holds the repository-level benchmark harness: one
-// benchmark per experiment table/figure (E1–E12; see README.md).
+// benchmark per experiment table/figure (E1–E13; see README.md).
 // Each benchmark runs the corresponding experiment end to end and reports
 // the headline simulated-cycle metrics alongside wall-clock ns/op, so
 // `go test -bench=. -benchmem` regenerates every result.
@@ -210,6 +210,21 @@ func BenchmarkE12TopologyCampaign(b *testing.B) {
 	b.ReportMetric(res.SatTput["uniform"]["torus"], "torus-sat-tput")
 	b.ReportMetric(res.SatTput["uniform"]["ring"], "ring-sat-tput")
 	b.ReportMetric(res.SatTput["uniform"]["tree"], "tree-sat-tput")
+}
+
+// BenchmarkE13CongestionHeatmap runs the instrumented hotspot-saturation
+// pair (mesh and torus with the link heatmap attached) and reports the
+// bottleneck-link utilization the tables are built from.
+func BenchmarkE13CongestionHeatmap(b *testing.B) {
+	var res experiments.E13Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.E13CongestionHeatmap(int64(i + 1))
+		if len(res.Heatmaps) != 2 {
+			b.Fatal("heatmaps incomplete")
+		}
+	}
+	b.ReportMetric(res.Heatmaps[0].Hottest(1)[0].Utilization, "mesh-hot-util")
+	b.ReportMetric(res.Heatmaps[1].Hottest(1)[0].Utilization, "torus-hot-util")
 }
 
 // BenchmarkTrafficCampaignParallel measures the campaign runner itself:

@@ -1,23 +1,31 @@
 // Command nocsim builds one mixed-protocol SoC — the paper's Fig-1 NoC or
 // the Fig-2 bridged reference bus — runs a seeded self-checking workload
-// on its seven mixed-socket masters, and prints per-master latency and
-// interconnect statistics.
+// on its mixed-socket masters (seven, or eight with -wb), and prints
+// per-master latency and interconnect statistics.
 //
 // Usage:
 //
 //	nocsim [-system noc|bus] [-topology crossbar|mesh|torus|ring|tree]
 //	       [-mode wormhole|saf] [-seed N] [-requests N] [-qos] [-wb]
+//	       [-trace FILE] [-heatmap FILE]
 //
 // -wb (NoC only) adds an eighth master — a WISHBONE IP behind its NIU —
 // and a WISHBONE memory target to the demo topology.
+//
+// -trace (NoC only) writes the run's transaction/packet lifecycle spans
+// as a Chrome trace_event file (open in Perfetto or chrome://tracing);
+// -heatmap (NoC only) writes the per-link congestion heatmap JSON. Both
+// come from internal/obs and observe the whole run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
+	"gonoc/internal/obs"
 	"gonoc/internal/soc"
 	"gonoc/internal/stats"
 	"gonoc/internal/transport"
@@ -31,12 +39,29 @@ func main() {
 	requests := flag.Int("requests", 40, "write/read-back pairs per master")
 	qos := flag.Bool("qos", true, "enable priority arbitration in switches")
 	wb := flag.Bool("wb", false, "NoC only: add the WISHBONE master IP and memory target")
+	traceFile := flag.String("trace", "", "NoC only: write a Chrome trace_event file (Perfetto/chrome://tracing)")
+	heatFile := flag.String("heatmap", "", "NoC only: write the per-link congestion heatmap JSON")
 	flag.Parse()
 
 	if *wb && *system != "noc" {
 		log.Fatal("-wb requires -system noc (the Fig-2 bus has no WISHBONE bridge)")
 	}
-	cfg := soc.Config{Seed: *seed, RequestsPerMaster: *requests, Wishbone: *wb}
+	if (*traceFile != "" || *heatFile != "") && *system != "noc" {
+		log.Fatal("-trace/-heatmap require -system noc (the Fig-2 bus has no fabric to instrument)")
+	}
+	var rec *obs.SpanRecorder
+	var mon *obs.LinkMonitor
+	var probes []obs.Probe
+	if *traceFile != "" {
+		rec = &obs.SpanRecorder{}
+		probes = append(probes, rec)
+	}
+	if *heatFile != "" {
+		mon = obs.NewLinkMonitor(obs.DefaultHeatmapBucket)
+		probes = append(probes, mon)
+	}
+	cfg := soc.Config{Seed: *seed, RequestsPerMaster: *requests, Wishbone: *wb,
+		Probe: obs.Multi(probes...)}
 	cfg.Net.QoS = *qos
 	switch *topo {
 	case "crossbar":
@@ -107,5 +132,28 @@ func main() {
 		fmt.Printf("bus: busy=%d idle=%d lock=%d decode-errors=%d grants=%v\n",
 			bs.BusyCycles, bs.IdleCycles, bs.LockCycles, bs.DecodeErrors, bs.Grants)
 	}
+	if rec != nil {
+		writeFile(*traceFile, rec.WriteChromeTrace)
+		fmt.Printf("trace: %d span events -> %s\n", rec.Len(), *traceFile)
+	}
+	if mon != nil {
+		rep := mon.Report(fmt.Sprintf("nocsim/%s/%s", *topo, *mode))
+		writeFile(*heatFile, rep.WriteJSON)
+		fmt.Printf("heatmap: %d links, %d flits -> %s\n", len(rep.Links), rep.TotalFlits, *heatFile)
+	}
 	os.Exit(0)
+}
+
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -16,6 +16,15 @@
 //   - transaction level (-trans): drive the full mixed-protocol SoC
 //     through its existing NIUs at a controlled per-master rate.
 //
+// Observability (internal/obs): -trace writes a Chrome trace_event file
+// of the run's transaction/packet lifecycle spans — open it directly in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing; -events writes
+// the same span stream as JSONL; -heatmap writes the per-link congestion
+// heatmap JSON (per-link flits, stall cycles, VC-occupancy high-water
+// marks, and a time-bucketed utilization series). -trace/-events need a
+// single simulation (single run or -trans); -heatmap also works in
+// -campaign mode, where every point gets its own heatmap.
+//
 // Usage:
 //
 //	noctraffic [-pattern uniform|hotspot|transpose|bitcomp|neighbor|bursty]
@@ -26,16 +35,20 @@
 //	           [-warmup N] [-measure N] [-drain N] [-seed N] [-flows]
 //	           [-json] [-campaign] [-topologies T1,T2,...]
 //	           [-patterns P1,P2,...] [-workers N] [-trans] [-hotspot-mem]
+//	           [-wb] [-trace FILE] [-events FILE] [-heatmap FILE]
+//	           [-heatmap-bucket N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
 	"strings"
 
+	"gonoc/internal/obs"
 	"gonoc/internal/soc"
 	"gonoc/internal/stats"
 	"gonoc/internal/traffic"
@@ -72,16 +85,24 @@ func main() {
 	trans := flag.Bool("trans", false, "transaction-level load through the SoC's NIUs")
 	hotspotMem := flag.Bool("hotspot-mem", false, "trans: all masters hammer one memory")
 	wb := flag.Bool("wb", false, "trans: include the WISHBONE master (and its memory) in the driven SoC")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event file (Perfetto/chrome://tracing); single run or -trans")
+	eventsFile := flag.String("events", "", "write the lifecycle span trace as JSONL; single run or -trans")
+	heatFile := flag.String("heatmap", "", "write the per-link congestion heatmap JSON; single run, -trans, or -campaign")
+	heatBucket := flag.Int64("heatmap-bucket", obs.DefaultHeatmapBucket, "heatmap time-bucket width in cycles")
 	flag.Parse()
+	if *heatBucket <= 0 {
+		*heatBucket = obs.DefaultHeatmapBucket
+	}
 
 	top, err := traffic.ParseTopology(*topo)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sk := newSinks(*traceFile, *eventsFile, *heatFile, *heatBucket)
 
 	if *trans {
 		runTrans(*seed, socTopology(top), *rate, *window, *payload, zeroAsNeg(*readFrac),
-			*hotspotMem, *wb, zeroAsNegI(*warmup), *measure, *drain, *jsonOut)
+			*hotspotMem, *wb, zeroAsNegI(*warmup), *measure, *drain, *jsonOut, sk)
 		return
 	}
 
@@ -114,13 +135,23 @@ func main() {
 	}
 
 	if *campaign {
-		cr := traffic.Campaign(traffic.CampaignConfig{
+		if *traceFile != "" || *eventsFile != "" {
+			log.Fatal("-trace/-events need a single simulation; campaigns support -heatmap only")
+		}
+		ccfg := traffic.CampaignConfig{
 			Base:       cfg,
 			Topologies: parseTopologies(*topoList),
 			Patterns:   parsePatterns(*patList),
 			Rates:      parseRates(*ratesFlag),
 			Workers:    *workers,
-		})
+		}
+		if *heatFile != "" {
+			ccfg.HeatmapBuckets = *heatBucket
+		}
+		cr := traffic.Campaign(ccfg)
+		if *heatFile != "" {
+			writeFile(*heatFile, func(w io.Writer) error { return stats.WriteJSON(w, cr.Heatmaps) })
+		}
 		if *jsonOut {
 			emitJSON(cr)
 			return
@@ -133,6 +164,9 @@ func main() {
 	}
 
 	if *sweep {
+		if sk.enabled() {
+			log.Fatal("-trace/-events/-heatmap apply to a single run, -trans, or -campaign (-heatmap only)")
+		}
 		sr := traffic.Sweep(cfg, parseRates(*ratesFlag))
 		if *jsonOut {
 			emitJSON(sr)
@@ -144,12 +178,79 @@ func main() {
 		return
 	}
 
+	cfg.Probe = sk.probe()
 	res := traffic.Run(cfg)
+	// Same "<topology>/<pattern>@<rate>" label shape campaign heatmaps use.
+	sk.write(fmt.Sprintf("%s/%s@%g", res.Topology, res.Pattern, cfg.Rate))
 	if *jsonOut {
 		emitJSON(res)
 		return
 	}
 	printRun(res, *flows)
+}
+
+// sinks bundles the optional observability outputs of one simulation:
+// a span recorder feeding the Chrome-trace and JSONL files, and a link
+// monitor feeding the heatmap file.
+type sinks struct {
+	rec    *obs.SpanRecorder
+	mon    *obs.LinkMonitor
+	trace  string
+	events string
+	heat   string
+}
+
+func newSinks(trace, events, heat string, bucket int64) *sinks {
+	s := &sinks{trace: trace, events: events, heat: heat}
+	if trace != "" || events != "" {
+		s.rec = &obs.SpanRecorder{}
+	}
+	if heat != "" {
+		s.mon = obs.NewLinkMonitor(bucket)
+	}
+	return s
+}
+
+// probe returns the combined probe, nil when no sink was requested.
+func (s *sinks) probe() obs.Probe {
+	var ps []obs.Probe
+	if s.rec != nil {
+		ps = append(ps, s.rec)
+	}
+	if s.mon != nil {
+		ps = append(ps, s.mon)
+	}
+	return obs.Multi(ps...)
+}
+
+func (s *sinks) enabled() bool { return s.rec != nil || s.mon != nil }
+
+// write flushes the requested files; label names the heatmap.
+func (s *sinks) write(label string) {
+	if s.rec != nil && s.trace != "" {
+		writeFile(s.trace, s.rec.WriteChromeTrace)
+	}
+	if s.rec != nil && s.events != "" {
+		writeFile(s.events, s.rec.WriteJSONL)
+	}
+	if s.mon != nil {
+		rep := s.mon.Report(label)
+		writeFile(s.heat, rep.WriteJSON)
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // zeroAsNeg maps an explicit 0 flag value onto the library's negative
@@ -264,12 +365,14 @@ func printRun(res traffic.Result, showFlows bool) {
 }
 
 func runTrans(seed int64, topo soc.Topology, rate float64, window, bytes int,
-	readFrac float64, hotspot, wishbone bool, warmup, measure, drain int64, jsonOut bool) {
+	readFrac float64, hotspot, wishbone bool, warmup, measure, drain int64, jsonOut bool, sk *sinks) {
 	tr := traffic.RunTrans(traffic.TransConfig{
 		Seed: seed, Topology: topo, Rate: rate, Window: window, Bytes: bytes,
 		ReadFrac: readFrac, Hotspot: hotspot, Wishbone: wishbone,
 		Warmup: warmup, Measure: measure, Drain: drain,
+		Probe: sk.probe(),
 	})
+	sk.write(fmt.Sprintf("trans@%g", rate))
 	if jsonOut {
 		emitJSON(tr)
 		return

@@ -284,3 +284,49 @@ func TestE12TopologyCampaign(t *testing.T) {
 		}
 	}
 }
+
+func TestE13CongestionHeatmap(t *testing.T) {
+	r := E13CongestionHeatmap(7)
+	if len(r.Tables) != 2 || len(r.Heatmaps) != 2 || len(r.Results) != 2 {
+		t.Fatalf("shape: %d tables, %d heatmaps, %d results",
+			len(r.Tables), len(r.Heatmaps), len(r.Results))
+	}
+	for i, rep := range r.Heatmaps {
+		topo := r.Results[i].Topology
+		// Exact flit accounting: the heatmap's per-link totals sum to
+		// the fabric's own forwarded-flit counter.
+		var sum uint64
+		for _, l := range rep.Links {
+			sum += l.Flits
+		}
+		if sum != rep.TotalFlits || rep.TotalFlits != r.Results[i].FabricFlits {
+			t.Fatalf("%s: link sum %d, report total %d, fabric %d",
+				topo, sum, rep.TotalFlits, r.Results[i].FabricFlits)
+		}
+		// The heatmap must answer E12's "why": under hotspot traffic
+		// the first link at its ceiling is the hot node's ejection port
+		// (router 0, local port 0) on both fabrics — the bottleneck no
+		// topology can duplicate — pinned near 100% busy at this
+		// saturating offered load.
+		hot := rep.Hottest(1)[0]
+		if hot.Router != 0 || hot.Port != 0 {
+			t.Fatalf("%s: hottest link is router %d port %d, want the hot node's ejection port (0,0)",
+				topo, hot.Router, hot.Port)
+		}
+		if hot.Utilization < 0.9 {
+			t.Fatalf("%s: bottleneck link at %.2f utilization, want ~1.0 at saturation",
+				topo, hot.Utilization)
+		}
+		if hot.RouterName == "" {
+			t.Fatalf("%s: hottest link unnamed", topo)
+		}
+	}
+	// The second tier separates the fabrics: XY routing concentrates
+	// the mesh's feeder traffic into the hot corner harder than the
+	// torus, whose wrap links split every feeder flow two ways.
+	meshSecond := r.Heatmaps[0].Hottest(2)[1].Utilization
+	torusSecond := r.Heatmaps[1].Hottest(2)[1].Utilization
+	if meshSecond <= torusSecond {
+		t.Fatalf("mesh second-hottest link %.2f not above torus %.2f", meshSecond, torusSecond)
+	}
+}

@@ -1,7 +1,6 @@
-// Package experiments implements the reproduction harness: one function
-// per experiment (E1–E10, catalogued in the top-level README.md), each
-// returning paper-style tables. cmd/nocbench prints them; the
-// repository-root benchmarks wrap them.
+// This file holds the end-to-end capability probes behind E1's
+// compatibility matrix; see doc.go for the package overview.
+
 package experiments
 
 import (

@@ -1,20 +1,13 @@
-// The protocol-neutral NIU engine. The paper's §2 recipe is that one
-// VC-neutral transaction layer terminates any IP socket behind a thin
-// converter; this file is that recipe factored into code. MasterEngine
-// and SlaveEngine own everything every NIU shares — the core.Table
-// bookkeeping, tag/ordering policy, lock-token protocol, packet
-// encode/decode, priority defaulting, response routing, service gating
-// and the exclusive monitor — while each socket protocol supplies only a
-// small adapter (decode socket request → core.Request, encode
-// core.Response → socket signals). Adding a protocol to the NoC is
-// writing one MasterAdapter and/or one SlaveAdapter; the Wishbone
-// adapter in wishbone.go is the worked example.
+// This file is the protocol-neutral engine pair — the shared
+// three-quarters of every NIU; see doc.go for the package overview.
+
 package niu
 
 import (
 	"fmt"
 
 	"gonoc/internal/core"
+	"gonoc/internal/obs"
 	"gonoc/internal/sim"
 	"gonoc/internal/transport"
 )
@@ -126,7 +119,7 @@ func (e *MasterEngine) Config() MasterConfig { return e.cfg }
 // then the request pump — the shared transaction-pump cadence every
 // legacy NIU hand-rolled.
 func (e *MasterEngine) Eval(cycle int64) {
-	if rsp, entry := e.recvResponse(); rsp != nil {
+	if rsp, entry := e.recvResponse(cycle); rsp != nil {
 		e.adapter.DeliverResponse(rsp, entry)
 	}
 	e.adapter.StreamSocket()
@@ -213,6 +206,12 @@ func (e *MasterEngine) Issue(req *core.Request, protoID int, meta any, cycle int
 		e.stats.Posted++
 	}
 	e.stats.Issued++
+	if p := e.net.Probe(); p != nil {
+		p.Event(obs.Event{
+			Kind: obs.KindTxnIssue, Cycle: cycle,
+			Src: e.cfg.Node, Dst: dst, Tag: tag,
+		})
+	}
 	return IssueOK
 }
 
@@ -252,7 +251,7 @@ func (e *MasterEngine) PumpOne(cycle int64, decode func() (Candidate, bool)) {
 
 // recvResponse pops and decodes one response packet, retiring its table
 // entry. Returns nil when no response is available this cycle.
-func (e *MasterEngine) recvResponse() (*core.Response, *core.Entry) {
+func (e *MasterEngine) recvResponse(cycle int64) (*core.Response, *core.Entry) {
 	pkt, ok := e.ep.Recv()
 	if !ok {
 		return nil, nil
@@ -278,6 +277,12 @@ func (e *MasterEngine) recvResponse() (*core.Response, *core.Entry) {
 	rsp.Tag = pkt.Tag
 	rsp.Seq = entry.Seq
 	e.stats.Completed++
+	if p := e.net.Probe(); p != nil {
+		p.Event(obs.Event{
+			Kind: obs.KindTxnComplete, Cycle: cycle,
+			Src: e.cfg.Node, Dst: pkt.Src, Tag: pkt.Tag,
+		})
+	}
 	return rsp, entry
 }
 
@@ -297,6 +302,7 @@ type SlaveAdapter interface {
 type SlaveEngine struct {
 	cfg      SlaveConfig
 	ep       *transport.Endpoint
+	net      *transport.Network
 	monitor  *core.ExclusiveMonitor
 	inFlight int
 	rspQ     []*transport.Packet
@@ -312,7 +318,7 @@ func NewSlaveEngine(net *transport.Network, cfg SlaveConfig) *SlaveEngine {
 	if ep == nil {
 		panic(fmt.Sprintf("niu: node %v not attached to the network", cfg.Node))
 	}
-	e := &SlaveEngine{cfg: cfg, ep: ep}
+	e := &SlaveEngine{cfg: cfg, ep: ep, net: net}
 	if cfg.Services.Exclusive {
 		e.monitor = core.NewExclusiveMonitor()
 	}
@@ -377,6 +383,12 @@ func (e *SlaveEngine) recvRequest() (*core.Request, bool) {
 	if req.Cmd.ExpectsResponse() {
 		e.inFlight++
 	}
+	if p := e.net.Probe(); p != nil {
+		p.Event(obs.Event{
+			Kind: obs.KindSlaveRecv, Cycle: e.net.Clock().Cycle(),
+			Src: e.cfg.Node, Dst: pkt.Src, Tag: pkt.Tag,
+		})
+	}
 	return req, true
 }
 
@@ -398,6 +410,12 @@ func (e *SlaveEngine) respond(req *core.Request, rsp *core.Response) {
 	e.rspQ = append(e.rspQ, pkt)
 	e.inFlight--
 	e.stats.Responses++
+	if p := e.net.Probe(); p != nil {
+		p.Event(obs.Event{
+			Kind: obs.KindSlaveResp, Cycle: e.net.Clock().Cycle(),
+			Src: e.cfg.Node, Dst: req.Src, Tag: req.Tag,
+		})
+	}
 }
 
 // drainResponses injects queued responses, one TrySend per cycle.

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// This file renders a recorded span stream in the Chrome trace_event
+// format (the "JSON Array Format" with a traceEvents wrapper), which
+// Perfetto and chrome://tracing open directly. One simulated cycle maps
+// to one microsecond of trace time, so cycle numbers read verbatim off
+// the Perfetto timeline.
+//
+// Track layout:
+//
+//   - process "packets" (pid 0): one thread per packet, carrying a
+//     "queued" slice (TrySend → injection), a "fabric" slice (injection
+//     → ejection, hops in args), and one "hop" slice per switch output
+//     the head flit was granted (VC allocation → next grant/ejection).
+//   - process "transactions" (pid 1): one thread per NIU node; master
+//     threads carry issue → complete slices per transaction tag, slave
+//     threads carry admit → respond slices.
+//
+// The output is deterministic for a given event stream: events are
+// grouped in first-appearance order and every field is integral, which
+// is what lets a seeded run be golden-file tested byte for byte.
+
+// chromeWriter emits one JSON event object per line, comma-managed.
+type chromeWriter struct {
+	w     *bufio.Writer
+	first bool
+}
+
+func (cw *chromeWriter) event(format string, args ...any) {
+	if cw.first {
+		cw.first = false
+	} else {
+		cw.w.WriteString(",\n")
+	}
+	fmt.Fprintf(cw.w, format, args...)
+}
+
+// packetTrace accumulates one packet's lifecycle.
+type packetTrace struct {
+	id             uint64
+	src, dst       int
+	queued, inject int64
+	eject          int64
+	hops           int
+	hasQueued      bool
+	hasInject      bool
+	hasEject       bool
+	allocs         []Event // KindVCAlloc in path order
+}
+
+// txnSpan is one open or closed NIU-level span.
+type txnSpan struct {
+	node, peer int
+	tag        int
+	start, end int64
+	slave      bool
+	done       bool
+}
+
+// WriteChromeTrace renders the recorder's span stream as a Chrome
+// trace_event JSON document. Spans still open at the end of the stream
+// (transactions caught by a drain cap, packets never ejected) are
+// dropped rather than guessed at.
+func (r *SpanRecorder) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := &chromeWriter{w: bw, first: true}
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+
+	// Group the stream: packets by ID in first-appearance order,
+	// transactions matched issue→complete per (node, tag) FIFO.
+	pkts := make(map[uint64]*packetTrace)
+	var pktOrder []uint64
+	// Open spans keyed by (node, peer, tag, slaveFlag) — unique while
+	// outstanding, because a master never reuses a tag in flight.
+	open := make(map[[4]int]*txnSpan)
+	var txns []*txnSpan
+	txnNodes := make(map[int]bool)
+	for _, ev := range r.events {
+		switch ev.Kind {
+		case KindQueued, KindInject, KindVCAlloc, KindEject:
+			pt := pkts[ev.PktID]
+			if pt == nil {
+				pt = &packetTrace{id: ev.PktID}
+				pkts[ev.PktID] = pt
+				pktOrder = append(pktOrder, ev.PktID)
+			}
+			switch ev.Kind {
+			case KindQueued:
+				pt.queued, pt.hasQueued = ev.Cycle, true
+				pt.src, pt.dst = int(ev.Src), int(ev.Dst)
+			case KindInject:
+				pt.inject, pt.hasInject = ev.Cycle, true
+				if pt.src == 0 && pt.dst == 0 {
+					pt.src, pt.dst = int(ev.Src), int(ev.Dst)
+				}
+			case KindVCAlloc:
+				pt.allocs = append(pt.allocs, ev)
+			case KindEject:
+				pt.eject, pt.hasEject = ev.Cycle, true
+				pt.hops = ev.Val
+			}
+		case KindTxnIssue, KindSlaveRecv:
+			slave := ev.Kind == KindSlaveRecv
+			sp := &txnSpan{node: int(ev.Src), peer: int(ev.Dst), tag: int(ev.Tag),
+				start: ev.Cycle, slave: slave}
+			open[spanKey(sp)] = sp
+			txns = append(txns, sp)
+			txnNodes[sp.node] = true
+		case KindTxnComplete, KindSlaveResp:
+			slave := ev.Kind == KindSlaveResp
+			k := [4]int{int(ev.Src), int(ev.Dst), int(ev.Tag), boolInt(slave)}
+			if sp := open[k]; sp != nil {
+				sp.end, sp.done = ev.Cycle, true
+				delete(open, k)
+			}
+		}
+	}
+
+	// Metadata: processes, then one thread per packet / NIU node.
+	cw.event(`{"ph":"M","pid":0,"name":"process_name","args":{"name":"packets"}}`)
+	if len(txnNodes) > 0 {
+		cw.event(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"transactions"}}`)
+	}
+	for _, id := range pktOrder {
+		pt := pkts[id]
+		cw.event(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"pkt %d node %d->%d"}}`,
+			pt.id, pt.id, pt.src, pt.dst)
+	}
+	seenNode := make(map[int]bool)
+	for _, sp := range txns {
+		if seenNode[sp.node] {
+			continue
+		}
+		seenNode[sp.node] = true
+		role := "master"
+		if sp.slave {
+			role = "slave"
+		}
+		cw.event(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"node %d (%s NIU)"}}`,
+			sp.node, sp.node, role)
+	}
+
+	// Packet slices.
+	for _, id := range pktOrder {
+		pt := pkts[id]
+		if pt.hasQueued && pt.hasInject {
+			cw.event(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":"queued","cat":"pkt"}`,
+				pt.id, pt.queued, pt.inject-pt.queued)
+		}
+		if pt.hasInject && pt.hasEject {
+			cw.event(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":"fabric","cat":"pkt","args":{"hops":%d}}`,
+				pt.id, pt.inject, pt.eject-pt.inject, pt.hops)
+		}
+		for i, al := range pt.allocs {
+			end := al.Cycle
+			if i+1 < len(pt.allocs) {
+				end = pt.allocs[i+1].Cycle
+			} else if pt.hasEject {
+				end = pt.eject
+			}
+			cw.event(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":"hop r%d p%d","cat":"hop","args":{"vc":%d}}`,
+				pt.id, al.Cycle, end-al.Cycle, al.Router, al.Port, al.VC)
+		}
+	}
+
+	// Transaction slices.
+	for _, sp := range txns {
+		if !sp.done {
+			continue
+		}
+		name, cat := "txn", "txn"
+		if sp.slave {
+			name, cat = "exec", "slave"
+		}
+		cw.event(`{"ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d,"name":"%s tag %d node %d->%d","cat":"%s"}`,
+			sp.node, sp.start, sp.end-sp.start, name, sp.tag, sp.node, sp.peer, cat)
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func spanKey(sp *txnSpan) [4]int {
+	return [4]int{sp.node, sp.peer, sp.tag, boolInt(sp.slave)}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

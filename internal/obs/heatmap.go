@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"io"
+	"sort"
+
+	"gonoc/internal/stats"
+)
+
+// LinkMonitor aggregates the per-link congestion signals — KindFlit,
+// KindStall, KindBufSample — into per-link lifetime counters plus a
+// time-bucketed utilization series, and renders them as the congestion
+// heatmap JSON report. Lifecycle events are ignored, so a monitor can
+// share a probe with a SpanRecorder via Multi.
+//
+// One monitor belongs to one simulation kernel (see the Probe contract
+// in the package comment); the campaign runner creates one per point.
+type LinkMonitor struct {
+	bucket      int64
+	links       map[LinkKey]*linkAgg
+	lastCycle   int64
+	totalFlits  uint64
+	routerNames []string
+}
+
+// LinkKey identifies one switch output, mirroring transport.LinkID
+// (obs sits below transport in the import graph, so it keeps its own
+// copy of the pair).
+type LinkKey struct {
+	Router int
+	Port   int
+}
+
+type linkAgg struct {
+	flits   uint64
+	stalls  uint64
+	peakOcc []int // per VC high-water occupancy
+	series  []HeatCell
+}
+
+// DefaultHeatmapBucket is the bucket width (cycles) CLIs use when the
+// user asks for a heatmap without choosing a resolution.
+const DefaultHeatmapBucket = 256
+
+// NewLinkMonitor creates a monitor with the given time-bucket width in
+// cycles (<= 0 selects DefaultHeatmapBucket).
+func NewLinkMonitor(bucketCycles int64) *LinkMonitor {
+	if bucketCycles <= 0 {
+		bucketCycles = DefaultHeatmapBucket
+	}
+	return &LinkMonitor{bucket: bucketCycles, links: make(map[LinkKey]*linkAgg)}
+}
+
+// NameRouters implements RouterNamer: names[i] labels router index i in
+// the report.
+func (m *LinkMonitor) NameRouters(names []string) {
+	m.routerNames = append([]string(nil), names...)
+}
+
+// Event implements Probe.
+func (m *LinkMonitor) Event(ev Event) {
+	switch ev.Kind {
+	case KindFlit, KindStall, KindBufSample:
+	default:
+		return
+	}
+	if ev.Cycle > m.lastCycle {
+		m.lastCycle = ev.Cycle
+	}
+	agg := m.links[LinkKey{ev.Router, ev.Port}]
+	if agg == nil {
+		agg = &linkAgg{}
+		m.links[LinkKey{ev.Router, ev.Port}] = agg
+	}
+	cell := agg.cell(ev.Cycle/m.bucket, m.bucket)
+	switch ev.Kind {
+	case KindFlit:
+		agg.flits++
+		m.totalFlits++
+		cell.Flits++
+	case KindStall:
+		agg.stalls++
+		cell.Stalls++
+	case KindBufSample:
+		for len(agg.peakOcc) <= int(ev.VC) {
+			agg.peakOcc = append(agg.peakOcc, 0)
+		}
+		if ev.Val > agg.peakOcc[ev.VC] {
+			agg.peakOcc[ev.VC] = ev.Val
+		}
+		if ev.Val > cell.PeakOccupancy {
+			cell.PeakOccupancy = ev.Val
+		}
+	}
+}
+
+// cell returns the series cell for bucket index b, growing the series
+// as simulation time advances (cells between events stay all-zero).
+func (a *linkAgg) cell(b, width int64) *HeatCell {
+	for int64(len(a.series)) <= b {
+		a.series = append(a.series, HeatCell{Start: int64(len(a.series)) * width})
+	}
+	return &a.series[b]
+}
+
+// HeatCell is one time bucket of one link's utilization series.
+type HeatCell struct {
+	Start         int64   `json:"start"` // first cycle of the bucket
+	Flits         uint64  `json:"flits"`
+	Stalls        uint64  `json:"stalls"`
+	PeakOccupancy int     `json:"peak_occ"`
+	Utilization   float64 `json:"util"` // flits per cycle within the bucket
+}
+
+// LinkHeat is one link's row in the heatmap report.
+type LinkHeat struct {
+	Router      int    `json:"router"`
+	RouterName  string `json:"router_name,omitempty"`
+	Port        int    `json:"port"`
+	Flits       uint64 `json:"flits"`
+	StallCycles uint64 `json:"stall_cycles"`
+	// Utilization is lifetime flits per observed cycle: 1.0 means the
+	// link moved a flit every cycle of the run.
+	Utilization     float64    `json:"utilization"`
+	PeakOccupancy   int        `json:"peak_occupancy"`    // max over VCs
+	PeakVCOccupancy []int      `json:"peak_vc_occupancy"` // per-VC high-water
+	Series          []HeatCell `json:"series,omitempty"`
+}
+
+// HeatmapReport is the aggregated congestion picture of one run.
+type HeatmapReport struct {
+	Label        string `json:"label,omitempty"`
+	BucketCycles int64  `json:"bucket_cycles"`
+	// Cycles is the observed span (last event cycle + 1); lifetime
+	// utilization is computed against it.
+	Cycles     int64  `json:"cycles"`
+	TotalFlits uint64 `json:"total_flits"` // == sum of Links[i].Flits
+	// UtilHist is the distribution of per-link lifetime utilization in
+	// percent — how evenly the load spreads over the fabric.
+	UtilHist *stats.Histogram `json:"util_hist"`
+	Links    []LinkHeat       `json:"links"`
+}
+
+// Report digests the monitor into a labeled HeatmapReport. Links are
+// sorted by (router, port); per-link flit counts sum to TotalFlits,
+// which in turn equals the fabric's total forwarded-flit count for the
+// run (every KindFlit event is one switch-output traversal).
+func (m *LinkMonitor) Report(label string) HeatmapReport {
+	rep := HeatmapReport{
+		Label:        label,
+		BucketCycles: m.bucket,
+		Cycles:       m.lastCycle + 1,
+		TotalFlits:   m.totalFlits,
+		UtilHist:     &stats.Histogram{},
+	}
+	if len(m.links) == 0 {
+		rep.Cycles = 0
+	}
+	keys := make([]LinkKey, 0, len(m.links))
+	for k := range m.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Router != keys[j].Router {
+			return keys[i].Router < keys[j].Router
+		}
+		return keys[i].Port < keys[j].Port
+	})
+	for _, k := range keys {
+		agg := m.links[k]
+		lh := LinkHeat{
+			Router: k.Router, Port: k.Port,
+			Flits: agg.flits, StallCycles: agg.stalls,
+			PeakVCOccupancy: agg.peakOcc,
+			Series:          agg.series,
+		}
+		if k.Router < len(m.routerNames) {
+			lh.RouterName = m.routerNames[k.Router]
+		}
+		for _, p := range agg.peakOcc {
+			if p > lh.PeakOccupancy {
+				lh.PeakOccupancy = p
+			}
+		}
+		if rep.Cycles > 0 {
+			lh.Utilization = float64(agg.flits) / float64(rep.Cycles)
+		}
+		for i := range lh.Series {
+			c := &lh.Series[i]
+			width := m.bucket
+			if c.Start+width > rep.Cycles {
+				width = rep.Cycles - c.Start
+			}
+			if width > 0 {
+				c.Utilization = float64(c.Flits) / float64(width)
+			}
+		}
+		rep.UtilHist.Record(int64(lh.Utilization * 100))
+		rep.Links = append(rep.Links, lh)
+	}
+	return rep
+}
+
+// WriteJSON writes the report, indent-encoded.
+func (rep HeatmapReport) WriteJSON(w io.Writer) error {
+	return stats.WriteJSON(w, rep)
+}
+
+// Hottest returns the n links with the highest lifetime utilization
+// (ties broken toward more stall cycles, then by link identity).
+func (rep HeatmapReport) Hottest(n int) []LinkHeat {
+	links := append([]LinkHeat(nil), rep.Links...)
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].Flits != links[j].Flits {
+			return links[i].Flits > links[j].Flits
+		}
+		if links[i].StallCycles != links[j].StallCycles {
+			return links[i].StallCycles > links[j].StallCycles
+		}
+		if links[i].Router != links[j].Router {
+			return links[i].Router < links[j].Router
+		}
+		return links[i].Port < links[j].Port
+	})
+	if n > len(links) {
+		n = len(links)
+	}
+	return links[:n]
+}

@@ -1,0 +1,198 @@
+// Package obs is the observability layer of the NoC simulator: a
+// zero-overhead-when-disabled instrumentation surface (Probe) that the
+// transport fabric, the NIU engines, and the workload layers call at the
+// interesting moments of a transaction's life, plus the sinks that turn
+// those calls into artifacts — a JSONL event trace (SpanRecorder), an
+// aggregated congestion heatmap (LinkMonitor), and a Chrome
+// `trace_event` file that opens directly in Perfetto or chrome://tracing
+// (WriteChromeTrace).
+//
+// The package sits below transport in the import graph (it knows node
+// IDs and nothing else about the fabric), so every layer can emit events
+// without cycles: transport, niu, traffic and soc all accept an optional
+// Probe and fan their events into it.
+//
+// # The Probe contract
+//
+// Probe is deliberately one method wide. Implementations must obey, and
+// callers may rely on, the following:
+//
+//   - Disabled == nil. The fabric keeps a plain Probe field that is nil
+//     by default; every emission site guards with a single `!= nil`
+//     check, so an uninstrumented run pays one predictable branch per
+//     site and zero allocations (Event is passed by value into a
+//     concrete-typed parameter — nothing escapes). The transport
+//     hot-path allocation guard in CI (BENCH_transport.json) pins this.
+//
+//   - Hot path: Event is called from inside sim.Clocked Eval/Update
+//     phases, up to once per flit per switch output per cycle. An
+//     implementation must not block, must not panic on unknown Kinds
+//     (new kinds may be added), and should be O(1)-ish per call.
+//
+//   - No reentrancy. An implementation must not call back into the
+//     simulator (no TrySend, no RunCycles, no Register) and must not
+//     mutate the Event's originating structures; it sees a value copy
+//     and may retain it freely.
+//
+//   - Single-threaded. A Probe is owned by one simulation kernel and is
+//     called only from that kernel's (single-threaded) clock loop.
+//     Implementations need no locking; conversely a Probe instance must
+//     never be shared between concurrently running kernels (the
+//     campaign runner gives each point its own monitor for exactly this
+//     reason).
+package obs
+
+import "gonoc/internal/noctypes"
+
+// Kind discriminates instrumentation events.
+type Kind uint8
+
+// Event kinds, in roughly lifecycle order. Queued → Inject → VCAlloc
+// (per hop) → Flit (per flit per hop) → Eject trace one packet through
+// the fabric; TxnIssue/TxnComplete and SlaveRecv/SlaveResp bracket the
+// same journey one layer up, at the NIU transaction level; Stall and
+// BufSample are per-link congestion signals with no packet identity.
+const (
+	// KindQueued: an endpoint accepted a packet (TrySend) and packetized
+	// it. Val is the packet's flit count.
+	KindQueued Kind = iota
+	// KindInject: the packet's head flit entered the fabric.
+	KindInject
+	// KindVCAlloc: a switch granted output Port to the packet — the VC
+	// allocation moment. VC is the (possibly rewritten) channel the
+	// packet leaves on.
+	KindVCAlloc
+	// KindFlit: one flit crossed switch output (Router, Port) on VC.
+	KindFlit
+	// KindStall: a held switch output moved no flit this cycle
+	// (downstream backpressure or a wormhole bubble).
+	KindStall
+	// KindBufSample: start-of-cycle occupancy of the buffer downstream
+	// of (Router, Port) on VC. Val is the occupancy in flits.
+	KindBufSample
+	// KindEject: the packet's tail flit completed reassembly at Dst.
+	// Val is the hop count.
+	KindEject
+	// KindTxnIssue: a master NIU injected a transaction request
+	// (Src = master node, Dst = target, Tag = transaction tag).
+	KindTxnIssue
+	// KindTxnComplete: a master NIU retired a transaction on its
+	// response (same identity as the matching KindTxnIssue).
+	KindTxnComplete
+	// KindSlaveRecv: a slave NIU admitted a request for execution
+	// (Src = slave node, Dst = requesting master).
+	KindSlaveRecv
+	// KindSlaveResp: a slave NIU queued the response (same identity as
+	// the matching KindSlaveRecv).
+	KindSlaveResp
+)
+
+// String renders the kind's wire name (used by the JSONL sink).
+func (k Kind) String() string {
+	switch k {
+	case KindQueued:
+		return "queued"
+	case KindInject:
+		return "inject"
+	case KindVCAlloc:
+		return "vcalloc"
+	case KindFlit:
+		return "flit"
+	case KindStall:
+		return "stall"
+	case KindBufSample:
+		return "bufsample"
+	case KindEject:
+		return "eject"
+	case KindTxnIssue:
+		return "txn-issue"
+	case KindTxnComplete:
+		return "txn-complete"
+	case KindSlaveRecv:
+		return "slave-recv"
+	case KindSlaveResp:
+		return "slave-resp"
+	}
+	return "unknown"
+}
+
+// Event is one instrumentation sample. Which fields are meaningful
+// depends on Kind (see the Kind constants); unused fields are zero.
+type Event struct {
+	Kind  Kind
+	Cycle int64
+
+	// Packet identity (Queued/Inject/VCAlloc/Flit/Eject).
+	PktID uint64
+	// Transaction or packet endpoints. For slave events Src is the
+	// slave's own node and Dst the requesting master.
+	Src, Dst noctypes.NodeID
+	// Transaction tag (TxnIssue/TxnComplete/SlaveRecv/SlaveResp).
+	Tag noctypes.Tag
+
+	// Switch-output coordinates (VCAlloc/Flit/Stall/BufSample): the
+	// router's index in Network.Routers() and its output port — the
+	// LinkID the flit leaves through.
+	Router, Port int
+	VC           uint8
+
+	// Kind-dependent scalar: flit count (Queued), hop count (Eject),
+	// buffer occupancy (BufSample).
+	Val int
+}
+
+// Probe receives instrumentation events. See the package comment for
+// the full hot-path/reentrancy contract; in one line: a nil Probe means
+// instrumentation is off, and a non-nil Probe gets a value-typed Event
+// per sample from a single-threaded simulation loop and must not call
+// back in.
+type Probe interface {
+	Event(ev Event)
+}
+
+// multi fans events out to several probes.
+type multi []Probe
+
+func (m multi) Event(ev Event) {
+	for _, p := range m {
+		p.Event(ev)
+	}
+}
+
+// NameRouters implements RouterNamer by forwarding to every member that
+// wants names — without this, combining a SpanRecorder with a
+// LinkMonitor would silently strip router names from the heatmap.
+func (m multi) NameRouters(names []string) {
+	for _, p := range m {
+		if nm, ok := p.(RouterNamer); ok {
+			nm.NameRouters(names)
+		}
+	}
+}
+
+// Multi combines probes into one, dropping nils. It returns nil when
+// nothing remains (so the fabric's disabled-== -nil fast path still
+// applies) and the probe itself when only one remains.
+func Multi(ps ...Probe) Probe {
+	var kept multi
+	for _, p := range ps {
+		if p != nil {
+			kept = append(kept, p)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+// RouterNamer is implemented by sinks that can label router indices
+// with human-readable names (LinkMonitor does). Fabric owners that know
+// the names — the traffic rig, soc.BuildNoC — feed them to any probe
+// that asks, so reports print "r2.1" instead of "router 6".
+type RouterNamer interface {
+	NameRouters(names []string)
+}

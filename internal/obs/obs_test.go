@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestMultiDropsNilsAndFansOut(t *testing.T) {
+	if Multi() != nil {
+		t.Fatal("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi(nil, nil) should be nil")
+	}
+	a, b := &CountingProbe{}, &CountingProbe{}
+	if got := Multi(nil, a); got != Probe(a) {
+		t.Fatal("Multi with one live probe should return it directly")
+	}
+	m := Multi(a, nil, b)
+	m.Event(Event{Kind: KindFlit})
+	m.Event(Event{Kind: KindEject})
+	for _, c := range []*CountingProbe{a, b} {
+		if c.Counts[KindFlit] != 1 || c.Counts[KindEject] != 1 {
+			t.Fatalf("fan-out lost events: %v", c.Counts)
+		}
+	}
+	// A combined probe must still accept router names on behalf of the
+	// members that want them (e.g. -trace + -heatmap together).
+	mon := NewLinkMonitor(0)
+	combined := Multi(&SpanRecorder{}, mon)
+	nm, ok := combined.(RouterNamer)
+	if !ok {
+		t.Fatal("Multi result lost the RouterNamer capability")
+	}
+	nm.NameRouters([]string{"xbar"})
+	mon.Event(Event{Kind: KindFlit, Cycle: 1, Router: 0, Port: 0})
+	if got := mon.Report("").Links[0].RouterName; got != "xbar" {
+		t.Fatalf("router name not forwarded through Multi: %q", got)
+	}
+}
+
+func TestSpanRecorderFiltersLinkNoise(t *testing.T) {
+	var r SpanRecorder
+	r.Event(Event{Kind: KindQueued, PktID: 1})
+	r.Event(Event{Kind: KindFlit, PktID: 1})
+	r.Event(Event{Kind: KindStall})
+	r.Event(Event{Kind: KindBufSample})
+	r.Event(Event{Kind: KindEject, PktID: 1})
+	if r.Len() != 2 {
+		t.Fatalf("recorded %d events, want 2 (link noise filtered)", r.Len())
+	}
+	var sb strings.Builder
+	if err := r.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL has %d lines, want 2:\n%s", len(lines), sb.String())
+	}
+	for _, ln := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+	}
+}
+
+func TestLinkMonitorAggregation(t *testing.T) {
+	m := NewLinkMonitor(100)
+	// Link (0,1): 3 flits in bucket 0, 1 in bucket 2; 2 stalls; VC1
+	// occupancy peaks at 5.
+	for _, c := range []int64{1, 2, 3} {
+		m.Event(Event{Kind: KindFlit, Cycle: c, Router: 0, Port: 1})
+	}
+	m.Event(Event{Kind: KindFlit, Cycle: 250, Router: 0, Port: 1})
+	m.Event(Event{Kind: KindStall, Cycle: 4, Router: 0, Port: 1})
+	m.Event(Event{Kind: KindStall, Cycle: 5, Router: 0, Port: 1})
+	m.Event(Event{Kind: KindBufSample, Cycle: 6, Router: 0, Port: 1, VC: 1, Val: 5})
+	m.Event(Event{Kind: KindBufSample, Cycle: 7, Router: 0, Port: 1, VC: 1, Val: 2})
+	// A second, colder link.
+	m.Event(Event{Kind: KindFlit, Cycle: 10, Router: 2, Port: 0})
+	// Lifecycle events must be ignored.
+	m.Event(Event{Kind: KindQueued, Cycle: 9999, PktID: 7})
+	m.NameRouters([]string{"xbar", "r1", "r2"})
+
+	rep := m.Report("test")
+	if rep.TotalFlits != 5 {
+		t.Fatalf("TotalFlits = %d, want 5", rep.TotalFlits)
+	}
+	var sum uint64
+	for _, l := range rep.Links {
+		sum += l.Flits
+	}
+	if sum != rep.TotalFlits {
+		t.Fatalf("per-link flits sum %d != total %d", sum, rep.TotalFlits)
+	}
+	if rep.Cycles != 251 {
+		t.Fatalf("Cycles = %d, want 251 (lifecycle events must not extend the span)", rep.Cycles)
+	}
+	if len(rep.Links) != 2 {
+		t.Fatalf("links = %d, want 2", len(rep.Links))
+	}
+	hot := rep.Hottest(1)[0]
+	if hot.Router != 0 || hot.Port != 1 || hot.RouterName != "xbar" {
+		t.Fatalf("hottest link = %+v", hot)
+	}
+	if hot.StallCycles != 2 || hot.PeakOccupancy != 5 {
+		t.Fatalf("hot link counters: %+v", hot)
+	}
+	if len(hot.PeakVCOccupancy) != 2 || hot.PeakVCOccupancy[1] != 5 {
+		t.Fatalf("per-VC peaks: %v", hot.PeakVCOccupancy)
+	}
+	// Series: bucket 0 carries 3 flits + 2 stalls, bucket 1 empty,
+	// bucket 2 carries 1 flit.
+	if n := len(hot.Series); n != 3 {
+		t.Fatalf("series length %d, want 3", n)
+	}
+	b0, b1, b2 := hot.Series[0], hot.Series[1], hot.Series[2]
+	if b0.Flits != 3 || b0.Stalls != 2 || b0.Utilization != 0.03 {
+		t.Fatalf("bucket 0: %+v", b0)
+	}
+	if b1.Flits != 0 || b2.Flits != 1 {
+		t.Fatalf("buckets 1/2: %+v %+v", b1, b2)
+	}
+	if b2.Start != 200 {
+		t.Fatalf("bucket 2 start = %d, want 200", b2.Start)
+	}
+	// The last bucket's utilization divides by the observed remainder
+	// (cycles 200..250), not the full width.
+	if want := 1.0 / 51.0; b2.Utilization != want {
+		t.Fatalf("bucket 2 util = %v, want %v", b2.Utilization, want)
+	}
+}
+
+func TestChromeTracePairsSpans(t *testing.T) {
+	var r SpanRecorder
+	// One full packet journey plus one NIU transaction and one slave
+	// exec; one unfinished transaction that must be dropped.
+	r.Event(Event{Kind: KindTxnIssue, Cycle: 1, Src: 1, Dst: 100, Tag: 3})
+	r.Event(Event{Kind: KindQueued, Cycle: 1, PktID: 42, Src: 1, Dst: 100, Val: 4})
+	r.Event(Event{Kind: KindInject, Cycle: 2, PktID: 42, Src: 1, Dst: 100})
+	r.Event(Event{Kind: KindVCAlloc, Cycle: 3, PktID: 42, Router: 0, Port: 5, VC: 0})
+	r.Event(Event{Kind: KindEject, Cycle: 9, PktID: 42, Src: 1, Dst: 100, Val: 1})
+	r.Event(Event{Kind: KindSlaveRecv, Cycle: 10, Src: 100, Dst: 1, Tag: 3})
+	r.Event(Event{Kind: KindSlaveResp, Cycle: 12, Src: 100, Dst: 1, Tag: 3})
+	r.Event(Event{Kind: KindTxnComplete, Cycle: 20, Src: 1, Dst: 100, Tag: 3})
+	r.Event(Event{Kind: KindTxnIssue, Cycle: 21, Src: 2, Dst: 100, Tag: 0}) // never completes
+
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	count := map[string]int{}
+	var txnDur float64 = -1
+	for _, ev := range doc.TraceEvents {
+		if ph, _ := ev["ph"].(string); ph == "X" {
+			name, _ := ev["name"].(string)
+			switch {
+			case name == "queued":
+				count["queued"]++
+			case name == "fabric":
+				count["fabric"]++
+			case strings.HasPrefix(name, "hop "):
+				count["hop"]++
+			case strings.HasPrefix(name, "txn "):
+				count["txn"]++
+				txnDur = ev["dur"].(float64)
+			case strings.HasPrefix(name, "exec "):
+				count["exec"]++
+			}
+		}
+	}
+	want := map[string]int{"queued": 1, "fabric": 1, "hop": 1, "txn": 1, "exec": 1}
+	for k, n := range want {
+		if count[k] != n {
+			t.Fatalf("slice counts %v, want %v\n%s", count, want, sb.String())
+		}
+	}
+	if txnDur != 19 {
+		t.Fatalf("txn dur = %v, want 19", txnDur)
+	}
+}

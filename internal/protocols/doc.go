@@ -1,0 +1,24 @@
+// Package protocols groups the cycle-level socket-protocol engines the
+// mixed-protocol SoC is built from, one subpackage per protocol family:
+//
+//	axi      — AXI: independent read/write channels, IDs, out-of-order
+//	           completion, exclusive access
+//	ocp      — OCP: threads, posted writes, lazy synchronization
+//	           (ReadLinked/WriteConditional)
+//	ahb      — AHB: the reference bus socket; single outstanding
+//	           transaction, locked sequences (HMASTLOCK)
+//	vci      — the VSIA VCI family: PVCI (peripheral), BVCI (basic),
+//	           AVCI (advanced, with packet identifiers)
+//	wishbone — WISHBONE: classic and registered-feedback burst cycles
+//	prop     — a proprietary streaming socket, to show NIU neutrality
+//	           extends beyond standard sockets
+//
+// Each subpackage models its protocol's master/slave signalling at
+// cycle level (ports are sim.Pipe-backed channel bundles) and knows
+// nothing about the NoC: the adapters in internal/niu translate between
+// these sockets and the VC-neutral transaction layer, and the bridges
+// in internal/bus translate them onto the reference bus.
+//
+// This package itself contains no code — it exists to document the
+// family.
+package protocols

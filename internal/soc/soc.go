@@ -22,6 +22,7 @@ import (
 	"gonoc/internal/mem"
 	"gonoc/internal/niu"
 	"gonoc/internal/noctypes"
+	"gonoc/internal/obs"
 	"gonoc/internal/protocols/ahb"
 	"gonoc/internal/protocols/axi"
 	"gonoc/internal/protocols/ocp"
@@ -88,6 +89,12 @@ type Config struct {
 	// is unchanged. BuildBus ignores the flag: the Fig-2 reference bus
 	// predates the WISHBONE IP.
 	Wishbone bool
+
+	// Probe, when non-nil, is attached to the NoC fabric as soon as it
+	// is built (transport.Network.SetProbe), so switches, endpoints and
+	// every NIU engine emit instrumentation events from cycle 0.
+	// BuildBus ignores it: the Fig-2 bus has no fabric to instrument.
+	Probe obs.Probe
 
 	// NoC knobs.
 	Net         transport.NetConfig
@@ -253,6 +260,9 @@ func BuildNoC(cfg Config) *System {
 		s.Net = transport.NewRing(s.Clk, cfg.Net, nodes)
 	default:
 		s.Net = transport.NewCrossbar(s.Clk, cfg.Net, nodes)
+	}
+	if cfg.Probe != nil {
+		s.Net.SetProbe(cfg.Probe)
 	}
 
 	mcfg := func(node noctypes.NodeID) niu.MasterConfig {

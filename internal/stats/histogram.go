@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/bits"
@@ -130,6 +131,58 @@ func (h *Histogram) PercentileUpper(p float64) int64 {
 	}
 	_, hi := boundsOf(len(h.counts) - 1)
 	return hi
+}
+
+// histogramJSON is the wire shape of a Histogram: the summary scalars
+// plus the non-empty bins with their inclusive [lo,hi] value bounds —
+// consumers (the heatmap sink, external plotters) read the bounds off
+// the wire instead of reconstructing the power-of-two bucketing rule.
+// HistBucket keeps its original lo/hi/count fields, so documents that
+// embedded []HistBucket directly (Result.Hist, CampaignResult.Hist) are
+// unchanged.
+type histogramJSON struct {
+	Total   uint64       `json:"total"`
+	Mean    float64      `json:"mean"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets"`
+}
+
+// MarshalJSON exports the histogram as
+// {"total","mean","max","buckets":[{"lo","hi","count"},...]}.
+// (Without this, an embedded *Histogram would marshal as "{}" — all its
+// fields are unexported.)
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	buckets := h.Buckets()
+	if buckets == nil {
+		buckets = []HistBucket{}
+	}
+	return json.Marshal(histogramJSON{
+		Total: h.total, Mean: h.Mean(), Max: h.max, Buckets: buckets,
+	})
+}
+
+// UnmarshalJSON restores a histogram exported by MarshalJSON (bucket
+// counts land in the bucket of each bin's upper bound, which is exact
+// for the power-of-two bucketing MarshalJSON writes; the sample sum is
+// approximated from the means, so Mean round-trips, sample values
+// don't).
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var wire histogramJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	*h = Histogram{}
+	for _, b := range wire.Buckets {
+		bi := bucketOf(b.Hi)
+		for len(h.counts) <= bi {
+			h.counts = append(h.counts, 0)
+		}
+		h.counts[bi] += b.Count
+		h.total += b.Count
+	}
+	h.max = wire.Max
+	h.sum = int64(math.Round(wire.Mean * float64(wire.Total)))
+	return nil
 }
 
 // String renders the non-empty bins compactly: "[1,1]:3 [2,3]:9 ...".

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -229,5 +230,65 @@ func TestTableJSON(t *testing.T) {
 	}
 	if strings.Contains(sb2.String(), "null") {
 		t.Fatalf("empty table marshals null:\n%s", sb2.String())
+	}
+}
+
+func TestHistogramJSONBounds(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 3, 3, 7, 100} {
+		h.Record(v)
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket bounds must be on the wire, not reconstructed by readers.
+	for _, frag := range []string{`"total":6`, `"max":100`, `"buckets"`, `"lo":2,"hi":3,"count":2`} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("histogram JSON missing %q:\n%s", frag, data)
+		}
+	}
+
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != h.Total() || back.Max() != h.Max() {
+		t.Fatalf("round trip lost totals: got %d/%d want %d/%d",
+			back.Total(), back.Max(), h.Total(), h.Max())
+	}
+	if back.Mean() != h.Mean() {
+		t.Fatalf("round trip lost mean: got %v want %v", back.Mean(), h.Mean())
+	}
+
+	// Mean reconstruction must round, not truncate: one sample of 1
+	// among 48 zeros makes mean*total = 0.99999999999999989.
+	var frac Histogram
+	frac.Record(1)
+	for i := 0; i < 48; i++ {
+		frac.Record(0)
+	}
+	fd, err := json.Marshal(&frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fback Histogram
+	if err := json.Unmarshal(fd, &fback); err != nil {
+		t.Fatal(err)
+	}
+	if fback.Mean() != frac.Mean() {
+		t.Fatalf("fractional mean lost: got %v want %v", fback.Mean(), frac.Mean())
+	}
+	if got, want := back.String(), h.String(); got != want {
+		t.Fatalf("round trip changed buckets: got %s want %s", got, want)
+	}
+
+	// Empty histogram: buckets must be [], not null.
+	data, err = json.Marshal(&Histogram{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "null") {
+		t.Fatalf("empty histogram marshals null: %s", data)
 	}
 }

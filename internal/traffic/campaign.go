@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"gonoc/internal/obs"
 	"gonoc/internal/sim"
 	"gonoc/internal/stats"
 )
@@ -30,6 +31,14 @@ type CampaignConfig struct {
 	Patterns   []Pattern  // default: Base.Pattern only
 	Rates      []float64  // default: DefaultRates()
 	Workers    int        // worker-pool size (default: GOMAXPROCS)
+
+	// HeatmapBuckets, when positive, attaches a fresh obs.LinkMonitor
+	// (with that time-bucket width in cycles) to every point and
+	// collects the per-point congestion heatmaps into
+	// CampaignResult.Heatmaps. Monitors are per-point because a probe
+	// may not be shared between concurrently running kernels; for the
+	// same reason Base.Probe is ignored by the campaign runner.
+	HeatmapBuckets int64
 }
 
 // CampaignPoint is one measured load point plus the seed it ran under.
@@ -45,6 +54,11 @@ type CampaignResult struct {
 	Points  []CampaignPoint    `json:"points"` // topology-major, then pattern, then rate
 	Curves  []SweepResult      `json:"curves"` // one latency-vs-load curve per (topology, pattern)
 	Hist    []stats.HistBucket `json:"hist"`   // latency histogram merged across all points
+
+	// Heatmaps holds one congestion heatmap per point, in point order,
+	// when CampaignConfig.HeatmapBuckets asked for them; each is
+	// labeled "<topology>/<pattern>@<rate>".
+	Heatmaps []obs.HeatmapReport `json:"heatmaps,omitempty"`
 
 	// ElapsedMS is the campaign's wall-clock time. It is deliberately
 	// excluded from the JSON report and the table: CLI output is
@@ -79,9 +93,10 @@ func Campaign(cfg CampaignConfig) CampaignResult {
 	// Enumerate the full product up front: the job list (and with it
 	// every per-point seed) is fixed before any worker starts.
 	type job struct {
-		idx  int
-		seed int64
-		cfg  Config
+		idx   int
+		seed  int64
+		label string
+		cfg   Config
 	}
 	root := sim.NewRNG(cfg.Base.Seed)
 	var jobs []job
@@ -91,8 +106,10 @@ func Campaign(cfg CampaignConfig) CampaignResult {
 				c := cfg.Base
 				c.Topology, c.Pattern, c.Rate = topo, pat, rate
 				c.ClosedLoop = false
+				c.Probe = nil // probes are per-kernel; see HeatmapBuckets
 				c.Seed = pointSeed(root, topo, pat, rate)
-				jobs = append(jobs, job{idx: len(jobs), seed: c.Seed, cfg: c})
+				jobs = append(jobs, job{idx: len(jobs), seed: c.Seed,
+					label: fmt.Sprintf("%s/%s@%g", topo, pat, rate), cfg: c})
 			}
 		}
 	}
@@ -100,6 +117,10 @@ func Campaign(cfg CampaignConfig) CampaignResult {
 	start := time.Now()
 	points := make([]CampaignPoint, len(jobs))
 	hists := make([]*stats.Histogram, len(jobs))
+	var heatmaps []obs.HeatmapReport
+	if cfg.HeatmapBuckets > 0 {
+		heatmaps = make([]obs.HeatmapReport, len(jobs))
+	}
 	ch := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -107,10 +128,18 @@ func Campaign(cfg CampaignConfig) CampaignResult {
 		go func() {
 			defer wg.Done()
 			for j := range ch {
+				var mon *obs.LinkMonitor
+				if cfg.HeatmapBuckets > 0 {
+					mon = obs.NewLinkMonitor(cfg.HeatmapBuckets)
+					j.cfg.Probe = mon
+				}
 				res, hist := run(j.cfg)
 				res.Flows = nil
 				points[j.idx] = CampaignPoint{Seed: j.seed, Result: res}
 				hists[j.idx] = hist
+				if mon != nil {
+					heatmaps[j.idx] = mon.Report(j.label)
+				}
 			}
 		}()
 	}
@@ -124,6 +153,7 @@ func Campaign(cfg CampaignConfig) CampaignResult {
 		Nodes:     cfg.Base.withDefaults().Nodes,
 		Workers:   workers,
 		Points:    points,
+		Heatmaps:  heatmaps,
 		ElapsedMS: time.Since(start).Milliseconds(),
 	}
 	// Curves: consecutive runs of len(Rates) points share one

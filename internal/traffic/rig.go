@@ -107,6 +107,10 @@ func newRig(cfg *Config) *rig {
 		r.col.hopPkts++
 	}
 
+	if cfg.Probe != nil {
+		r.net.SetProbe(cfg.Probe)
+	}
+
 	root := sim.NewRNG(cfg.Seed)
 	r.srcs = make([]*source, cfg.Nodes)
 	for i := range r.srcs {

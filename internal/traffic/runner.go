@@ -37,6 +37,7 @@ type Result struct {
 	Incomplete    int                  `json:"incomplete"`     // measured txns unfinished at drain cap
 	TagCollisions uint64               `json:"tag_collisions"` // busy tags skipped after tag-counter wrap
 	Cycles        int64                `json:"cycles"`         // total cycles simulated
+	FabricFlits   uint64               `json:"fabric_flits"`   // flits forwarded by all switches, whole run
 }
 
 // satThreshold: a run counts as saturated when accepted throughput falls
@@ -78,6 +79,11 @@ func (r *rig) result(cycles int64) Result {
 		Incomplete:    int(r.measuredOutstanding()),
 		TagCollisions: col.tagCollisions,
 		Cycles:        cycles,
+	}
+	// Fabric-wide flit total: the ground truth the congestion heatmap's
+	// per-link counts must sum to (both tally switch-output traversals).
+	for _, rt := range r.net.Routers() {
+		res.FabricFlits += rt.Stats().FlitsMoved
 	}
 	if cfg.ClosedLoop {
 		res.Offered = 0

@@ -17,17 +17,23 @@
 //
 //   - Run/Sweep drive raw transport fabrics (packets through
 //     transport.Endpoint), which is how saturation curves per topology,
-//     switching mode, and QoS setting are produced (experiment E10,
-//     cmd/noctraffic);
+//     switching mode, and QoS setting are produced (experiments E10 and
+//     E12, cmd/noctraffic); Campaign fans a (topology × pattern × rate)
+//     product of such runs across a worker pool;
 //   - RunTrans drives the full mixed-protocol SoC through its existing
 //     NIUs via soc.Issuers, measuring transaction latency end-to-end
 //     through the protocol engines.
+//
+// Both accept an internal/obs probe (Config.Probe, TransConfig.Probe,
+// CampaignConfig.HeatmapBuckets) for per-run traces and congestion
+// heatmaps.
 package traffic
 
 import (
 	"fmt"
 	"strings"
 
+	"gonoc/internal/obs"
 	"gonoc/internal/transport"
 )
 
@@ -160,6 +166,14 @@ type Config struct {
 	Warmup  int64 // inject, don't record (default 1000; negative = none)
 	Measure int64 // inject and record (default 4000)
 	Drain   int64 // stop generating; cap on finishing measured txns (default 30000)
+
+	// Probe, when non-nil, is attached to the fabric before the run
+	// (transport.Network.SetProbe) and observes the whole run including
+	// warmup and drain. A probe belongs to one simulation kernel:
+	// sharing one instance across concurrently running points is a data
+	// race, which is why Campaign strips it from its per-point configs
+	// and builds per-point monitors instead (HeatmapBuckets).
+	Probe obs.Probe `json:"-"`
 }
 
 // ackBytes is the payload of the non-data direction (a write ack or a

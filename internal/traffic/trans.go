@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gonoc/internal/obs"
 	"gonoc/internal/sim"
 	"gonoc/internal/soc"
 	"gonoc/internal/stats"
@@ -26,6 +27,10 @@ type TransConfig struct {
 	Warmup  int64 // default 500; negative = none
 	Measure int64 // default 4000
 	Drain   int64 // default 30000
+
+	// Probe, when non-nil, instruments the SoC's fabric and NIUs for
+	// the whole run (same contract as Config.Probe).
+	Probe obs.Probe `json:"-"`
 }
 
 func (c TransConfig) withDefaults() TransConfig {
@@ -86,7 +91,8 @@ var transMasters = []string{"axi", "ocp", "ahb", "pvci", "bvci", "avci", "prop"}
 // transaction latency per master.
 func RunTrans(tc TransConfig) TransResult {
 	tc = tc.withDefaults()
-	s := soc.BuildNoC(soc.Config{Seed: tc.Seed, Quiet: true, Topology: tc.Topology, Wishbone: tc.Wishbone})
+	s := soc.BuildNoC(soc.Config{Seed: tc.Seed, Quiet: true, Topology: tc.Topology,
+		Wishbone: tc.Wishbone, Probe: tc.Probe})
 	issuers := s.Issuers()
 	masters := transMasters
 	bases := []uint64{soc.BaseAXIMem, soc.BaseOCPMem, soc.BaseAHBMem, soc.BaseBVCIMem}

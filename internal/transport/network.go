@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gonoc/internal/noctypes"
+	"gonoc/internal/obs"
 	"gonoc/internal/sim"
 )
 
@@ -83,6 +84,10 @@ type Network struct {
 	// OnTransit, when non-nil, observes every completed packet journey.
 	OnTransit func(TransitRecord)
 
+	// probe, when non-nil, receives instrumentation events from the
+	// fabric (see SetProbe).
+	probe obs.Probe
+
 	injected, ejected uint64
 }
 
@@ -106,6 +111,34 @@ func (n *Network) Nodes() []noctypes.NodeID {
 
 // Routers returns the fabric's switches.
 func (n *Network) Routers() []*Router { return n.routers }
+
+// SetProbe attaches an instrumentation probe (see internal/obs for the
+// contract) to the fabric: every switch and endpoint starts emitting
+// flit, stall, occupancy and packet-lifecycle events into it, and the
+// NIU engines pick it up via Probe for transaction spans. Call it after
+// the topology builder returns and before the simulation runs; a nil
+// probe (the default) disables instrumentation at the cost of one
+// branch per emission site. If the probe wants router names for its
+// reports (obs.RouterNamer), it is fed them here.
+func (n *Network) SetProbe(p obs.Probe) {
+	n.probe = p
+	for _, r := range n.routers {
+		r.probe = p
+	}
+	for _, id := range n.epOrder {
+		n.eps[id].probe = p
+	}
+	if nm, ok := p.(obs.RouterNamer); ok && p != nil {
+		names := make([]string, len(n.routers))
+		for i, r := range n.routers {
+			names[i] = r.Name()
+		}
+		nm.NameRouters(names)
+	}
+}
+
+// Probe returns the attached instrumentation probe (nil when disabled).
+func (n *Network) Probe() obs.Probe { return n.probe }
 
 // Injected and Ejected return fabric-wide packet counts.
 func (n *Network) Injected() uint64 { return n.injected }
@@ -227,6 +260,8 @@ type Endpoint struct {
 
 	injTimes map[uint64]int64 // pktID -> head-flit injection cycle
 	qTimes   map[uint64]int64 // pktID -> TrySend cycle
+
+	probe obs.Probe // set by Network.SetProbe; nil = disabled
 }
 
 // ID returns the endpoint's node ID.
@@ -258,6 +293,12 @@ func (ep *Endpoint) TrySend(p *Packet) bool {
 	ep.stage = append(ep.stage, flits...)
 	ep.pending++
 	ep.qTimes[p.ID] = ep.net.clk.Cycle()
+	if ep.probe != nil {
+		ep.probe.Event(obs.Event{
+			Kind: obs.KindQueued, Cycle: ep.net.clk.Cycle(),
+			PktID: p.ID, Src: p.Src, Dst: p.Dst, Val: len(flits),
+		})
+	}
 	return true
 }
 
@@ -276,6 +317,12 @@ func (ep *Endpoint) Eval(cycle int64) {
 			if f.Head {
 				ep.injTimes[f.PktID] = cycle
 				ep.net.injected++
+				if ep.probe != nil {
+					ep.probe.Event(obs.Event{
+						Kind: obs.KindInject, Cycle: cycle,
+						PktID: f.PktID, Src: ep.node, Dst: f.Hdr.Dst,
+					})
+				}
 			}
 			if f.Tail {
 				ep.pending--
@@ -292,6 +339,12 @@ func (ep *Endpoint) Eval(cycle int64) {
 			if pkt != nil {
 				ep.net.ejected++
 				ep.recvQ.Push(pkt)
+				if ep.probe != nil {
+					ep.probe.Event(obs.Event{
+						Kind: obs.KindEject, Cycle: cycle,
+						PktID: pkt.ID, Src: pkt.Src, Dst: ep.node, Val: int(f.Hops),
+					})
+				}
 				if ep.net.OnTransit != nil {
 					src := ep.net.eps[pkt.Src]
 					rec := TransitRecord{

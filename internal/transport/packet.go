@@ -11,6 +11,13 @@
 // a write burst, or anything else is invisible here; conversely the
 // transaction layer cannot tell whether the fabric switched its packets
 // wormhole or store-and-forward (experiment E3 proves this).
+//
+// The fabric is observable without being perturbable: Network.SetProbe
+// attaches an internal/obs probe, after which switches report flits,
+// stalls, buffer occupancy and VC allocations and endpoints report
+// packet lifecycles (queued/injected/ejected). With no probe attached —
+// the default — every hook is a single nil check, pinned by the CI
+// allocation guard.
 package transport
 
 import (

@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether this binary was built with -race; tests
+// that assert allocation counts skip under it (instrumentation
+// allocates).
+const raceEnabled = true

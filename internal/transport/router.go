@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gonoc/internal/noctypes"
+	"gonoc/internal/obs"
 	"gonoc/internal/sim"
 )
 
@@ -59,6 +60,7 @@ type RouterStats struct {
 	LockStalls uint64   // allocation attempts denied by a lock reservation
 	BusyStalls uint64   // allocation attempts denied by a busy output
 	OutBusy    []uint64 // per-output busy (flit-moved) cycles
+	OutStall   []uint64 // per-output cycles a granted output moved no flit
 }
 
 // Router is an N-port NoC switch. It owns its input buffers (one flit
@@ -101,6 +103,12 @@ type Router struct {
 	// would otherwise close.
 	vcOut [][]int8
 
+	// probe, when non-nil, observes flits, stalls, buffer occupancy and
+	// VC allocations (Network.SetProbe distributes it). Every emission
+	// site is behind a nil check, so disabled instrumentation costs one
+	// branch and no allocations on the hot path.
+	probe obs.Probe
+
 	stats RouterStats
 }
 
@@ -138,6 +146,7 @@ func newRouter(clk *sim.Clock, name string, numPorts int, cfg RouterConfig) *Rou
 		r.outLock[o] = -1
 	}
 	r.stats.OutBusy = make([]uint64, numPorts)
+	r.stats.OutStall = make([]uint64, numPorts)
 	clk.Register(r)
 	return r
 }
@@ -152,6 +161,7 @@ func (r *Router) Ports() int { return len(r.lanes) }
 func (r *Router) Stats() RouterStats {
 	s := r.stats
 	s.OutBusy = append([]uint64(nil), r.stats.OutBusy...)
+	s.OutStall = append([]uint64(nil), r.stats.OutStall...)
 	return s
 }
 
@@ -199,13 +209,19 @@ func (r *Router) connectOut(o int, vcBufs [NumVCs]*sim.Pipe[Flit]) {
 
 // Eval implements sim.Clocked: one cycle of switch operation.
 func (r *Router) Eval(cycle int64) {
+	if r.probe != nil {
+		r.sampleBuffers(cycle)
+	}
+
 	// Phase 1: continuing packets move one flit toward their held output.
 	for o := range r.outHold {
 		ln := r.outHold[o]
 		if ln == noLane {
 			continue
 		}
-		r.moveFlit(o, ln)
+		if !r.moveFlit(cycle, o, ln) {
+			r.noteStall(cycle, o)
+		}
 	}
 
 	// Phase 2: allocate outputs that were free at cycle start.
@@ -225,7 +241,44 @@ func (r *Router) Eval(cycle int64) {
 		r.laneAl[win.port][win.vc] = o
 		r.laneHdr[win.port][win.vc] = f.Hdr
 		r.rr[o] = win.port + 1
-		r.moveFlit(o, win)
+		if r.probe != nil {
+			r.probe.Event(obs.Event{
+				Kind: obs.KindVCAlloc, Cycle: cycle, PktID: f.PktID,
+				Src: f.Hdr.Src, Dst: f.Hdr.Dst,
+				Router: r.index, Port: o, VC: r.outVC(win.port, o, f.VC),
+			})
+		}
+		if !r.moveFlit(cycle, o, win) {
+			r.noteStall(cycle, o)
+		}
+	}
+}
+
+// noteStall records that a granted output moved no flit this cycle.
+func (r *Router) noteStall(cycle int64, o int) {
+	r.stats.OutStall[o]++
+	if r.probe != nil {
+		r.probe.Event(obs.Event{Kind: obs.KindStall, Cycle: cycle, Router: r.index, Port: o})
+	}
+}
+
+// sampleBuffers reports the start-of-cycle occupancy of every buffer
+// downstream of this switch's outputs — the congestion a link's flits
+// run into. Runs only with a probe attached. Endpoint ejection ports
+// alias one buffer across both VCs; the duplicate sample is skipped so
+// the heatmap's VC1 column stays meaningful.
+func (r *Router) sampleBuffers(cycle int64) {
+	for o := range r.outs {
+		for v := 0; v < NumVCs; v++ {
+			dst := r.outs[o][v]
+			if dst == nil || (v > 0 && dst == r.outs[o][v-1]) {
+				continue
+			}
+			r.probe.Event(obs.Event{
+				Kind: obs.KindBufSample, Cycle: cycle,
+				Router: r.index, Port: o, VC: uint8(v), Val: dst.Len(),
+			})
+		}
 	}
 }
 
@@ -237,12 +290,13 @@ func (r *Router) Update(cycle int64) {
 }
 
 // moveFlit attempts to forward one flit from lane ln through output o,
-// handling tail release and lock reservation bookkeeping.
-func (r *Router) moveFlit(o int, ln laneRef) {
+// handling tail release and lock reservation bookkeeping. It reports
+// whether a flit moved (false = a stall cycle for the output).
+func (r *Router) moveFlit(cycle int64, o int, ln laneRef) bool {
 	lane := r.lanes[ln.port][ln.vc]
 	f, ok := lane.Peek()
 	if !ok {
-		return // wormhole bubble: body flits not yet arrived
+		return false // wormhole bubble: body flits not yet arrived
 	}
 	vc := r.outVC(ln.port, o, f.VC)
 	dst := r.outs[o][vc]
@@ -250,7 +304,7 @@ func (r *Router) moveFlit(o int, ln laneRef) {
 		panic(fmt.Sprintf("transport: router %q output %d has no VC%d buffer", r.name, o, vc))
 	}
 	if !dst.CanPush(1) {
-		return // downstream backpressure
+		return false // downstream backpressure
 	}
 	lane.Pop()
 	f.VC = vc
@@ -260,6 +314,12 @@ func (r *Router) moveFlit(o int, ln laneRef) {
 	}
 	r.stats.FlitsMoved++
 	r.stats.OutBusy[o]++
+	if r.probe != nil {
+		r.probe.Event(obs.Event{
+			Kind: obs.KindFlit, Cycle: cycle, PktID: f.PktID,
+			Router: r.index, Port: o, VC: vc,
+		})
+	}
 	if f.Tail {
 		r.stats.PktsMoved++
 		hdr := r.laneHdr[ln.port][ln.vc]
@@ -276,6 +336,7 @@ func (r *Router) moveFlit(o int, ln laneRef) {
 			}
 		}
 	}
+	return true
 }
 
 // outVC returns the virtual channel a flit arriving on input port in
