@@ -1,5 +1,5 @@
 // Package gonoc_test holds the repository-level benchmark harness: one
-// benchmark per experiment table/figure (E1–E13; see README.md).
+// benchmark per experiment table/figure (E1–E14; see README.md).
 // Each benchmark runs the corresponding experiment end to end and reports
 // the headline simulated-cycle metrics alongside wall-clock ns/op, so
 // `go test -bench=. -benchmem` regenerates every result.
@@ -261,4 +261,16 @@ func BenchmarkFig1MixedNoCWishbone(b *testing.B) {
 		cycles = c
 	}
 	b.ReportMetric(float64(cycles), "simcycles")
+}
+
+// BenchmarkE14Scenarios resolves and runs every built-in declarative
+// scenario (internal/scenario) through the same resolver the CLIs use,
+// including the bit-identical re-run check.
+func BenchmarkE14Scenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E14Scenarios(int64(i + 1))
+		if len(r.Reports) < 6 {
+			b.Fatal("scenario registry incomplete")
+		}
+	}
 }

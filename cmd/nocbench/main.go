@@ -1,4 +1,4 @@
-// Command nocbench runs the full reproduction suite — experiments E1–E13,
+// Command nocbench runs the full reproduction suite — experiments E1–E14,
 // described in the package docs of internal/experiments and summarized in
 // the top-level README.md — and prints the paper-style tables.
 //
@@ -55,6 +55,7 @@ func main() {
 		{"E11", func() []*stats.Table { return experiments.E11WishboneAdapter(*seed).Tables }},
 		{"E12", func() []*stats.Table { return experiments.E12TopologyCampaign(*seed).Tables }},
 		{"E13", func() []*stats.Table { return experiments.E13CongestionHeatmap(*seed).Tables }},
+		{"E14", func() []*stats.Table { return experiments.E14Scenarios(*seed).Tables }},
 	}
 
 	doc := struct {

@@ -1,0 +1,75 @@
+// Command nocscenario works with declarative scenario files
+// (internal/scenario, reference in docs/SCENARIOS.md) without running
+// anything:
+//
+//	nocscenario                      # list the built-in scenarios
+//	nocscenario -show NAME|FILE      # print a scenario as canonical JSON
+//	nocscenario FILE [FILE ...]      # validate files; non-zero exit on the first broken one
+//
+// Validation is the same strict load path the CLIs use — unknown fields,
+// type errors, and semantic problems (overlapping address windows,
+// zero-rate masters, unknown protocols) are all reported with the
+// offending line:column or field path. The CI docs job runs it over
+// every *.scenario.json in the repository.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gonoc/internal/scenario"
+	"gonoc/internal/stats"
+)
+
+func main() {
+	show := flag.String("show", "", "print one scenario (built-in name or file) as canonical JSON and exit")
+	quiet := flag.Bool("q", false, "validate silently: only report failures")
+	flag.Parse()
+	log.SetFlags(0)
+
+	if *show != "" {
+		sc, err := scenario.Resolve(*show)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sc.Save(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		t := stats.NewTable("built-in scenarios (see docs/SCENARIOS.md)",
+			"name", "kind", "mode", "description")
+		for _, name := range scenario.Names() {
+			sc, _ := scenario.Get(name)
+			t.AddRow(name, sc.Workload.Kind, string(sc.Mode()), sc.Description)
+		}
+		fmt.Println(t.Render())
+		fmt.Printf("run one:   noctraffic -scenario %s\n", scenario.Names()[0])
+		fmt.Println("validate:  nocscenario path/to/file.scenario.json")
+		return
+	}
+
+	failed := 0
+	for _, path := range flag.Args() {
+		sc, err := scenario.LoadFile(path)
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL %v\n", err)
+			continue
+		}
+		if !*quiet {
+			fmt.Printf("ok   %s (%q, %s %s)\n", path, sc.Name, sc.Workload.Kind, sc.Mode())
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d scenario files failed validation\n", failed, flag.NArg())
+		os.Exit(1)
+	}
+	if *quiet {
+		fmt.Printf("%d scenario files ok\n", flag.NArg())
+	}
+}

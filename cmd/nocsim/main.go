@@ -7,7 +7,7 @@
 //
 //	nocsim [-system noc|bus] [-topology crossbar|mesh|torus|ring|tree]
 //	       [-mode wormhole|saf] [-seed N] [-requests N] [-qos] [-wb]
-//	       [-trace FILE] [-heatmap FILE]
+//	       [-trace FILE] [-heatmap FILE] [-scenario NAME|FILE]
 //
 // -wb (NoC only) adds an eighth master — a WISHBONE IP behind its NIU —
 // and a WISHBONE memory target to the demo topology.
@@ -16,6 +16,12 @@
 // as a Chrome trace_event file (open in Perfetto or chrome://tracing);
 // -heatmap (NoC only) writes the per-link congestion heatmap JSON. Both
 // come from internal/obs and observe the whole run.
+//
+// -scenario NAME|FILE (NoC only) builds the system from a declarative
+// soc-kind scenario (internal/scenario, docs/SCENARIOS.md) instead of
+// flags: topology, switching mode, QoS, WISHBONE inclusion, per-master
+// NIU priorities, and the generator workload size all come from the
+// file; explicitly set flags still override their scenario fields.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"os"
 
 	"gonoc/internal/obs"
+	"gonoc/internal/scenario"
 	"gonoc/internal/soc"
 	"gonoc/internal/stats"
 	"gonoc/internal/transport"
@@ -41,10 +48,14 @@ func main() {
 	wb := flag.Bool("wb", false, "NoC only: add the WISHBONE master IP and memory target")
 	traceFile := flag.String("trace", "", "NoC only: write a Chrome trace_event file (Perfetto/chrome://tracing)")
 	heatFile := flag.String("heatmap", "", "NoC only: write the per-link congestion heatmap JSON")
+	scenarioFlag := flag.String("scenario", "", "NoC only: build the SoC from a soc-kind scenario — a built-in name or a *.scenario.json file; explicit flags override (docs/SCENARIOS.md)")
 	flag.Parse()
 
 	if *wb && *system != "noc" {
 		log.Fatal("-wb requires -system noc (the Fig-2 bus has no WISHBONE bridge)")
+	}
+	if *scenarioFlag != "" && *system != "noc" {
+		log.Fatal("-scenario requires -system noc (scenarios declare NoC compositions)")
 	}
 	if (*traceFile != "" || *heatFile != "") && *system != "noc" {
 		log.Fatal("-trace/-heatmap require -system noc (the Fig-2 bus has no fabric to instrument)")
@@ -60,32 +71,69 @@ func main() {
 		mon = obs.NewLinkMonitor(obs.DefaultHeatmapBucket)
 		probes = append(probes, mon)
 	}
-	cfg := soc.Config{Seed: *seed, RequestsPerMaster: *requests, Wishbone: *wb,
-		Probe: obs.Multi(probes...)}
-	cfg.Net.QoS = *qos
-	switch *topo {
-	case "crossbar":
-		cfg.Topology = soc.Crossbar
-	case "mesh":
-		cfg.Topology = soc.Mesh
-	case "torus":
-		cfg.Topology = soc.Torus
-	case "ring":
-		cfg.Topology = soc.Ring
-	case "tree":
-		cfg.Topology = soc.Tree
-	default:
-		log.Fatalf("unknown topology %q", *topo)
+	var cfg soc.Config
+	if *scenarioFlag != "" {
+		sc := loadScenario(*scenarioFlag)
+		// Explicitly set flags override their scenario fields.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "topology":
+				sc.Fabric.Topology = *topo
+			case "mode":
+				sc.Fabric.Mode = *mode
+			case "qos":
+				sc.Fabric.QoS = *qos
+			case "seed":
+				sc.Seed = *seed
+			case "requests":
+				sc.Workload.RequestsPerMaster = *requests
+			case "wb":
+				sc.Workload.Wishbone = *wb
+			}
+		})
+		if err := sc.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		var err error
+		if cfg, err = sc.SoCConfig(); err != nil {
+			log.Fatal(err)
+		}
+		// Mirror the resolved composition back into the display flags.
+		*topo = sc.Fabric.Topology
+		*mode = "wormhole"
+		if sc.Fabric.Mode == "saf" {
+			*mode = "saf"
+		}
+		*seed = cfg.Seed
+		*wb = cfg.Wishbone
+	} else {
+		cfg = soc.Config{Seed: *seed, RequestsPerMaster: *requests, Wishbone: *wb}
+		cfg.Net.QoS = *qos
+		switch *topo {
+		case "crossbar":
+			cfg.Topology = soc.Crossbar
+		case "mesh":
+			cfg.Topology = soc.Mesh
+		case "torus":
+			cfg.Topology = soc.Torus
+		case "ring":
+			cfg.Topology = soc.Ring
+		case "tree":
+			cfg.Topology = soc.Tree
+		default:
+			log.Fatalf("unknown topology %q", *topo)
+		}
+		switch *mode {
+		case "wormhole":
+			cfg.Net.Mode = transport.Wormhole
+		case "saf":
+			cfg.Net.Mode = transport.StoreAndForward
+			cfg.Net.BufDepth = 64
+		default:
+			log.Fatalf("unknown switching mode %q", *mode)
+		}
 	}
-	switch *mode {
-	case "wormhole":
-		cfg.Net.Mode = transport.Wormhole
-	case "saf":
-		cfg.Net.Mode = transport.StoreAndForward
-		cfg.Net.BufDepth = 64
-	default:
-		log.Fatalf("unknown switching mode %q", *mode)
-	}
+	cfg.Probe = obs.Multi(probes...)
 
 	var s *soc.System
 	switch *system {
@@ -142,6 +190,20 @@ func main() {
 		fmt.Printf("heatmap: %d links, %d flits -> %s\n", len(rep.Links), rep.TotalFlits, *heatFile)
 	}
 	os.Exit(0)
+}
+
+// loadScenario resolves a built-in name or a file path and requires a
+// soc-kind workload (packet scenarios have no IP to generate for).
+func loadScenario(arg string) *scenario.Scenario {
+	sc, err := scenario.Resolve(arg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sc.Workload.Kind != scenario.KindSoC {
+		log.Fatalf("scenario %q is a %q workload; nocsim builds %q scenarios (run packet workloads with noctraffic -scenario)",
+			sc.Name, sc.Workload.Kind, scenario.KindSoC)
+	}
+	return sc
 }
 
 func writeFile(path string, write func(io.Writer) error) {

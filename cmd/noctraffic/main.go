@@ -12,9 +12,18 @@
 //   - campaign (-campaign): fan a (topology × pattern × rate) product
 //     across a worker pool — each point is an isolated simulation, so
 //     the campaign scales with cores while per-point results stay
-//     bit-identical to a serial run of the same seeds;
+//     bit-identical to a serial run of the same seeds; with -heatmap,
+//     every point records its own congestion heatmap;
 //   - transaction level (-trans): drive the full mixed-protocol SoC
 //     through its existing NIUs at a controlled per-master rate.
+//
+// Scenarios (internal/scenario, reference in docs/SCENARIOS.md):
+// -scenario runs a declarative composition instead of flags — a
+// built-in name (-list-scenarios) or a *.scenario.json file; the
+// scenario selects the mode, and any explicitly set flag overrides the
+// corresponding scenario field. -save-scenario exports the current
+// invocation (flags or scenario+overrides) as a scenario file that
+// reproduces the identical seeded result when re-run.
 //
 // Observability (internal/obs): -trace writes a Chrome trace_event file
 // of the run's transaction/packet lifecycle spans — open it directly in
@@ -36,7 +45,8 @@
 //	           [-json] [-campaign] [-topologies T1,T2,...]
 //	           [-patterns P1,P2,...] [-workers N] [-trans] [-hotspot-mem]
 //	           [-wb] [-trace FILE] [-events FILE] [-heatmap FILE]
-//	           [-heatmap-bucket N]
+//	           [-heatmap-bucket N] [-scenario NAME|FILE]
+//	           [-save-scenario FILE] [-list-scenarios]
 package main
 
 import (
@@ -45,53 +55,76 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"gonoc/internal/obs"
+	"gonoc/internal/scenario"
 	"gonoc/internal/soc"
 	"gonoc/internal/stats"
 	"gonoc/internal/traffic"
 	"gonoc/internal/transport"
 )
 
+var (
+	pattern    = flag.String("pattern", "uniform", "traffic pattern: uniform, hotspot, transpose, bitcomp, neighbor, bursty")
+	topo       = flag.String("topology", "crossbar", "fabric: crossbar, mesh, torus, ring, or tree")
+	nodes      = flag.Int("nodes", 16, "endpoint count")
+	mode       = flag.String("mode", "wormhole", "switching: wormhole or saf")
+	qos        = flag.Bool("qos", false, "priority arbitration in switches")
+	rate       = flag.Float64("rate", 0.05, "offered load, transactions/node/cycle (open loop)")
+	sweep      = flag.Bool("sweep", false, "walk injection rates; emit the latency-vs-offered-load curve")
+	ratesFlag  = flag.String("rates", "", "comma-separated sweep rates (default: built-in schedule)")
+	closed     = flag.Bool("closed", false, "closed-loop injection (fixed outstanding window)")
+	window     = flag.Int("window", 4, "closed loop: outstanding transactions per source")
+	payload    = flag.Int("payload", 32, "data bytes per transaction")
+	readFrac   = flag.Float64("readfrac", 0.5, "fraction of transactions that are reads")
+	hotFrac    = flag.Float64("hotfrac", 0.5, "hotspot: fraction of traffic to the hot node")
+	hotNode    = flag.Int("hotnode", 0, "hotspot: destination node index")
+	burstLen   = flag.Int("burstlen", 8, "bursty: mean burst length")
+	urgentFrac = flag.Float64("urgentfrac", 0, "fraction of transactions injected at urgent priority")
+	warmup     = flag.Int64("warmup", 1000, "warmup cycles (inject, don't record)")
+	measure    = flag.Int64("measure", 4000, "measurement cycles")
+	drain      = flag.Int64("drain", 30000, "drain-cycle cap for finishing measured transactions")
+	seed       = flag.Int64("seed", 1, "root random seed")
+	flows      = flag.Bool("flows", false, "print per-flow latency digests (single run)")
+	jsonOut    = flag.Bool("json", false, "emit JSON instead of text tables")
+	campaign   = flag.Bool("campaign", false, "fan a (topology x pattern x rate) product across a worker pool; with -heatmap, one congestion heatmap per point")
+	topoList   = flag.String("topologies", "crossbar,mesh,torus,ring,tree", "campaign: comma-separated topologies")
+	patList    = flag.String("patterns", "uniform,hotspot", "campaign: comma-separated patterns")
+	workers    = flag.Int("workers", 0, "campaign: worker-pool size (default: GOMAXPROCS)")
+	trans      = flag.Bool("trans", false, "transaction-level load through the SoC's NIUs")
+	hotspotMem = flag.Bool("hotspot-mem", false, "trans: all masters hammer one memory")
+	wb         = flag.Bool("wb", false, "trans: include the WISHBONE master (and its memory) in the driven SoC")
+	traceFile  = flag.String("trace", "", "write a Chrome trace_event file (Perfetto/chrome://tracing); single run or -trans")
+	eventsFile = flag.String("events", "", "write the lifecycle span trace as JSONL; single run or -trans")
+	heatFile   = flag.String("heatmap", "", "write the per-link congestion heatmap JSON; single run, -trans, or -campaign (one heatmap per point)")
+	heatBucket = flag.Int64("heatmap-bucket", obs.DefaultHeatmapBucket, "heatmap time-bucket width in cycles")
+
+	scenarioFlag  = flag.String("scenario", "", "run a declarative scenario: a built-in name (-list-scenarios) or a *.scenario.json file; explicit flags override scenario fields (docs/SCENARIOS.md)")
+	saveScenario  = flag.String("save-scenario", "", "export this invocation as a scenario file before running it; re-running the file reproduces the identical seeded result")
+	listScenarios = flag.Bool("list-scenarios", false, "list the built-in scenarios and exit")
+)
+
+// setFlags records which flags the user set explicitly — the set that
+// overrides scenario fields.
+var setFlags = map[string]bool{}
+
 func main() {
-	pattern := flag.String("pattern", "uniform", "traffic pattern: uniform, hotspot, transpose, bitcomp, neighbor, bursty")
-	topo := flag.String("topology", "crossbar", "fabric: crossbar, mesh, torus, ring, or tree")
-	nodes := flag.Int("nodes", 16, "endpoint count")
-	mode := flag.String("mode", "wormhole", "switching: wormhole or saf")
-	qos := flag.Bool("qos", false, "priority arbitration in switches")
-	rate := flag.Float64("rate", 0.05, "offered load, transactions/node/cycle (open loop)")
-	sweep := flag.Bool("sweep", false, "walk injection rates; emit the latency-vs-offered-load curve")
-	ratesFlag := flag.String("rates", "", "comma-separated sweep rates (default: built-in schedule)")
-	closed := flag.Bool("closed", false, "closed-loop injection (fixed outstanding window)")
-	window := flag.Int("window", 4, "closed loop: outstanding transactions per source")
-	payload := flag.Int("payload", 32, "data bytes per transaction")
-	readFrac := flag.Float64("readfrac", 0.5, "fraction of transactions that are reads")
-	hotFrac := flag.Float64("hotfrac", 0.5, "hotspot: fraction of traffic to the hot node")
-	hotNode := flag.Int("hotnode", 0, "hotspot: destination node index")
-	burstLen := flag.Int("burstlen", 8, "bursty: mean burst length")
-	urgentFrac := flag.Float64("urgentfrac", 0, "fraction of transactions injected at urgent priority")
-	warmup := flag.Int64("warmup", 1000, "warmup cycles (inject, don't record)")
-	measure := flag.Int64("measure", 4000, "measurement cycles")
-	drain := flag.Int64("drain", 30000, "drain-cycle cap for finishing measured transactions")
-	seed := flag.Int64("seed", 1, "root random seed")
-	flows := flag.Bool("flows", false, "print per-flow latency digests (single run)")
-	jsonOut := flag.Bool("json", false, "emit JSON instead of text tables")
-	campaign := flag.Bool("campaign", false, "fan a (topology x pattern x rate) product across a worker pool")
-	topoList := flag.String("topologies", "crossbar,mesh,torus,ring,tree", "campaign: comma-separated topologies")
-	patList := flag.String("patterns", "uniform,hotspot", "campaign: comma-separated patterns")
-	workers := flag.Int("workers", 0, "campaign: worker-pool size (default: GOMAXPROCS)")
-	trans := flag.Bool("trans", false, "transaction-level load through the SoC's NIUs")
-	hotspotMem := flag.Bool("hotspot-mem", false, "trans: all masters hammer one memory")
-	wb := flag.Bool("wb", false, "trans: include the WISHBONE master (and its memory) in the driven SoC")
-	traceFile := flag.String("trace", "", "write a Chrome trace_event file (Perfetto/chrome://tracing); single run or -trans")
-	eventsFile := flag.String("events", "", "write the lifecycle span trace as JSONL; single run or -trans")
-	heatFile := flag.String("heatmap", "", "write the per-link congestion heatmap JSON; single run, -trans, or -campaign")
-	heatBucket := flag.Int64("heatmap-bucket", obs.DefaultHeatmapBucket, "heatmap time-bucket width in cycles")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	if *heatBucket <= 0 {
 		*heatBucket = obs.DefaultHeatmapBucket
+	}
+
+	if *listScenarios {
+		printScenarioList()
+		return
+	}
+	if *scenarioFlag != "" {
+		runScenario()
+		return
 	}
 
 	top, err := traffic.ParseTopology(*topo)
@@ -101,8 +134,16 @@ func main() {
 	sk := newSinks(*traceFile, *eventsFile, *heatFile, *heatBucket)
 
 	if *trans {
-		runTrans(*seed, socTopology(top), *rate, *window, *payload, zeroAsNeg(*readFrac),
-			*hotspotMem, *wb, zeroAsNegI(*warmup), *measure, *drain, *jsonOut, sk)
+		tc := traffic.TransConfig{
+			Seed: *seed, Topology: socTopology(top), Rate: *rate, Window: *window,
+			Bytes: *payload, ReadFrac: zeroAsNeg(*readFrac),
+			Hotspot: *hotspotMem, Wishbone: *wb,
+			Warmup: zeroAsNegI(*warmup), Measure: *measure, Drain: *drain,
+		}
+		if *saveScenario != "" {
+			exportScenario(scenario.FromTransConfig(scenarioName(), tc))
+		}
+		runTrans(tc, *jsonOut, sk)
 		return
 	}
 
@@ -135,9 +176,6 @@ func main() {
 	}
 
 	if *campaign {
-		if *traceFile != "" || *eventsFile != "" {
-			log.Fatal("-trace/-events need a single simulation; campaigns support -heatmap only")
-		}
 		ccfg := traffic.CampaignConfig{
 			Base:       cfg,
 			Topologies: parseTopologies(*topoList),
@@ -145,39 +183,35 @@ func main() {
 			Rates:      parseRates(*ratesFlag),
 			Workers:    *workers,
 		}
-		if *heatFile != "" {
-			ccfg.HeatmapBuckets = *heatBucket
+		if *saveScenario != "" {
+			exportScenario(scenario.FromPacketConfig(scenarioName(), cfg, nil, &ccfg))
 		}
-		cr := traffic.Campaign(ccfg)
-		if *heatFile != "" {
-			writeFile(*heatFile, func(w io.Writer) error { return stats.WriteJSON(w, cr.Heatmaps) })
-		}
-		if *jsonOut {
-			emitJSON(cr)
-			return
-		}
-		fmt.Println(cr.Table().Render())
-		for _, c := range cr.Curves {
-			fmt.Println(c.Table().Render())
-		}
+		runCampaign(ccfg, *heatBucket)
 		return
 	}
 
 	if *sweep {
-		if sk.enabled() {
-			log.Fatal("-trace/-events/-heatmap apply to a single run, -trans, or -campaign (-heatmap only)")
+		rates := parseRates(*ratesFlag)
+		if *saveScenario != "" {
+			exported := rates
+			if len(exported) == 0 {
+				exported = traffic.DefaultRates()
+			}
+			exportScenario(scenario.FromPacketConfig(scenarioName(), cfg, exported, nil))
 		}
-		sr := traffic.Sweep(cfg, parseRates(*ratesFlag))
-		if *jsonOut {
-			emitJSON(sr)
-			return
-		}
-		fmt.Println(sr.Table().Render())
-		fmt.Printf("saturation: last unsaturated rate %.3f, saturation throughput %.4f txn/node/cycle\n",
-			sr.SatRate, sr.SatThroughput)
+		runSweep(cfg, rates)
 		return
 	}
 
+	if *saveScenario != "" {
+		exportScenario(scenario.FromPacketConfig(scenarioName(), cfg, nil, nil))
+	}
+	runSingle(cfg, sk)
+}
+
+// ---- the four run modes, shared by the flag and scenario paths ----
+
+func runSingle(cfg traffic.Config, sk *sinks) {
 	cfg.Probe = sk.probe()
 	res := traffic.Run(cfg)
 	// Same "<topology>/<pattern>@<rate>" label shape campaign heatmaps use.
@@ -187,6 +221,309 @@ func main() {
 		return
 	}
 	printRun(res, *flows)
+}
+
+func runSweep(cfg traffic.Config, rates []float64) {
+	if *traceFile != "" || *eventsFile != "" || *heatFile != "" {
+		log.Fatal("-trace/-events/-heatmap apply to a single run, -trans, or -campaign (-heatmap only)")
+	}
+	sr := traffic.Sweep(cfg, rates)
+	if *jsonOut {
+		emitJSON(sr)
+		return
+	}
+	fmt.Println(sr.Table().Render())
+	fmt.Printf("saturation: last unsaturated rate %.3f, saturation throughput %.4f txn/node/cycle\n",
+		sr.SatRate, sr.SatThroughput)
+}
+
+func runCampaign(ccfg traffic.CampaignConfig, bucket int64) {
+	if *traceFile != "" || *eventsFile != "" {
+		log.Fatal("-trace/-events need a single simulation; campaigns support -heatmap only")
+	}
+	if *heatFile != "" {
+		ccfg.HeatmapBuckets = bucket
+	}
+	cr := traffic.Campaign(ccfg)
+	if *heatFile != "" {
+		writeFile(*heatFile, func(w io.Writer) error { return stats.WriteJSON(w, cr.Heatmaps) })
+	}
+	if *jsonOut {
+		emitJSON(cr)
+		return
+	}
+	fmt.Println(cr.Table().Render())
+	for _, c := range cr.Curves {
+		fmt.Println(c.Table().Render())
+	}
+}
+
+func runTrans(tc traffic.TransConfig, jsonOut bool, sk *sinks) {
+	tc.Probe = sk.probe()
+	tr := traffic.RunTrans(tc)
+	sk.write(fmt.Sprintf("trans@%g", tc.Rate))
+	if jsonOut {
+		emitJSON(tr)
+		return
+	}
+	fmt.Println(tr.Table().Render())
+	fmt.Printf("throughput: %.1f completions/kcycle; incomplete: %d\n", tr.Throughput, tr.Incomplete)
+}
+
+// ---- scenario plumbing ----
+
+// runScenario resolves -scenario, applies explicit flags as overrides,
+// and dispatches on the scenario's mode through the same run paths the
+// flag-driven invocations use.
+func runScenario() {
+	sc := mustLoadScenario(*scenarioFlag)
+	if err := applyOverrides(sc); err != nil {
+		log.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if *saveScenario != "" {
+		exportScenario(sc)
+	}
+	// The scenario's heatmap bucket applies unless the flag was given.
+	bucket := *heatBucket
+	if !setFlags["heatmap-bucket"] && sc.Measure.HeatmapBucket > 0 {
+		bucket = sc.Measure.HeatmapBucket
+	}
+	sk := newSinks(*traceFile, *eventsFile, *heatFile, bucket)
+
+	switch sc.Mode() {
+	case scenario.ModeTrans:
+		tc, err := sc.TransConfig()
+		if err != nil {
+			log.Fatal(err)
+		}
+		runTrans(tc, *jsonOut, sk)
+	case scenario.ModeCampaign:
+		cc, err := sc.CampaignConfig()
+		if err != nil {
+			log.Fatal(err)
+		}
+		runCampaign(cc, bucket)
+	case scenario.ModeSweep:
+		cfg, err := sc.PacketConfig()
+		if err != nil {
+			log.Fatal(err)
+		}
+		runSweep(cfg, sc.Measure.SweepRates)
+	default:
+		cfg, err := sc.PacketConfig()
+		if err != nil {
+			log.Fatal(err)
+		}
+		runSingle(cfg, sk)
+	}
+}
+
+// mustLoadScenario resolves a built-in name or a file path.
+func mustLoadScenario(arg string) *scenario.Scenario {
+	sc, err := scenario.Resolve(arg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sc
+}
+
+// applyOverrides writes every explicitly set flag onto the scenario.
+// Flags that pick a workload the scenario doesn't have are errors, not
+// silent reinterpretations.
+func applyOverrides(sc *scenario.Scenario) error {
+	var err error
+	fail := func(format string, args ...any) {
+		if err == nil {
+			err = fmt.Errorf(format, args...)
+		}
+	}
+	packet := func(name string) bool {
+		if sc.Workload.Kind != scenario.KindPacket {
+			fail("-%s applies to packet scenarios; %q is a %q workload", name, sc.Name, sc.Workload.Kind)
+			return false
+		}
+		return true
+	}
+	socKind := func(name string) bool {
+		if sc.Workload.Kind != scenario.KindSoC {
+			fail("-%s applies to soc scenarios; %q is a %q workload", name, sc.Name, sc.Workload.Kind)
+			return false
+		}
+		return true
+	}
+	ensureCampaign := func(name string) *scenario.Campaign {
+		if sc.Measure.Campaign == nil {
+			fail("-%s needs a campaign scenario (add -campaign to convert)", name)
+			return &scenario.Campaign{}
+		}
+		return sc.Measure.Campaign
+	}
+	// Mode-converting flags are applied before the Visit loop: they
+	// decide whether "rates" and the campaign axes land in the campaign
+	// section or the sweep list, and flag.Visit's lexical order must
+	// not (e.g. "rates" < "sweep" would route -rates into a campaign
+	// the -sweep flag is about to delete).
+	if setFlags["sweep"] && setFlags["campaign"] && *sweep && *campaign {
+		return fmt.Errorf("-sweep and -campaign are mutually exclusive")
+	}
+	if setFlags["campaign"] && *campaign && packet("campaign") && sc.Measure.Campaign == nil {
+		sc.Measure.SweepRates = nil
+		sc.Measure.Campaign = &scenario.Campaign{}
+	}
+	if setFlags["sweep"] && *sweep && packet("sweep") {
+		sc.Measure.Campaign = nil
+	}
+	if err != nil {
+		return err
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			sc.Seed = *seed
+		case "topology":
+			sc.Fabric.Topology = *topo
+		case "nodes":
+			sc.Fabric.Nodes = *nodes
+		case "mode":
+			sc.Fabric.Mode = *mode
+		case "qos":
+			sc.Fabric.QoS = *qos
+		case "warmup":
+			w := *warmup
+			sc.Measure.Warmup = &w
+		case "measure":
+			sc.Measure.Measure = *measure
+		case "drain":
+			sc.Measure.Drain = *drain
+		case "heatmap-bucket":
+			sc.Measure.HeatmapBucket = *heatBucket
+		case "pattern":
+			if packet(f.Name) {
+				sc.Workload.Pattern = *pattern
+			}
+		case "rate":
+			if sc.Workload.Kind == scenario.KindSoC {
+				for i := range sc.Workload.Masters {
+					sc.Workload.Masters[i].Rate = *rate
+				}
+			} else {
+				sc.Workload.Rate = *rate
+			}
+		case "readfrac":
+			rf := *readFrac
+			if sc.Workload.Kind == scenario.KindSoC {
+				for i := range sc.Workload.Masters {
+					sc.Workload.Masters[i].ReadFrac = &rf
+				}
+			} else {
+				sc.Workload.ReadFrac = &rf
+			}
+		case "window":
+			if sc.Workload.Kind == scenario.KindSoC {
+				for i := range sc.Workload.Masters {
+					sc.Workload.Masters[i].Window = *window
+				}
+			} else {
+				sc.Workload.Window = *window
+			}
+		case "payload":
+			if packet(f.Name) {
+				sc.Workload.PayloadBytes = *payload
+			}
+		case "hotfrac":
+			if packet(f.Name) {
+				sc.Workload.HotFrac = *hotFrac
+			}
+		case "hotnode":
+			if packet(f.Name) {
+				sc.Workload.HotNode = *hotNode
+			}
+		case "burstlen":
+			if packet(f.Name) {
+				sc.Workload.BurstLen = *burstLen
+			}
+		case "urgentfrac":
+			if packet(f.Name) {
+				sc.Workload.UrgentFrac = *urgentFrac
+			}
+		case "closed":
+			if packet(f.Name) {
+				sc.Workload.ClosedLoop = *closed
+			}
+		case "wb":
+			if socKind(f.Name) {
+				sc.Workload.Wishbone = *wb
+			}
+		case "hotspot-mem":
+			if socKind(f.Name) {
+				sc.Workload.Hotspot = *hotspotMem
+			}
+		case "trans":
+			if *trans && sc.Workload.Kind != scenario.KindSoC {
+				fail("-trans needs a soc scenario; %q is a %q workload", sc.Name, sc.Workload.Kind)
+			}
+		case "campaign", "sweep":
+			// Handled before the loop; see above.
+		case "patterns":
+			if packet(f.Name) {
+				ensureCampaign(f.Name).Patterns = strings.Split(*patList, ",")
+			}
+		case "topologies":
+			if packet(f.Name) {
+				ensureCampaign(f.Name).Topologies = strings.Split(*topoList, ",")
+			}
+		case "workers":
+			if packet(f.Name) {
+				ensureCampaign(f.Name).Workers = *workers
+			}
+		case "rates":
+			if packet(f.Name) {
+				rates := parseRates(*ratesFlag)
+				if sc.Measure.Campaign != nil {
+					sc.Measure.Campaign.Rates = rates
+				} else {
+					sc.Measure.SweepRates = rates
+				}
+			}
+		}
+	})
+	if err == nil && setFlags["sweep"] && *sweep && len(sc.Measure.SweepRates) == 0 {
+		sc.Measure.SweepRates = traffic.DefaultRates()
+	}
+	return err
+}
+
+// scenarioName derives the exported scenario's name from the output
+// file ("-save-scenario runs/hot.scenario.json" names it "hot").
+func scenarioName() string {
+	name := filepath.Base(*saveScenario)
+	name = strings.TrimSuffix(name, ".json")
+	name = strings.TrimSuffix(name, ".scenario")
+	if name == "" || name == "." {
+		return "noctraffic-export"
+	}
+	return name
+}
+
+func exportScenario(sc *scenario.Scenario) {
+	if err := sc.SaveFile(*saveScenario); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "saved scenario %q -> %s (re-run: noctraffic -scenario %s)\n",
+		sc.Name, *saveScenario, *saveScenario)
+}
+
+func printScenarioList() {
+	t := stats.NewTable("built-in scenarios (-scenario NAME; docs/SCENARIOS.md)",
+		"name", "kind", "mode", "description")
+	for _, name := range scenario.Names() {
+		sc, _ := scenario.Get(name)
+		t.AddRow(name, sc.Workload.Kind, string(sc.Mode()), sc.Description)
+	}
+	fmt.Println(t.Render())
 }
 
 // sinks bundles the optional observability outputs of one simulation:
@@ -222,8 +559,6 @@ func (s *sinks) probe() obs.Probe {
 	}
 	return obs.Multi(ps...)
 }
-
-func (s *sinks) enabled() bool { return s.rec != nil || s.mon != nil }
 
 // write flushes the requested files; label names the heatmap.
 func (s *sinks) write(label string) {
@@ -362,21 +697,4 @@ func printRun(res traffic.Result, showFlows bool) {
 	if showFlows {
 		fmt.Println(traffic.FlowTable(res).Render())
 	}
-}
-
-func runTrans(seed int64, topo soc.Topology, rate float64, window, bytes int,
-	readFrac float64, hotspot, wishbone bool, warmup, measure, drain int64, jsonOut bool, sk *sinks) {
-	tr := traffic.RunTrans(traffic.TransConfig{
-		Seed: seed, Topology: topo, Rate: rate, Window: window, Bytes: bytes,
-		ReadFrac: readFrac, Hotspot: hotspot, Wishbone: wishbone,
-		Warmup: warmup, Measure: measure, Drain: drain,
-		Probe: sk.probe(),
-	})
-	sk.write(fmt.Sprintf("trans@%g", rate))
-	if jsonOut {
-		emitJSON(tr)
-		return
-	}
-	fmt.Println(tr.Table().Render())
-	fmt.Printf("throughput: %.1f completions/kcycle; incomplete: %d\n", tr.Throughput, tr.Incomplete)
 }

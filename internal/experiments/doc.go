@@ -21,4 +21,10 @@
 //	E12 — cross-topology campaign: saturation and p99 for all five fabrics
 //	E13 — congestion heatmap: which links saturate first, and why E12's
 //	      hotspot cliff is topology-independent (internal/obs)
+//	E14 — declarative scenarios: every built-in internal/scenario
+//	      composition resolved, run, and re-run bit-identically
+//
+// The per-experiment handbook — which paper claim each experiment
+// reproduces, the command to run it, the expected output shape, and the
+// CI artifact it feeds — is docs/EXPERIMENTS.md.
 package experiments

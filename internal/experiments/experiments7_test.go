@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gonoc/internal/scenario"
+)
+
+// TestE14Scenarios: every built-in must run, re-run bit-identically,
+// and produce a non-trivial digest row.
+func TestE14Scenarios(t *testing.T) {
+	r := E14Scenarios(7)
+	if len(r.Tables) < 2 {
+		t.Fatalf("want summary + detail tables, got %d", len(r.Tables))
+	}
+	rows := r.Tables[0].Rows()
+	if len(rows) != len(scenario.Names()) {
+		t.Fatalf("summary has %d rows, want one per built-in (%d)", len(rows), len(scenario.Names()))
+	}
+	for _, row := range rows {
+		if det := row[len(row)-1]; !strings.Contains(det, "yes") {
+			t.Fatalf("scenario %s re-run was not bit-identical: %v", row[0], row)
+		}
+	}
+	for name, rep := range r.Reports {
+		if rep.Single == nil && rep.Sweep == nil && rep.Campaign == nil && rep.Trans == nil {
+			t.Fatalf("scenario %s produced an empty report", name)
+		}
+	}
+	// The application trio must actually exercise its priority classes:
+	// all three masters complete without protocol errors.
+	trio := r.Reports["cpu-dma-display"].Trans
+	if trio == nil || len(trio.PerMaster) != 3 {
+		t.Fatalf("cpu-dma-display should drive exactly its 3 declared masters: %+v", trio)
+	}
+	for _, m := range trio.PerMaster {
+		if m.Done == 0 || m.Errors != 0 {
+			t.Fatalf("cpu-dma-display master %q: %+v", m.Master, m)
+		}
+	}
+}

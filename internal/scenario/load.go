@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Load reads, decodes, and validates one scenario. Errors carry either
+// the line:column of the malformed JSON (syntax errors, wrong types,
+// unknown fields — so a typoed field name is caught, not silently
+// ignored) or the JSON path of the offending field (validation).
+func Load(r io.Reader) (*Scenario, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %s", describeJSONError(data, dec, err))
+	}
+	// A scenario file is one document; trailing content is a merge
+	// accident worth naming.
+	if dec.More() {
+		line, col := lineCol(data, dec.InputOffset())
+		return nil, fmt.Errorf("scenario: %d:%d: trailing content after the scenario document", line, col)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile is Load on a file path, with the path in every error.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	s, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Resolve is the lookup every CLI shares: a built-in name returns a
+// deep copy from the registry, anything else is loaded as a file path,
+// and the error for a miss lists the built-ins.
+func Resolve(arg string) (*Scenario, error) {
+	if s, ok := Get(arg); ok {
+		return s, nil
+	}
+	if _, err := os.Stat(arg); err != nil {
+		return nil, fmt.Errorf("scenario %q is neither a built-in (%s) nor a readable file",
+			arg, strings.Join(Names(), ", "))
+	}
+	return LoadFile(arg)
+}
+
+// Save writes the scenario as indented JSON — the exact form Load
+// reads, so Load∘Save is the identity on validated scenarios.
+func (s *Scenario) Save(w io.Writer) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// SaveFile is Save onto a file path.
+func (s *Scenario) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// describeJSONError turns encoding/json's errors into "line:col:
+// message" form. Syntax and type errors carry byte offsets; the
+// unknown-field error (from DisallowUnknownFields) does not, so the
+// decoder's input offset — which sits just past the offending field —
+// is used instead.
+func describeJSONError(data []byte, dec *json.Decoder, err error) string {
+	switch e := err.(type) {
+	case *json.SyntaxError:
+		line, col := lineCol(data, e.Offset)
+		return fmt.Sprintf("%d:%d: %s", line, col, e.Error())
+	case *json.UnmarshalTypeError:
+		line, col := lineCol(data, e.Offset)
+		field := e.Field
+		if field == "" {
+			field = "document"
+		}
+		return fmt.Sprintf("%d:%d: %s: cannot decode JSON %s into %s", line, col, field, e.Value, e.Type)
+	}
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		line, col := lineCol(data, int64(len(data)))
+		return fmt.Sprintf("%d:%d: unexpected end of file (unbalanced braces?)", line, col)
+	}
+	if strings.HasPrefix(err.Error(), "json: unknown field ") {
+		line, col := lineCol(data, dec.InputOffset())
+		return fmt.Sprintf("%d:%d: %s (not part of scenario schema version %d; see docs/SCENARIOS.md)",
+			line, col, strings.TrimPrefix(err.Error(), "json: "), Version)
+	}
+	return err.Error()
+}
+
+// lineCol converts a byte offset into 1-based line and column.
+func lineCol(data []byte, offset int64) (line, col int) {
+	if offset > int64(len(data)) {
+		offset = int64(len(data))
+	}
+	prefix := data[:offset]
+	line = 1 + bytes.Count(prefix, []byte{'\n'})
+	if i := bytes.LastIndexByte(prefix, '\n'); i >= 0 {
+		col = int(offset) - i
+	} else {
+		col = int(offset) + 1
+	}
+	return line, col
+}

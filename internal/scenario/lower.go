@@ -1,0 +1,435 @@
+package scenario
+
+import (
+	"fmt"
+
+	"gonoc/internal/noctypes"
+	"gonoc/internal/obs"
+	"gonoc/internal/soc"
+	"gonoc/internal/traffic"
+	"gonoc/internal/transport"
+)
+
+// This file is the resolver: it lowers a validated Scenario onto the
+// concrete soc/traffic configs, and lifts flag-driven configs back into
+// scenarios (the -save-scenario export). Lower∘Lift is the identity on
+// the config fields that affect results, which is what makes an
+// exported scenario reproduce the identical seeded run — the round-trip
+// tests in scenario_test.go pin this.
+
+// DefaultSeed is the seed an omitted "seed" field selects (the same
+// default the CLIs use).
+const DefaultSeed = 1
+
+func (s *Scenario) seed() int64 {
+	if s.Seed == 0 {
+		return DefaultSeed
+	}
+	return s.Seed
+}
+
+// netConfig lowers the fabric's transport knobs.
+func (s *Scenario) netConfig() transport.NetConfig {
+	n := transport.NetConfig{
+		FlitBytes:      s.Fabric.FlitBytes,
+		BufDepth:       s.Fabric.BufDepth,
+		QoS:            s.Fabric.QoS,
+		MaxPendingPkts: s.Fabric.MaxPendingPkts,
+		LegacyLock:     s.Fabric.LegacyLock,
+	}
+	if s.Fabric.Mode == "saf" {
+		n.Mode = transport.StoreAndForward
+	}
+	return n
+}
+
+// fracSentinel maps a schema pointer field onto the library convention
+// (0 = default, negative = literal zero).
+func fracSentinel(p *float64) float64 {
+	switch {
+	case p == nil:
+		return 0
+	case *p == 0:
+		return -1
+	default:
+		return *p
+	}
+}
+
+func warmupSentinel(p *int64) int64 {
+	switch {
+	case p == nil:
+		return 0
+	case *p == 0:
+		return -1
+	default:
+		return *p
+	}
+}
+
+// PacketConfig lowers a packet-kind scenario onto one traffic.Config
+// (the single-run / sweep-base / campaign-base form).
+func (s *Scenario) PacketConfig() (traffic.Config, error) {
+	if s.Workload.Kind != KindPacket {
+		return traffic.Config{}, fmt.Errorf("scenario %q: %s workload cannot lower onto a packet-level run (use TransConfig)", s.Name, s.Workload.Kind)
+	}
+	topo, err := traffic.ParseTopology(s.Fabric.Topology)
+	if err != nil {
+		return traffic.Config{}, err
+	}
+	pat := traffic.UniformRandom
+	if s.Workload.Pattern != "" {
+		if pat, err = traffic.ParsePattern(s.Workload.Pattern); err != nil {
+			return traffic.Config{}, err
+		}
+	}
+	return traffic.Config{
+		Seed:         s.seed(),
+		Nodes:        s.Fabric.Nodes,
+		Topology:     topo,
+		MeshW:        s.Fabric.MeshW,
+		MeshH:        s.Fabric.MeshH,
+		TreeFanout:   s.Fabric.TreeFanout,
+		Net:          s.netConfig(),
+		Pattern:      pat,
+		Rate:         s.Workload.Rate,
+		PayloadBytes: s.Workload.PayloadBytes,
+		ReadFrac:     fracSentinel(s.Workload.ReadFrac),
+		HotFrac:      s.Workload.HotFrac,
+		HotNode:      s.Workload.HotNode,
+		BurstLen:     s.Workload.BurstLen,
+		UrgentFrac:   s.Workload.UrgentFrac,
+		ClosedLoop:   s.Workload.ClosedLoop,
+		Window:       s.Workload.Window,
+		Warmup:       warmupSentinel(s.Measure.Warmup),
+		Measure:      s.Measure.Measure,
+		Drain:        s.Measure.Drain,
+	}, nil
+}
+
+// CampaignConfig lowers a campaign scenario onto traffic.CampaignConfig.
+// HeatmapBuckets stays 0 — per-point heatmaps are an output concern the
+// caller opts into (see Measure.HeatmapBucket and the noctraffic
+// -heatmap flag).
+func (s *Scenario) CampaignConfig() (traffic.CampaignConfig, error) {
+	if s.Measure.Campaign == nil {
+		return traffic.CampaignConfig{}, fmt.Errorf("scenario %q: no campaign section", s.Name)
+	}
+	base, err := s.PacketConfig()
+	if err != nil {
+		return traffic.CampaignConfig{}, err
+	}
+	c := s.Measure.Campaign
+	cc := traffic.CampaignConfig{Base: base, Rates: c.Rates, Workers: c.Workers}
+	for _, t := range c.Topologies {
+		topo, err := traffic.ParseTopology(t)
+		if err != nil {
+			return traffic.CampaignConfig{}, err
+		}
+		cc.Topologies = append(cc.Topologies, topo)
+	}
+	for _, p := range c.Patterns {
+		pat, err := traffic.ParsePattern(p)
+		if err != nil {
+			return traffic.CampaignConfig{}, err
+		}
+		cc.Patterns = append(cc.Patterns, pat)
+	}
+	return cc, nil
+}
+
+// socNetConfig is netConfig plus the SoC builders' store-and-forward
+// policy: with no explicit buf_depth, SAF gets the same 64-flit lanes
+// the nocsim flag path has always used — so a scenario declaring
+// {mode: saf} builds the identical fabric whichever CLI runs it.
+func (s *Scenario) socNetConfig() transport.NetConfig {
+	n := s.netConfig()
+	if n.Mode == transport.StoreAndForward && n.BufDepth == 0 {
+		n.BufDepth = 64
+	}
+	return n
+}
+
+// socTopologies maps scenario topology names onto the SoC builder enum.
+var socTopologies = map[string]soc.Topology{
+	"crossbar": soc.Crossbar,
+	"mesh":     soc.Mesh,
+	"torus":    soc.Torus,
+	"ring":     soc.Ring,
+	"tree":     soc.Tree,
+}
+
+func socTopologyName(t soc.Topology) string {
+	for name, v := range socTopologies {
+		if v == t {
+			return name
+		}
+	}
+	return "crossbar"
+}
+
+// TransConfig lowers a soc-kind scenario onto traffic.RunTrans: one
+// TransRole per declared master.
+func (s *Scenario) TransConfig() (traffic.TransConfig, error) {
+	if s.Workload.Kind != KindSoC {
+		return traffic.TransConfig{}, fmt.Errorf("scenario %q: %s workload cannot lower onto the SoC's NIUs (use PacketConfig)", s.Name, s.Workload.Kind)
+	}
+	tc := traffic.TransConfig{
+		Seed:     s.seed(),
+		Topology: socTopologies[s.Fabric.Topology],
+		Hotspot:  s.Workload.Hotspot,
+		Wishbone: s.Workload.Wishbone,
+		Net:      s.socNetConfig(),
+		Warmup:   warmupSentinel(s.Measure.Warmup),
+		Measure:  s.Measure.Measure,
+		Drain:    s.Measure.Drain,
+	}
+	for _, m := range s.Workload.Masters {
+		prio, err := ParsePriority(m.Priority)
+		if err != nil {
+			return traffic.TransConfig{}, err
+		}
+		role := traffic.TransRole{
+			Master:   m.Protocol,
+			Rate:     m.Rate,
+			Window:   m.Window,
+			Bytes:    m.Bytes,
+			ReadFrac: fracSentinel(m.ReadFrac),
+		}
+		if m.Priority != "" {
+			role.Priority = prio
+			role.PrioritySet = true
+		}
+		if m.Target != nil {
+			role.Base = uint64(m.Target.Base)
+			role.Size = uint64(m.Target.Size)
+		}
+		tc.Roles = append(tc.Roles, role)
+	}
+	return tc, nil
+}
+
+// SoCConfig lowers a soc-kind scenario onto a soc.Config for the
+// generator-driven build (cmd/nocsim). The master roles contribute
+// their NIU priorities; rates and targets are RunTrans concerns.
+func (s *Scenario) SoCConfig() (soc.Config, error) {
+	if s.Workload.Kind != KindSoC {
+		return soc.Config{}, fmt.Errorf("scenario %q: %s workload does not describe a SoC build", s.Name, s.Workload.Kind)
+	}
+	cfg := soc.Config{
+		Seed:              s.seed(),
+		Topology:          socTopologies[s.Fabric.Topology],
+		Wishbone:          s.Workload.Wishbone,
+		RequestsPerMaster: s.Workload.RequestsPerMaster,
+		Net:               s.socNetConfig(),
+	}
+	for _, m := range s.Workload.Masters {
+		if m.Priority == "" {
+			continue
+		}
+		prio, err := ParsePriority(m.Priority)
+		if err != nil {
+			return soc.Config{}, err
+		}
+		if cfg.MasterPriority == nil {
+			cfg.MasterPriority = map[string]noctypes.Priority{}
+		}
+		cfg.MasterPriority[m.Protocol] = prio
+	}
+	return cfg, nil
+}
+
+// Report is one executed scenario's result: exactly one of the four
+// mode fields is set.
+type Report struct {
+	Scenario string                  `json:"scenario"`
+	Mode     Mode                    `json:"mode"`
+	Single   *traffic.Result         `json:"single,omitempty"`
+	Sweep    *traffic.SweepResult    `json:"sweep,omitempty"`
+	Campaign *traffic.CampaignResult `json:"campaign,omitempty"`
+	Trans    *traffic.TransResult    `json:"trans,omitempty"`
+}
+
+// Execute validates, lowers, and runs the scenario. probe, when
+// non-nil, instruments single and trans runs; sweep and campaign runs
+// ignore it (a probe belongs to one simulation kernel — campaigns build
+// per-point monitors instead, see traffic.CampaignConfig.HeatmapBuckets).
+func Execute(s *Scenario, probe obs.Probe) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Scenario: s.Name, Mode: s.Mode()}
+	switch rep.Mode {
+	case ModeTrans:
+		tc, err := s.TransConfig()
+		if err != nil {
+			return nil, err
+		}
+		tc.Probe = probe
+		res := traffic.RunTrans(tc)
+		rep.Trans = &res
+	case ModeCampaign:
+		cc, err := s.CampaignConfig()
+		if err != nil {
+			return nil, err
+		}
+		res := traffic.Campaign(cc)
+		rep.Campaign = &res
+	case ModeSweep:
+		cfg, err := s.PacketConfig()
+		if err != nil {
+			return nil, err
+		}
+		res := traffic.Sweep(cfg, s.Measure.SweepRates)
+		rep.Sweep = &res
+	default:
+		cfg, err := s.PacketConfig()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Probe = probe
+		res := traffic.Run(cfg)
+		rep.Single = &res
+	}
+	return rep, nil
+}
+
+// fracPointer is the export inverse of fracSentinel.
+func fracPointer(v float64) *float64 {
+	switch {
+	case v < 0:
+		z := 0.0
+		return &z
+	case v == 0:
+		return nil
+	default:
+		return &v
+	}
+}
+
+func warmupPointer(v int64) *int64 {
+	switch {
+	case v < 0:
+		z := int64(0)
+		return &z
+	case v == 0:
+		return nil
+	default:
+		return &v
+	}
+}
+
+// fabricOf lifts a traffic.Config's fabric side into schema form.
+func fabricOf(cfg traffic.Config) Fabric {
+	f := Fabric{
+		Topology:       cfg.Topology.String(),
+		Nodes:          cfg.Nodes,
+		MeshW:          cfg.MeshW,
+		MeshH:          cfg.MeshH,
+		TreeFanout:     cfg.TreeFanout,
+		QoS:            cfg.Net.QoS,
+		FlitBytes:      cfg.Net.FlitBytes,
+		BufDepth:       cfg.Net.BufDepth,
+		MaxPendingPkts: cfg.Net.MaxPendingPkts,
+		LegacyLock:     cfg.Net.LegacyLock,
+	}
+	if cfg.Net.Mode == transport.StoreAndForward {
+		f.Mode = "saf"
+	}
+	return f
+}
+
+// FromPacketConfig lifts a flag-driven packet run into a scenario:
+// sweepRates non-empty makes it a sweep, campaign non-nil a campaign
+// (its Base is ignored in favour of cfg). The result round-trips: its
+// PacketConfig/CampaignConfig equals what was passed in, so the saved
+// file reproduces the identical seeded run.
+func FromPacketConfig(name string, cfg traffic.Config, sweepRates []float64, campaign *traffic.CampaignConfig) *Scenario {
+	s := &Scenario{
+		Version: Version,
+		Name:    name,
+		Seed:    cfg.Seed,
+		Fabric:  fabricOf(cfg),
+		Workload: Workload{
+			Kind:         KindPacket,
+			Pattern:      cfg.Pattern.String(),
+			Rate:         cfg.Rate,
+			PayloadBytes: cfg.PayloadBytes,
+			ReadFrac:     fracPointer(cfg.ReadFrac),
+			HotFrac:      cfg.HotFrac,
+			HotNode:      cfg.HotNode,
+			BurstLen:     cfg.BurstLen,
+			UrgentFrac:   cfg.UrgentFrac,
+			ClosedLoop:   cfg.ClosedLoop,
+			Window:       cfg.Window,
+		},
+		Measure: Measure{
+			Warmup:     warmupPointer(cfg.Warmup),
+			Measure:    cfg.Measure,
+			Drain:      cfg.Drain,
+			SweepRates: append([]float64(nil), sweepRates...),
+		},
+	}
+	if campaign != nil {
+		c := &Campaign{Rates: append([]float64(nil), campaign.Rates...), Workers: campaign.Workers}
+		for _, t := range campaign.Topologies {
+			c.Topologies = append(c.Topologies, t.String())
+		}
+		for _, p := range campaign.Patterns {
+			c.Patterns = append(c.Patterns, p.String())
+		}
+		s.Measure.SweepRates = nil
+		s.Measure.Campaign = c
+	}
+	return s
+}
+
+// FromTransConfig lifts a flag-driven NIU-level run into a scenario.
+// The uniform run-wide knobs become explicit per-master roles (the list
+// the run would synthesize internally), so lowering the result drives
+// the byte-identical workload.
+func FromTransConfig(name string, tc traffic.TransConfig) *Scenario {
+	rate, window, bytes := tc.Rate, tc.Window, tc.Bytes
+	if rate == 0 {
+		rate = 0.2
+	}
+	if window == 0 {
+		window = 2
+	}
+	if bytes == 0 {
+		bytes = 16
+	}
+	masters := []string{"axi", "ocp", "ahb", "pvci", "bvci", "avci", "prop"}
+	if tc.Wishbone {
+		masters = append(masters, "wb")
+	}
+	w := Workload{Kind: KindSoC, Wishbone: tc.Wishbone, Hotspot: tc.Hotspot}
+	for _, m := range masters {
+		w.Masters = append(w.Masters, MasterRole{
+			Protocol: m,
+			Rate:     rate,
+			Window:   window,
+			Bytes:    bytes,
+			ReadFrac: fracPointer(tc.ReadFrac),
+		})
+	}
+	return &Scenario{
+		Version:  Version,
+		Name:     name,
+		Seed:     tc.Seed,
+		Fabric:   Fabric{Topology: socTopologyName(tc.Topology), QoS: tc.Net.QoS, FlitBytes: tc.Net.FlitBytes, BufDepth: tc.Net.BufDepth, MaxPendingPkts: tc.Net.MaxPendingPkts, LegacyLock: tc.Net.LegacyLock, Mode: modeName(tc.Net)},
+		Workload: w,
+		Measure: Measure{
+			Warmup:  warmupPointer(tc.Warmup),
+			Measure: tc.Measure,
+			Drain:   tc.Drain,
+		},
+	}
+}
+
+func modeName(n transport.NetConfig) string {
+	if n.Mode == transport.StoreAndForward {
+		return "saf"
+	}
+	return ""
+}

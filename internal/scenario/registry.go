@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"gonoc/internal/soc"
+)
+
+// The registry: named, ready-to-run compositions. Each is an ordinary
+// scenario value — Get hands out deep copies, so callers (the CLIs'
+// flag overrides, tests) can mutate freely. Every built-in is validated
+// by TestBuiltins and executed end to end by experiment E14, so the
+// registry doubles as the scenario layer's regression corpus.
+
+func ptrF(v float64) *float64 { return &v }
+func ptrI(v int64) *int64     { return &v }
+
+// builtins is keyed by scenario name.
+var builtins = map[string]*Scenario{}
+
+func register(s *Scenario) {
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: invalid built-in %q: %v", s.Name, err))
+	}
+	if _, dup := builtins[s.Name]; dup {
+		panic("scenario: duplicate built-in " + s.Name)
+	}
+	builtins[s.Name] = s
+}
+
+// Names returns the built-in scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builtins))
+	for n := range builtins {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns a deep copy of the named built-in.
+func Get(name string) (*Scenario, bool) {
+	s, ok := builtins[name]
+	if !ok {
+		return nil, false
+	}
+	return s.Clone(), true
+}
+
+func init() {
+	// cpu-dma-display: the classic three-agent SoC — a CPU doing
+	// read-mostly word traffic, a DMA engine moving bulk bursts, and a
+	// display controller streaming the framebuffer at urgent priority.
+	// QoS keeps the display's deadline traffic ahead of the DMA bursts.
+	register(&Scenario{
+		Version:     Version,
+		Name:        "cpu-dma-display",
+		Description: "CPU (AXI, read-mostly, high prio) + DMA (AHB, bulk bursts) + display controller (streaming reads, urgent) sharing a QoS mesh",
+		Fabric:      Fabric{Topology: "mesh", Mode: "wormhole", QoS: true},
+		Workload: Workload{
+			Kind: KindSoC,
+			Masters: []MasterRole{
+				{Protocol: "axi", Rate: 0.10, Window: 4, Bytes: 32, ReadFrac: ptrF(0.7), Priority: "high",
+					Target: &AddrRange{Base: soc.BaseAXIMem + 0x40000, Size: 0x10000}},
+				{Protocol: "ahb", Rate: 0.05, Window: 2, Bytes: 64, ReadFrac: ptrF(0.5),
+					Target: &AddrRange{Base: soc.BaseAHBMem + 0x40000, Size: 0x20000}},
+				{Protocol: "prop", Rate: 0.12, Window: 8, Bytes: 64, ReadFrac: ptrF(1), Priority: "urgent",
+					Target: &AddrRange{Base: soc.BaseAXIMem + 0x60000, Size: 0x20000}},
+			},
+		},
+		Measure: Measure{Warmup: ptrI(500), Measure: 3000, Drain: 15000},
+	})
+
+	// camera-isp-pipeline: a producer/consumer pipeline with double
+	// buffering — the camera writes frame N while the ISP works frame
+	// N-1 and the display reads the composed output; the windows are
+	// adjacent, never shared (the overlap validator enforces the
+	// double-buffer discipline).
+	register(&Scenario{
+		Version:     Version,
+		Name:        "camera-isp-pipeline",
+		Description: "camera (OCP, write-only) -> ISP (BVCI, read/write) -> display (AXI, read-only, high prio): a double-buffered pipeline on a mesh",
+		Fabric:      Fabric{Topology: "mesh", Mode: "wormhole", QoS: true},
+		Workload: Workload{
+			Kind: KindSoC,
+			Masters: []MasterRole{
+				{Protocol: "ocp", Rate: 0.10, Window: 4, Bytes: 64, ReadFrac: ptrF(0),
+					Target: &AddrRange{Base: soc.BaseOCPMem + 0x40000, Size: 0x8000}},
+				{Protocol: "bvci", Rate: 0.08, Window: 2, Bytes: 32, ReadFrac: ptrF(0.5),
+					Target: &AddrRange{Base: soc.BaseOCPMem + 0x48000, Size: 0x8000}},
+				{Protocol: "axi", Rate: 0.06, Window: 4, Bytes: 64, ReadFrac: ptrF(1), Priority: "high",
+					Target: &AddrRange{Base: soc.BaseBVCIMem + 0x40000, Size: 0x10000}},
+			},
+		},
+		Measure: Measure{Warmup: ptrI(500), Measure: 3000, Drain: 15000},
+	})
+
+	// hotspot-dram: the canonical shared-memory-controller experiment —
+	// most traffic converges on one node; the sweep resolves where the
+	// ejection port saturates (compare with E12/E13).
+	register(&Scenario{
+		Version:     Version,
+		Name:        "hotspot-dram",
+		Description: "70% of all packet traffic converges on one DRAM-controller node of a 16-node mesh; sweep to the saturation cliff",
+		Fabric:      Fabric{Topology: "mesh", Nodes: 16},
+		Workload:    Workload{Kind: KindPacket, Pattern: "hotspot", HotFrac: 0.7, HotNode: 0},
+		Measure: Measure{
+			Warmup: ptrI(500), Measure: 2500, Drain: 20000,
+			SweepRates: []float64{0.02, 0.05, 0.08, 0.12, 0.16},
+		},
+	})
+
+	// mixed-protocol-stress: every socket the repo has, WISHBONE
+	// included, driven hard through its NIU at once — the paper's
+	// heterogeneity claim as a load test.
+	register(&Scenario{
+		Version:     Version,
+		Name:        "mixed-protocol-stress",
+		Description: "all eight sockets (AXI/OCP/AHB/PVCI/BVCI/AVCI/prop/WISHBONE) driven hard through their NIUs on one crossbar",
+		Fabric:      Fabric{Topology: "crossbar"},
+		Workload: Workload{
+			Kind:     KindSoC,
+			Wishbone: true,
+			Masters: []MasterRole{
+				{Protocol: "axi", Rate: 0.25, Window: 4},
+				{Protocol: "ocp", Rate: 0.25, Window: 4},
+				{Protocol: "ahb", Rate: 0.25, Window: 2},
+				{Protocol: "pvci", Rate: 0.25, Window: 1, Bytes: 4},
+				{Protocol: "bvci", Rate: 0.25, Window: 2},
+				{Protocol: "avci", Rate: 0.25, Window: 4},
+				{Protocol: "prop", Rate: 0.25, Window: 4, Bytes: 64},
+				{Protocol: "wb", Rate: 0.25, Window: 2},
+			},
+		},
+		Measure: Measure{Warmup: ptrI(500), Measure: 3000, Drain: 20000},
+	})
+
+	// ring-dateline-torture: maximum-distance traffic on the ring, with
+	// multi-flit packets, near saturation — every packet crosses a
+	// dateline, so the VC-switching deadlock escape and the
+	// cut-through admission are both under constant pressure.
+	register(&Scenario{
+		Version:     Version,
+		Name:        "ring-dateline-torture",
+		Description: "bit-complement (max-distance) multi-flit traffic near saturation on a 16-node ring: constant dateline-VC and cut-through pressure",
+		Fabric:      Fabric{Topology: "ring", Nodes: 16, QoS: true},
+		Workload: Workload{
+			Kind: KindPacket, Pattern: "bitcomp", Rate: 0.14,
+			PayloadBytes: 64, UrgentFrac: 0.1,
+		},
+		Measure: Measure{Warmup: ptrI(500), Measure: 3000, Drain: 25000},
+	})
+
+	// qos-inversion: urgent traffic sharing a congested hotspot with
+	// bulk traffic. With QoS on (as declared) the urgent class rides
+	// through; rerun with -qos=false to watch the inversion.
+	register(&Scenario{
+		Version:     Version,
+		Name:        "qos-inversion",
+		Description: "20% urgent-class packets share a congested hotspot mesh with bulk traffic; QoS on — override with -qos=false to see the inversion",
+		Fabric:      Fabric{Topology: "mesh", Nodes: 16, QoS: true},
+		Workload: Workload{
+			Kind: KindPacket, Pattern: "hotspot", Rate: 0.12,
+			HotFrac: 0.6, UrgentFrac: 0.2,
+		},
+		Measure: Measure{Warmup: ptrI(500), Measure: 3000, Drain: 20000},
+	})
+}

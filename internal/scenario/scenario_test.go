@@ -1,0 +1,298 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gonoc/internal/traffic"
+)
+
+// minimal returns a small valid packet scenario JSON with room for
+// per-test corruption.
+func minimalPacket() string {
+	return `{
+  "version": 1,
+  "name": "t",
+  "fabric": { "topology": "crossbar", "nodes": 8 },
+  "workload": { "kind": "packet", "rate": 0.05 },
+  "measure": { "warmup": 100, "measure": 400, "drain": 4000 }
+}`
+}
+
+func minimalSoC(masters string) string {
+	return fmt.Sprintf(`{
+  "version": 1,
+  "name": "t",
+  "fabric": { "topology": "crossbar" },
+  "workload": { "kind": "soc", "masters": [%s] },
+  "measure": { "warmup": 100, "measure": 400, "drain": 4000 }
+}`, masters)
+}
+
+// TestLoadErrorsNameTheField is the malformed-file table: every rejected
+// document must produce an error that names the offending field (or its
+// line:column for JSON-level damage).
+func TestLoadErrorsNameTheField(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring the error must contain
+	}{
+		{"unknown protocol",
+			minimalSoC(`{"protocol": "pci", "rate": 0.1}`),
+			`workload.masters[0].protocol: unknown protocol "pci"`},
+		{"zero-rate master",
+			minimalSoC(`{"protocol": "axi", "rate": 0}`),
+			"workload.masters[0].rate"},
+		{"duplicate master",
+			minimalSoC(`{"protocol": "axi", "rate": 0.1}, {"protocol": "axi", "rate": 0.2}`),
+			`workload.masters[1].protocol: duplicate role for "axi"`},
+		{"overlapping address ranges",
+			minimalSoC(`{"protocol": "axi", "rate": 0.1, "target": {"base": "0x1004_0000", "size": "0x10000"}},
+			            {"protocol": "ocp", "rate": 0.1, "target": {"base": "0x1004_8000", "size": "0x10000"}}`),
+			"workload.masters[1].target"},
+		{"target outside every memory window",
+			minimalSoC(`{"protocol": "axi", "rate": 0.1, "target": {"base": "0x9000_0000", "size": "0x1000"}}`),
+			"not inside any mapped memory window"},
+		{"wb role without wishbone",
+			minimalSoC(`{"protocol": "wb", "rate": 0.1}`),
+			"workload.wishbone"},
+		{"unknown topology",
+			strings.Replace(minimalPacket(), `"crossbar"`, `"hexagon"`, 1),
+			`fabric.topology: unknown topology "hexagon"`},
+		{"unknown pattern",
+			strings.Replace(minimalPacket(), `"kind": "packet"`, `"kind": "packet", "pattern": "zipf"`, 1),
+			`workload.pattern: unknown pattern "zipf"`},
+		{"unknown kind",
+			strings.Replace(minimalPacket(), `"kind": "packet"`, `"kind": "quantum"`, 1),
+			"workload.kind"},
+		{"bad version",
+			strings.Replace(minimalPacket(), `"version": 1`, `"version": 99`, 1),
+			"version: unsupported scenario version 99"},
+		{"missing name",
+			strings.Replace(minimalPacket(), `"name": "t"`, `"name": ""`, 1),
+			"name: required"},
+		{"hot node out of range",
+			strings.Replace(minimalPacket(), `"kind": "packet"`, `"kind": "packet", "pattern": "hotspot", "hot_node": 99`, 1),
+			"workload.hot_node: 99 outside [0,8)"},
+		{"negative warmup",
+			strings.Replace(minimalPacket(), `"warmup": 100`, `"warmup": -5`, 1),
+			"measure.warmup"},
+		{"sweep on soc workload",
+			strings.Replace(minimalSoC(`{"protocol": "axi", "rate": 0.1}`),
+				`"measure": {`, `"measure": { "sweep_rates": [0.01],`, 1),
+			"measure.sweep_rates"},
+		{"sweep and campaign together",
+			strings.Replace(minimalPacket(),
+				`"measure": {`, `"measure": { "sweep_rates": [0.01], "campaign": {},`, 1),
+			"measure.campaign"},
+		{"unknown field with position",
+			strings.Replace(minimalPacket(), `"nodes": 8`, `"nodez": 8`, 1),
+			`unknown field "nodez"`},
+		{"type error with position",
+			strings.Replace(minimalPacket(), `"nodes": 8`, `"nodes": "eight"`, 1),
+			"4:"},
+		{"syntax error with position",
+			strings.TrimSuffix(minimalPacket(), "}"),
+			"7:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("Load accepted malformed document:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the offence (want substring %q)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRoundTrip pins Load∘Save as the identity on every built-in.
+func TestRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := Get(name)
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("%s: Save: %v", name, err)
+		}
+		back, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: Load(Save(s)): %v", name, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("%s: round trip changed the scenario:\n%s", name, buf.String())
+		}
+		var buf2 bytes.Buffer
+		if err := back.Save(&buf2); err != nil {
+			t.Fatalf("%s: second Save: %v", name, err)
+		}
+		if buf.String() != buf2.String() {
+			t.Fatalf("%s: Save is not byte-stable", name)
+		}
+	}
+}
+
+// TestBuiltins checks the registry invariants: every name validates,
+// and Get returns an isolated copy.
+func TestBuiltins(t *testing.T) {
+	if len(Names()) < 6 {
+		t.Fatalf("want at least 6 built-ins, got %v", Names())
+	}
+	for _, name := range Names() {
+		s, ok := Get(name)
+		if !ok {
+			t.Fatalf("Get(%q) missing", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("built-in %q invalid: %v", name, err)
+		}
+		s.Name = "mutated"
+		s.Fabric.Topology = "tree"
+		if len(s.Workload.Masters) > 0 {
+			s.Workload.Masters[0].Rate = 0.999
+		}
+		again, _ := Get(name)
+		if again.Name != name || again.Fabric.Topology == "tree" {
+			t.Fatalf("Get(%q) aliases registry state", name)
+		}
+		if len(again.Workload.Masters) > 0 && again.Workload.Masters[0].Rate == 0.999 {
+			t.Fatalf("Get(%q) aliases master roles", name)
+		}
+	}
+}
+
+// TestDeterminism: same scenario + same seed ⇒ bit-identical
+// traffic.Result, for both workload kinds.
+func TestDeterminism(t *testing.T) {
+	packet, err := Load(strings.NewReader(minimalPacket()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	socSc, err := Load(strings.NewReader(minimalSoC(
+		`{"protocol": "axi", "rate": 0.2, "window": 2},
+		 {"protocol": "bvci", "rate": 0.15, "priority": "high",
+		  "target": {"base": "0x4004_0000", "size": "0x4000"}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Scenario{packet, socSc} {
+		a, err := Execute(s, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Mode(), err)
+		}
+		b, err := Execute(s, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Mode(), err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s scenario is not deterministic across runs", s.Mode())
+		}
+		if a.Single != nil && a.Single.Latency.Count == 0 {
+			t.Fatalf("packet scenario measured nothing")
+		}
+		if a.Trans != nil && a.Trans.Throughput == 0 {
+			t.Fatalf("soc scenario measured nothing")
+		}
+	}
+}
+
+// TestExportReproducesRun is the -save-scenario guarantee at library
+// level: lifting a flag-driven config into a scenario and lowering it
+// back must yield the same config, and running both must yield the
+// bit-identical Result.
+func TestExportReproducesRun(t *testing.T) {
+	cfg := traffic.Config{
+		Seed: 7, Nodes: 8, Topology: traffic.Ring,
+		Pattern: traffic.Bursty, Rate: 0.08, PayloadBytes: 16,
+		ReadFrac: -1, // the CLI's "-readfrac 0" sentinel
+		BurstLen: 4, UrgentFrac: 0.25,
+		Warmup: 150, Measure: 600, Drain: 6000,
+	}
+	cfg.Net.QoS = true
+	s := FromPacketConfig("export-test", cfg, nil, nil)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("exported scenario invalid: %v", err)
+	}
+	lowered, err := s.PacketConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg, lowered) {
+		t.Fatalf("lower(lift(cfg)) != cfg:\n  in:  %+v\n  out: %+v", cfg, lowered)
+	}
+	if a, b := traffic.Run(cfg), traffic.Run(lowered); !reflect.DeepEqual(a, b) {
+		t.Fatalf("exported scenario does not reproduce the seeded result")
+	}
+}
+
+// TestExportTransReproducesRun: the same guarantee for -trans runs —
+// the exported explicit role list must drive the byte-identical
+// workload the uniform knobs drove.
+func TestExportTransReproducesRun(t *testing.T) {
+	tc := traffic.TransConfig{Seed: 3, Rate: 0.15, Window: 2, Bytes: 16,
+		Hotspot: true, Wishbone: true, Warmup: 100, Measure: 600, Drain: 8000}
+	s := FromTransConfig("trans-export", tc)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("exported scenario invalid: %v", err)
+	}
+	lowered, err := s.TransConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := traffic.RunTrans(tc), traffic.RunTrans(lowered); !reflect.DeepEqual(a, b) {
+		t.Fatalf("exported trans scenario does not reproduce the seeded result")
+	}
+}
+
+// TestCheckedInScenarioFiles loads every scenario file shipped in the
+// repository (examples/ and testdata/), the same set the CI docs job
+// validates with cmd/nocscenario.
+func TestCheckedInScenarioFiles(t *testing.T) {
+	var files []string
+	for _, glob := range []string{"../../testdata/*.scenario.json", "../../examples/*/*.scenario.json"} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, m...)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected checked-in scenario files, found %v", files)
+	}
+	for _, f := range files {
+		if _, err := LoadFile(f); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+// TestCampaignScenarioLowers pins the campaign lowering path (the axes
+// reach traffic.CampaignConfig, the base carries the workload).
+func TestCampaignScenarioLowers(t *testing.T) {
+	doc := strings.Replace(minimalPacket(), `"measure": {`,
+		`"measure": { "campaign": {"topologies": ["crossbar", "ring"], "patterns": ["uniform"], "rates": [0.02, 0.05], "workers": 2},`, 1)
+	s, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mode() != ModeCampaign {
+		t.Fatalf("mode = %s, want campaign", s.Mode())
+	}
+	cc, err := s.CampaignConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.Topologies) != 2 || len(cc.Patterns) != 1 || len(cc.Rates) != 2 || cc.Workers != 2 {
+		t.Fatalf("campaign axes lost in lowering: %+v", cc)
+	}
+	res := traffic.Campaign(cc)
+	if len(res.Points) != 4 {
+		t.Fatalf("campaign ran %d points, want 4", len(res.Points))
+	}
+}

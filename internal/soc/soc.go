@@ -1,16 +1,3 @@
-// Package soc assembles complete systems-on-chip from one fixed set of
-// mixed-socket IP blocks — seven masters (AXI, OCP, AHB, PVCI, BVCI,
-// AVCI, proprietary) and four memory targets (AXI, OCP, AHB, BVCI) — on
-// either interconnect:
-//
-//   - BuildNoC: the paper's Fig 1 — every IP plugs into the layered NoC
-//     through its protocol's NIU;
-//   - BuildBus: the paper's Fig 2 — an AHB reference bus, the AHB master
-//     native, everything else behind bridges.
-//
-// Because the IP models and traffic generators are byte-identical across
-// the two builds, any behavioural difference is attributable to the
-// interconnect — which is the paper's whole argument.
 package soc
 
 import (
@@ -95,6 +82,12 @@ type Config struct {
 	// every NIU engine emit instrumentation events from cycle 0.
 	// BuildBus ignores it: the Fig-2 bus has no fabric to instrument.
 	Probe obs.Probe
+
+	// MasterPriority overrides the injection priority of individual
+	// master NIUs, keyed by socket name ("axi" ... "prop", "wb").
+	// Sockets absent from the map keep noctypes.PrioDefault. BuildBus
+	// ignores it: the Fig-2 bus arbitrates ownership, not packets.
+	MasterPriority map[string]noctypes.Priority
 
 	// NoC knobs.
 	Net         transport.NetConfig
@@ -265,49 +258,53 @@ func BuildNoC(cfg Config) *System {
 		s.Net.SetProbe(cfg.Probe)
 	}
 
-	mcfg := func(node noctypes.NodeID) niu.MasterConfig {
+	mcfg := func(name string, node noctypes.NodeID) niu.MasterConfig {
+		prio := noctypes.PrioDefault
+		if p, ok := cfg.MasterPriority[name]; ok {
+			prio = p
+		}
 		return niu.MasterConfig{
 			Node:     node,
 			Services: cfg.Services,
 			Table:    core.TableConfig{MaxOutstanding: cfg.Outstanding, MaxTargets: 4},
 			NumTags:  4,
-			Priority: noctypes.PrioDefault,
+			Priority: prio,
 		}
 	}
 
 	// Masters: IP engine + NIU per socket.
 	axiPort := axi.NewPort(s.Clk, "m.axi", 4)
 	s.AXIM = axi.NewMaster(s.Clk, axiPort, nil)
-	s.MasterNIUs["axi"] = niu.NewAXIMaster(s.Clk, s.Net, s.AMap, axiPort, mcfg(NodeAXIM))
+	s.MasterNIUs["axi"] = niu.NewAXIMaster(s.Clk, s.Net, s.AMap, axiPort, mcfg("axi", NodeAXIM))
 
 	ocpPort := ocp.NewPort(s.Clk, "m.ocp", 4)
 	s.OCPM = ocp.NewMaster(s.Clk, ocpPort)
-	s.MasterNIUs["ocp"] = niu.NewOCPMaster(s.Clk, s.Net, s.AMap, ocpPort, mcfg(NodeOCPM))
+	s.MasterNIUs["ocp"] = niu.NewOCPMaster(s.Clk, s.Net, s.AMap, ocpPort, mcfg("ocp", NodeOCPM))
 
 	ahbPort := ahb.NewPort(s.Clk, "m.ahb", 4)
 	s.AHBM = ahb.NewMaster(s.Clk, ahbPort, 2)
-	s.MasterNIUs["ahb"] = niu.NewAHBMaster(s.Clk, s.Net, s.AMap, ahbPort, mcfg(NodeAHBM))
+	s.MasterNIUs["ahb"] = niu.NewAHBMaster(s.Clk, s.Net, s.AMap, ahbPort, mcfg("ahb", NodeAHBM))
 
 	pvciPort := vci.NewPPort(s.Clk, "m.pvci", 4)
 	s.PVCIM = vci.NewPMaster(s.Clk, pvciPort)
-	s.MasterNIUs["pvci"] = niu.NewPVCIMaster(s.Clk, s.Net, s.AMap, pvciPort, mcfg(NodePVCIM))
+	s.MasterNIUs["pvci"] = niu.NewPVCIMaster(s.Clk, s.Net, s.AMap, pvciPort, mcfg("pvci", NodePVCIM))
 
 	bvciPort := vci.NewBPort(s.Clk, "m.bvci", 4)
 	s.BVCIM = vci.NewBMaster(s.Clk, bvciPort, 2)
-	s.MasterNIUs["bvci"] = niu.NewBVCIMaster(s.Clk, s.Net, s.AMap, bvciPort, mcfg(NodeBVCIM))
+	s.MasterNIUs["bvci"] = niu.NewBVCIMaster(s.Clk, s.Net, s.AMap, bvciPort, mcfg("bvci", NodeBVCIM))
 
 	avciPort := vci.NewAPort(s.Clk, "m.avci", 4)
 	s.AVCIM = vci.NewAMaster(s.Clk, avciPort)
-	s.MasterNIUs["avci"] = niu.NewAVCIMaster(s.Clk, s.Net, s.AMap, avciPort, mcfg(NodeAVCIM))
+	s.MasterNIUs["avci"] = niu.NewAVCIMaster(s.Clk, s.Net, s.AMap, avciPort, mcfg("avci", NodeAVCIM))
 
 	propPort := prop.NewPort(s.Clk, "m.prop", 8)
 	s.PropM = prop.NewMaster(s.Clk, propPort)
-	s.MasterNIUs["prop"] = niu.NewPropMaster(s.Clk, s.Net, s.AMap, propPort, mcfg(NodePropM))
+	s.MasterNIUs["prop"] = niu.NewPropMaster(s.Clk, s.Net, s.AMap, propPort, mcfg("prop", NodePropM))
 
 	if cfg.Wishbone {
 		wbPort := wishbone.NewPort(s.Clk, "m.wb", 4)
 		s.WBM = wishbone.NewMaster(s.Clk, wbPort)
-		s.MasterNIUs["wb"] = niu.NewWBMaster(s.Clk, s.Net, s.AMap, wbPort, mcfg(NodeWBM))
+		s.MasterNIUs["wb"] = niu.NewWBMaster(s.Clk, s.Net, s.AMap, wbPort, mcfg("wb", NodeWBM))
 	}
 
 	// Slaves: protocol memory + slave NIU per socket.

@@ -1,0 +1,68 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+
+	"gonoc/internal/noctypes"
+)
+
+// TestTransRolesLegacyEquivalence pins the RunTrans refactor: an
+// explicit role list that mirrors the uniform run-wide knobs must drive
+// the byte-identical workload the legacy (empty Roles) path drives —
+// same RNG streams, same addresses, same digests.
+func TestTransRolesLegacyEquivalence(t *testing.T) {
+	base := TransConfig{Seed: 11, Rate: 0.2, Window: 2, Bytes: 16,
+		Warmup: 200, Measure: 800, Drain: 8000}
+	for _, wb := range []bool{false, true} {
+		for _, hot := range []bool{false, true} {
+			legacy := base
+			legacy.Wishbone, legacy.Hotspot = wb, hot
+
+			explicit := legacy
+			names := []string{"axi", "ocp", "ahb", "pvci", "bvci", "avci", "prop"}
+			if wb {
+				names = append(names, "wb")
+			}
+			for _, n := range names {
+				explicit.Roles = append(explicit.Roles, TransRole{
+					Master: n, Rate: base.Rate, Window: base.Window, Bytes: base.Bytes,
+				})
+			}
+
+			a, b := RunTrans(legacy), RunTrans(explicit)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("wb=%v hot=%v: explicit uniform roles diverge from the legacy path:\nlegacy:   %+v\nexplicit: %+v", wb, hot, a, b)
+			}
+		}
+	}
+}
+
+// TestTransRoleTargetsAndPriority drives a role-shaped run: a subset of
+// masters, explicit address windows, and a priority override — and
+// checks the run completes with traffic confined to the roles asked for.
+func TestTransRoleTargetsAndPriority(t *testing.T) {
+	tc := TransConfig{Seed: 5, Warmup: 100, Measure: 600, Drain: 8000,
+		Roles: []TransRole{
+			{Master: "axi", Rate: 0.25, Window: 4, Bytes: 32,
+				Base: 0x1004_0000, Size: 0x4000},
+			{Master: "ocp", Rate: 0.2, Window: 2, Bytes: 64,
+				Priority: noctypes.PrioUrgent, PrioritySet: true,
+				Base: 0x2004_0000, Size: 0x8000},
+		}}
+	res := RunTrans(tc)
+	if len(res.PerMaster) != 2 {
+		t.Fatalf("drove %d masters, want the 2 declared roles: %+v", len(res.PerMaster), res.PerMaster)
+	}
+	for _, m := range res.PerMaster {
+		if m.Issued == 0 || m.Done == 0 {
+			t.Fatalf("role %q issued nothing: %+v", m.Master, m)
+		}
+		if m.Errors != 0 {
+			t.Fatalf("role %q saw %d protocol errors — target windows should decode cleanly", m.Master, m.Errors)
+		}
+	}
+	if res.Incomplete != 0 {
+		t.Fatalf("%d transactions stuck at drain cap", res.Incomplete)
+	}
+}

@@ -1,32 +1,3 @@
-// Package traffic is the synthetic-workload engine for the NoC: the
-// standard pattern generators used to evaluate on-chip networks
-// (uniform-random, hotspot, transpose, bit-complement, nearest-neighbor,
-// bursty streaming), injected either open-loop (a Bernoulli process at a
-// configured offered load) or closed-loop (a fixed window of outstanding
-// transactions per source), with warmup/measurement/drain phases and
-// per-flow latency histograms.
-//
-// Every source models a request/response transaction: a request packet
-// travels to the destination, a reflector there answers with a response
-// sized by the read/write mix, and latency is measured from generation
-// to response arrival — so the curves include source queueing, both
-// network directions, and ejection, exactly like the latency-vs-offered-
-// load methodology of the NoC literature.
-//
-// Two engines share this configuration surface:
-//
-//   - Run/Sweep drive raw transport fabrics (packets through
-//     transport.Endpoint), which is how saturation curves per topology,
-//     switching mode, and QoS setting are produced (experiments E10 and
-//     E12, cmd/noctraffic); Campaign fans a (topology × pattern × rate)
-//     product of such runs across a worker pool;
-//   - RunTrans drives the full mixed-protocol SoC through its existing
-//     NIUs via soc.Issuers, measuring transaction latency end-to-end
-//     through the protocol engines.
-//
-// Both accept an internal/obs probe (Config.Probe, TransConfig.Probe,
-// CampaignConfig.HeatmapBuckets) for per-run traces and congestion
-// heatmaps.
 package traffic
 
 import (

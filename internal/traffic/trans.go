@@ -4,16 +4,55 @@ import (
 	"fmt"
 	"sort"
 
+	"gonoc/internal/noctypes"
 	"gonoc/internal/obs"
 	"gonoc/internal/sim"
 	"gonoc/internal/soc"
 	"gonoc/internal/stats"
+	"gonoc/internal/transport"
 )
 
+// TransRole configures one master's traffic role in a transaction-level
+// run. Zero fields inherit the run-wide defaults from TransConfig
+// (Rate, Window, Bytes, ReadFrac), so a role list that only names
+// sockets reproduces the uniform historical workload exactly.
+type TransRole struct {
+	Master string // socket name: axi, ocp, ahb, pvci, bvci, avci, prop, or wb
+
+	Rate     float64 // issue probability per cycle (0 = TransConfig.Rate)
+	Window   int     // max outstanding (0 = TransConfig.Window)
+	Bytes    int     // bytes per transaction (0 = TransConfig.Bytes)
+	ReadFrac float64 // fraction of reads (0 = TransConfig.ReadFrac; negative = all writes)
+
+	// Priority, when PrioritySet, overrides the master NIU's injection
+	// priority (soc.Config.MasterPriority); otherwise the NIU keeps
+	// noctypes.PrioDefault. The two-field form keeps the zero value of
+	// TransRole meaningful (PrioLow is 0 and must stay expressible).
+	Priority    noctypes.Priority
+	PrioritySet bool
+
+	// Base/Size, when Size != 0, pin this master's requests to the
+	// address window [Base, Base+Size): strided at the transaction size
+	// rounded up to 64 bytes, wrapping within the window. Size must be a
+	// multiple of 64 and hold at least one stride. When Size == 0 the
+	// master uses the historical rotating-lane scheme (a private lane
+	// per master, rotating across the mapped memories, or pinned to the
+	// AXI memory under TransConfig.Hotspot).
+	Base uint64
+	Size uint64
+}
+
 // TransConfig parameterizes a transaction-level load run: the full
-// mixed-protocol SoC is built (Fig-1 NoC), and every protocol master is
-// driven through its existing NIU by a rate-controlled issuer — open
+// mixed-protocol SoC is built (Fig-1 NoC), and protocol masters are
+// driven through their existing NIUs by rate-controlled issuers — open
 // loop in arrival (Bernoulli at Rate), bounded by Window outstanding.
+//
+// With Roles empty every master in the build is driven with the uniform
+// run-wide knobs (the historical workload). A non-empty Roles list
+// drives exactly the named sockets, each with its own rate, window,
+// transaction size, read mix, NIU priority, and target address window —
+// the hook the scenario layer (internal/scenario) lowers declarative
+// compositions onto.
 type TransConfig struct {
 	Seed     int64
 	Topology soc.Topology
@@ -23,6 +62,16 @@ type TransConfig struct {
 	ReadFrac float64 // fraction of reads (default 0.5; negative = all writes)
 	Hotspot  bool    // true: all masters hammer the AXI memory; false: spread over the memories
 	Wishbone bool    // add the Wishbone master (and its memory) to the driven SoC
+
+	// Net forwards fabric knobs (switching mode, QoS, flit width,
+	// buffer depth) to the SoC build; the zero value keeps the
+	// historical soc defaults.
+	Net transport.NetConfig
+
+	// Roles, when non-empty, selects and parameterizes the driven
+	// masters individually; see TransRole. A role naming "wb" implies
+	// Wishbone.
+	Roles []TransRole
 
 	Warmup  int64 // default 500; negative = none
 	Measure int64 // default 4000
@@ -82,23 +131,110 @@ type TransResult struct {
 	Incomplete int           `json:"incomplete"`
 }
 
+// reqWireOverhead bounds the encoded request/response metadata a NIU
+// wraps around a transaction's data beats (address, command, burst
+// vocabulary, beat-count rounding) — 32 bytes comfortably covers every
+// socket's encoding and costs at most a few spare flits of buffer.
+const reqWireOverhead = 32
+
 // transMasters is the driving order (also the report order); "wb" joins
 // at the end when TransConfig.Wishbone is set, so the established
 // seven-master seeds are undisturbed.
 var transMasters = []string{"axi", "ocp", "ahb", "pvci", "bvci", "avci", "prop"}
 
+// resolveRoles normalizes a defaulted TransConfig into the concrete role
+// list RunTrans drives: explicit Roles with inherited fields filled, or
+// the synthesized uniform role per built master when Roles is empty. The
+// synthesized list is what the historical uniform code path drove, so
+// both forms execute identically.
+func resolveRoles(tc TransConfig) []TransRole {
+	roles := tc.Roles
+	if len(roles) == 0 {
+		names := transMasters
+		if tc.Wishbone {
+			names = append(append([]string(nil), transMasters...), "wb")
+		}
+		roles = make([]TransRole, len(names))
+		for i, n := range names {
+			roles[i] = TransRole{Master: n}
+		}
+	} else {
+		roles = append([]TransRole(nil), roles...)
+	}
+	for i := range roles {
+		r := &roles[i]
+		if r.Rate == 0 {
+			r.Rate = tc.Rate
+		}
+		if r.Window == 0 {
+			r.Window = tc.Window
+		}
+		if r.Bytes == 0 {
+			r.Bytes = tc.Bytes
+		}
+		switch {
+		case r.ReadFrac == 0:
+			r.ReadFrac = tc.ReadFrac
+		case r.ReadFrac < 0:
+			r.ReadFrac = 0
+		}
+	}
+	return roles
+}
+
 // RunTrans drives the mixed SoC through its NIUs and measures
-// transaction latency per master.
+// transaction latency per master. It panics on malformed role lists
+// (unknown socket, duplicate socket, bad target window) — the scenario
+// layer validates these with field-level errors before lowering here.
 func RunTrans(tc TransConfig) TransResult {
 	tc = tc.withDefaults()
+	roles := resolveRoles(tc)
+	wishbone := tc.Wishbone
+	prios := map[string]noctypes.Priority{}
+	seen := map[string]bool{}
+	for _, r := range roles {
+		if seen[r.Master] {
+			panic(fmt.Sprintf("traffic: duplicate trans role for master %q", r.Master))
+		}
+		seen[r.Master] = true
+		if r.Master == "wb" {
+			wishbone = true
+		}
+		if r.PrioritySet {
+			prios[r.Master] = r.Priority
+		}
+	}
+	if len(prios) == 0 {
+		prios = nil
+	}
+	// Store-and-forward buffers — and ring/torus lanes, whose cut-through
+	// admission also buffers whole packets — must hold the largest packet
+	// any role produces (same rule Config.withDefaults applies on the
+	// packet path). The NIU wire format adds a bounded request/response
+	// header on top of the data beats; reqWireOverhead over-reserves a
+	// little rather than panicking deep inside transport.
+	if tc.Net.Mode == transport.StoreAndForward || tc.Topology == soc.Ring || tc.Topology == soc.Torus {
+		maxBytes := 0
+		for _, r := range roles {
+			if r.Bytes > maxBytes {
+				maxBytes = r.Bytes
+			}
+		}
+		net := tc.Net.WithDefaults()
+		eff := net.BufDepth
+		if tc.Net.BufDepth == 0 {
+			eff = 16 // soc.Config.withDefaults' deeper fabric default
+		}
+		if need := transport.FlitCount(transport.HeaderBytes+reqWireOverhead+maxBytes, net.FlitBytes); need > eff {
+			tc.Net.BufDepth = need
+		}
+	}
 	s := soc.BuildNoC(soc.Config{Seed: tc.Seed, Quiet: true, Topology: tc.Topology,
-		Wishbone: tc.Wishbone, Probe: tc.Probe})
+		Wishbone: wishbone, Probe: tc.Probe, Net: tc.Net, MasterPriority: prios})
 	issuers := s.Issuers()
-	masters := transMasters
 	bases := []uint64{soc.BaseAXIMem, soc.BaseOCPMem, soc.BaseAHBMem, soc.BaseBVCIMem}
-	if tc.Wishbone {
-		masters = append(append([]string(nil), transMasters...), "wb")
-		bases = append(append([]uint64(nil), bases...), soc.BaseWBMem)
+	if wishbone {
+		bases = append(bases, soc.BaseWBMem)
 	}
 
 	type mstate struct {
@@ -118,29 +254,52 @@ func RunTrans(tc TransConfig) TransResult {
 		measuring bool
 		cmplMeas  int
 	)
-	states := make([]*mstate, 0, len(masters))
-	for i, name := range masters {
-		st := &mstate{name: name, issue: issuers[name], rng: root.Fork("trans." + name)}
-		// Each master owns a private 16 KiB lane inside each memory so
-		// bursts stay window-local without aliasing another master's.
+	states := make([]*mstate, 0, len(roles))
+	for i, role := range roles {
+		issue, ok := issuers[role.Master]
+		if !ok {
+			panic(fmt.Sprintf("traffic: unknown trans master %q", role.Master))
+		}
+		st := &mstate{name: role.Master, issue: issue, rng: root.Fork("trans." + role.Master)}
+		// Default addressing: each master owns a private 16 KiB lane
+		// inside each memory so bursts stay window-local without
+		// aliasing another master's. An explicit role target replaces
+		// the lane with a stride walk of [Base, Base+Size).
 		lane := uint64(0x60000 + i*0x4000)
-		st2 := st
+		var stride, slots uint64
+		if role.Size != 0 {
+			stride = (uint64(role.Bytes) + 63) / 64 * 64
+			if stride == 0 {
+				stride = 64
+			}
+			slots = role.Size / stride
+			if slots == 0 || role.Size%64 != 0 {
+				panic(fmt.Sprintf("traffic: trans role %q target size %#x cannot hold a %d-byte stride (want a multiple of 64 >= the transaction size)",
+					role.Master, role.Size, stride))
+			}
+		}
+		st2, role2 := st, role
 		s.Clk.Register(sim.ClockedFunc{OnEval: func(cycle int64) {
-			if !genOn || st2.inflight >= tc.Window || !st2.rng.Bool(tc.Rate) {
+			if !genOn || st2.inflight >= role2.Window || !st2.rng.Bool(role2.Rate) {
 				return
 			}
-			var base uint64 = soc.BaseAXIMem
-			if !tc.Hotspot {
-				base = bases[st2.k%len(bases)]
+			var addr uint64
+			if role2.Size != 0 {
+				addr = role2.Base + uint64(st2.k)%slots*stride
+			} else {
+				var base uint64 = soc.BaseAXIMem
+				if !tc.Hotspot {
+					base = bases[st2.k%len(bases)]
+				}
+				addr = base + lane + uint64((st2.k*64)%0x4000)
 			}
-			addr := base + lane + uint64((st2.k*64)%0x4000)
-			write := !st2.rng.Bool(tc.ReadFrac)
+			write := !st2.rng.Bool(role2.ReadFrac)
 			st2.k++
 			st2.issued++
 			st2.inflight++
 			measured := measuring
 			start := cycle
-			st2.issue(write, addr, tc.Bytes, func(ok bool) {
+			st2.issue(write, addr, role2.Bytes, func(ok bool) {
 				st2.inflight--
 				st2.done++
 				if !ok {
@@ -174,7 +333,17 @@ func RunTrans(tc TransConfig) TransResult {
 		s.Clk.RunCycles(64)
 	}
 
-	res := TransResult{Hotspot: tc.Hotspot, Rate: tc.Rate}
+	// The report's headline rate is the rate every role shares; a mixed
+	// role list reports 0 (the table then says "per-role rates"). The
+	// uniform legacy path always shares tc.Rate, so its reports are
+	// unchanged.
+	res := TransResult{Hotspot: tc.Hotspot, Rate: roles[0].Rate}
+	for _, r := range roles[1:] {
+		if r.Rate != res.Rate {
+			res.Rate = 0
+			break
+		}
+	}
 	for _, st := range states {
 		res.PerMaster = append(res.PerMaster, TransMaster{
 			Master: st.name, Issued: st.issued, Done: st.done, Errors: st.errs,
@@ -193,8 +362,12 @@ func (tr TransResult) Table() *stats.Table {
 	if tr.Hotspot {
 		mode = "hotspot"
 	}
+	rate := fmt.Sprintf("rate=%.2f", tr.Rate)
+	if tr.Rate == 0 {
+		rate = "per-role rates"
+	}
 	t := stats.NewTable(
-		fmt.Sprintf("transaction-level load through NIUs (%s, rate=%.2f)", mode, tr.Rate),
+		fmt.Sprintf("transaction-level load through NIUs (%s, %s)", mode, rate),
 		"master", "issued", "done", "errors", "mean lat", "p95", "max")
 	for _, m := range tr.PerMaster {
 		t.AddRow(m.Master, m.Issued, m.Done, m.Errors, m.Latency.Mean, m.Latency.P95, m.Latency.Max)

@@ -1,0 +1,31 @@
+// Package transport implements the NoC transport layer: packet format,
+// flits, wormhole and store-and-forward switches, quality-of-service
+// arbitration, legacy-lock path reservation, and topology builders
+// (crossbar, mesh, torus, ring, tree).
+//
+// The transport layer is completely transaction-unaware (paper §1): it
+// imports no transaction-layer types. A packet carries the header triple
+// the paper names — destination SlvAddr, source MstAddr, Tag — plus a
+// priority, the lock flags, one byte of configuration-defined user bits
+// ("NoC services"), and an opaque payload. Whether the payload is a read,
+// a write burst, or anything else is invisible here; conversely the
+// transaction layer cannot tell whether the fabric switched its packets
+// wormhole or store-and-forward (experiment E3 proves this).
+//
+// The five topology builders share one Network/Router/Endpoint API, so
+// topology — like switching mode — is a pure transport-layer choice.
+// Mesh routing is dimension-ordered (XY); torus and ring add wraparound
+// links and stay deadlock-free by the classic dateline scheme over the
+// two VC lanes combined with virtual-cut-through output admission
+// (RouterConfig.CutThrough); the tree is cycle-free with the root as
+// the deliberate bottleneck. NetConfig carries the fabric-wide knobs
+// (flit width, buffer depth, switching mode, QoS, send-queue depth,
+// legacy lock).
+//
+// The fabric is observable without being perturbable: Network.SetProbe
+// attaches an internal/obs probe, after which switches report flits,
+// stalls, buffer occupancy and VC allocations and endpoints report
+// packet lifecycles (queued/injected/ejected). With no probe attached —
+// the default — every hook is a single nil check, pinned by the CI
+// allocation guard.
+package transport

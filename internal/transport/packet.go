@@ -1,23 +1,3 @@
-// Package transport implements the NoC transport layer: packet format,
-// flits, wormhole and store-and-forward switches, quality-of-service
-// arbitration, legacy-lock path reservation, and topology builders
-// (crossbar, mesh, torus, ring, tree).
-//
-// The transport layer is completely transaction-unaware (paper §1): it
-// imports no transaction-layer types. A packet carries the header triple
-// the paper names — destination SlvAddr, source MstAddr, Tag — plus a
-// priority, the lock flags, one byte of configuration-defined user bits
-// ("NoC services"), and an opaque payload. Whether the payload is a read,
-// a write burst, or anything else is invisible here; conversely the
-// transaction layer cannot tell whether the fabric switched its packets
-// wormhole or store-and-forward (experiment E3 proves this).
-//
-// The fabric is observable without being perturbable: Network.SetProbe
-// attaches an internal/obs probe, after which switches report flits,
-// stalls, buffer occupancy and VC allocations and endpoints report
-// packet lifecycles (queued/injected/ejected). With no probe attached —
-// the default — every hook is a single nil check, pinned by the CI
-// allocation guard.
 package transport
 
 import (
