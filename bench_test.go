@@ -1,5 +1,5 @@
 // Package gonoc_test holds the repository-level benchmark harness: one
-// benchmark per experiment table/figure (E1–E14; see README.md).
+// benchmark per experiment table/figure (E1–E15; see README.md).
 // Each benchmark runs the corresponding experiment end to end and reports
 // the headline simulated-cycle metrics alongside wall-clock ns/op, so
 // `go test -bench=. -benchmem` regenerates every result.
@@ -273,4 +273,23 @@ func BenchmarkE14Scenarios(b *testing.B) {
 			b.Fatal("scenario registry incomplete")
 		}
 	}
+}
+
+// BenchmarkE15SelfProfile runs the hotspot-dram sweep with the full
+// live-metrics stack attached and checks the observer invariants: the
+// instrumented results stay byte-identical and the per-router counters
+// conserve flits.
+func BenchmarkE15SelfProfile(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		r := experiments.E15SelfProfile(int64(i + 1))
+		if !r.Identical {
+			b.Fatal("metrics perturbed the sweep")
+		}
+		events = 0
+		for _, p := range r.Sweep.Points {
+			events += p.Wall.Events
+		}
+	}
+	b.ReportMetric(float64(events), "simevents")
 }

@@ -7,7 +7,8 @@
 //
 //	nocsim [-system noc|bus] [-topology crossbar|mesh|torus|ring|tree]
 //	       [-mode wormhole|saf] [-seed N] [-requests N] [-qos] [-wb]
-//	       [-trace FILE] [-heatmap FILE] [-scenario NAME|FILE]
+//	       [-trace FILE] [-heatmap FILE] [-metrics-addr ADDR]
+//	       [-metrics-out FILE] [-metrics-interval D] [-scenario NAME|FILE]
 //
 // -wb (NoC only) adds an eighth master — a WISHBONE IP behind its NIU —
 // and a WISHBONE memory target to the demo topology.
@@ -16,6 +17,12 @@
 // as a Chrome trace_event file (open in Perfetto or chrome://tracing);
 // -heatmap (NoC only) writes the per-link congestion heatmap JSON. Both
 // come from internal/obs and observe the whole run.
+//
+// -metrics-addr serves live Prometheus metrics (/metrics) and a JSON
+// progress document (/progress) over HTTP while the workload runs;
+// -metrics-out appends periodic self-profiling snapshots as JSONL at
+// the -metrics-interval cadence (internal/obs/metrics, reference in
+// docs/OBSERVABILITY.md). Enabling them never changes seeded results.
 //
 // -scenario NAME|FILE (NoC only) builds the system from a declarative
 // soc-kind scenario (internal/scenario, docs/SCENARIOS.md) instead of
@@ -30,8 +37,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"gonoc/internal/obs"
+	"gonoc/internal/obs/metrics"
 	"gonoc/internal/scenario"
 	"gonoc/internal/soc"
 	"gonoc/internal/stats"
@@ -49,6 +58,9 @@ func main() {
 	traceFile := flag.String("trace", "", "NoC only: write a Chrome trace_event file (Perfetto/chrome://tracing)")
 	heatFile := flag.String("heatmap", "", "NoC only: write the per-link congestion heatmap JSON")
 	scenarioFlag := flag.String("scenario", "", "NoC only: build the SoC from a soc-kind scenario — a built-in name or a *.scenario.json file; explicit flags override (docs/SCENARIOS.md)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP while the workload runs: /metrics (Prometheus text) and /progress (JSON)")
+	metricsOut := flag.String("metrics-out", "", "append periodic self-profiling snapshots as JSONL to this file")
+	metricsEvery := flag.Duration("metrics-interval", 250*time.Millisecond, "snapshot cadence for -metrics-out")
 	flag.Parse()
 
 	if *wb && *system != "noc" {
@@ -70,6 +82,39 @@ func main() {
 	if *heatFile != "" {
 		mon = obs.NewLinkMonitor(obs.DefaultHeatmapBucket)
 		probes = append(probes, mon)
+	}
+
+	// Live-metrics stack (-metrics-addr / -metrics-out): shared registry,
+	// simulator self-profile, and per-router fabric collector. Purely
+	// observational — seeded results are identical with it on or off.
+	var reg *metrics.Registry
+	var prof *metrics.SimProfile
+	var prog *metrics.Progress
+	var snap *metrics.Snapshotter
+	var outFile *os.File
+	if *metricsAddr != "" || *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		prof = metrics.NewSimProfile(reg)
+		prog = metrics.NewProgress(reg)
+		probes = append(probes, metrics.NewFabricCollector(reg))
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			outFile = f
+			snap = metrics.NewSnapshotter(f, *metricsEvery, reg, prof, prog)
+			prof.SetSnapshotter(snap)
+		}
+		if *metricsAddr != "" {
+			srv := metrics.NewServer(reg, prof, prog)
+			addr, err := srv.Start(*metricsAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "serving live metrics on http://%s/metrics (progress: http://%s/progress)\n", addr, addr)
+		}
 	}
 	var cfg soc.Config
 	if *scenarioFlag != "" {
@@ -144,11 +189,19 @@ func main() {
 	default:
 		log.Fatalf("unknown system %q", *system)
 	}
+	s.Prof = prof
 
+	prof.SetPhase(metrics.PhaseMeasure)
+	prog.SetTotal(1)
+	prog.PointStart()
+	start := time.Now()
 	cycles, err := s.Run(50_000_000)
 	if err != nil {
 		log.Fatal(err)
 	}
+	prof.SetPhase(metrics.PhaseDone)
+	prog.PointDone(fmt.Sprintf("nocsim/%s/%s", *topo, *mode),
+		float64(time.Since(start).Microseconds())/1e3)
 
 	fmt.Printf("system=%s topology=%s mode=%s seed=%d: %d masters finished in %d cycles\n\n",
 		*system, *topo, *mode, *seed, len(s.Gens), cycles)
@@ -188,6 +241,18 @@ func main() {
 		rep := mon.Report(fmt.Sprintf("nocsim/%s/%s", *topo, *mode))
 		writeFile(*heatFile, rep.WriteJSON)
 		fmt.Printf("heatmap: %d links, %d flits -> %s\n", len(rep.Links), rep.TotalFlits, *heatFile)
+	}
+	// os.Exit skips defers, so flush the snapshot stream explicitly.
+	if snap != nil {
+		if err := snap.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics: %d snapshots -> %s\n", snap.Lines(), *metricsOut)
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	os.Exit(0)
 }

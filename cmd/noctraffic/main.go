@@ -25,14 +25,26 @@
 // invocation (flags or scenario+overrides) as a scenario file that
 // reproduces the identical seeded result when re-run.
 //
-// Observability (internal/obs): -trace writes a Chrome trace_event file
-// of the run's transaction/packet lifecycle spans — open it directly in
-// Perfetto (https://ui.perfetto.dev) or chrome://tracing; -events writes
-// the same span stream as JSONL; -heatmap writes the per-link congestion
-// heatmap JSON (per-link flits, stall cycles, VC-occupancy high-water
-// marks, and a time-bucketed utilization series). -trace/-events need a
-// single simulation (single run or -trans); -heatmap also works in
-// -campaign mode, where every point gets its own heatmap.
+// Observability (internal/obs, reference in docs/OBSERVABILITY.md):
+// -trace writes a Chrome trace_event file of the run's
+// transaction/packet lifecycle spans — open it directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing; -events writes the same
+// span stream as JSONL; -heatmap writes the per-link congestion heatmap
+// JSON (per-link flits, stall cycles, VC-occupancy high-water marks, and
+// a time-bucketed utilization series); -heatmap-csv writes the same data
+// as long-format CSV for spreadsheets and dataframes. -trace/-events
+// need a single simulation (single run or -trans); -heatmap/-heatmap-csv
+// also work in -campaign mode, where every point gets its own heatmap.
+//
+// Live metrics (internal/obs/metrics): -metrics-addr serves /metrics
+// (Prometheus text exposition: per-router flit and stall counters,
+// sim-events/sec, heap usage, campaign progress) and /progress (a JSON
+// progress document with an ETA) over HTTP while the run executes;
+// -metrics-out appends periodic self-profiling snapshots as JSONL at the
+// -metrics-interval cadence. Both observe through atomic counters off
+// the simulation's critical path: enabling them never changes seeded
+// results, and long sweeps and campaigns additionally print per-point
+// completion lines to stderr whether or not metrics are on.
 //
 // Usage:
 //
@@ -45,7 +57,9 @@
 //	           [-json] [-campaign] [-topologies T1,T2,...]
 //	           [-patterns P1,P2,...] [-workers N] [-trans] [-hotspot-mem]
 //	           [-wb] [-trace FILE] [-events FILE] [-heatmap FILE]
-//	           [-heatmap-bucket N] [-scenario NAME|FILE]
+//	           [-heatmap-bucket N] [-heatmap-csv FILE]
+//	           [-metrics-addr ADDR] [-metrics-out FILE]
+//	           [-metrics-interval D] [-scenario NAME|FILE]
 //	           [-save-scenario FILE] [-list-scenarios]
 package main
 
@@ -58,8 +72,10 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"gonoc/internal/obs"
+	"gonoc/internal/obs/metrics"
 	"gonoc/internal/scenario"
 	"gonoc/internal/soc"
 	"gonoc/internal/stats"
@@ -101,6 +117,11 @@ var (
 	eventsFile = flag.String("events", "", "write the lifecycle span trace as JSONL; single run or -trans")
 	heatFile   = flag.String("heatmap", "", "write the per-link congestion heatmap JSON; single run, -trans, or -campaign (one heatmap per point)")
 	heatBucket = flag.Int64("heatmap-bucket", obs.DefaultHeatmapBucket, "heatmap time-bucket width in cycles")
+	heatCSV    = flag.String("heatmap-csv", "", "write the congestion heatmap as long-format CSV (one row per link per time bucket); same modes as -heatmap")
+
+	metricsAddr  = flag.String("metrics-addr", "", "serve live metrics over HTTP while the run executes: /metrics (Prometheus text) and /progress (JSON) on this address (e.g. :9091)")
+	metricsOut   = flag.String("metrics-out", "", "append periodic self-profiling snapshots as JSONL to this file (headless alternative to -metrics-addr)")
+	metricsEvery = flag.Duration("metrics-interval", 250*time.Millisecond, "snapshot cadence for -metrics-out")
 
 	scenarioFlag  = flag.String("scenario", "", "run a declarative scenario: a built-in name (-list-scenarios) or a *.scenario.json file; explicit flags override scenario fields (docs/SCENARIOS.md)")
 	saveScenario  = flag.String("save-scenario", "", "export this invocation as a scenario file before running it; re-running the file reproduces the identical seeded result")
@@ -110,6 +131,10 @@ var (
 // setFlags records which flags the user set explicitly — the set that
 // overrides scenario fields.
 var setFlags = map[string]bool{}
+
+// mx is the process-wide live-metrics rig; nil unless -metrics-addr or
+// -metrics-out was given. Every method is nil-safe.
+var mx *metricsRun
 
 func main() {
 	flag.Parse()
@@ -122,6 +147,8 @@ func main() {
 		printScenarioList()
 		return
 	}
+	mx = newMetricsRun()
+	defer mx.close()
 	if *scenarioFlag != "" {
 		runScenario()
 		return
@@ -131,7 +158,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sk := newSinks(*traceFile, *eventsFile, *heatFile, *heatBucket)
+	sk := newSinks(*traceFile, *eventsFile, *heatFile, *heatCSV, *heatBucket)
 
 	if *trans {
 		tc := traffic.TransConfig{
@@ -212,8 +239,15 @@ func main() {
 // ---- the four run modes, shared by the flag and scenario paths ----
 
 func runSingle(cfg traffic.Config, sk *sinks) {
-	cfg.Probe = sk.probe()
+	cfg.Probe = obs.Multi(sk.probe(), mx.fabricProbe())
+	mx.attach(&cfg)
+	cfg.CollectWall = true
+	mx.setTotal(1)
+	mx.pointStart()
+	label := fmt.Sprintf("%s/%s@%g", cfg.Topology, cfg.Pattern, cfg.Rate)
+	start := time.Now()
 	res := traffic.Run(cfg)
+	mx.pointDone(label, start)
 	// Same "<topology>/<pattern>@<rate>" label shape campaign heatmaps use.
 	sk.write(fmt.Sprintf("%s/%s@%g", res.Topology, res.Pattern, cfg.Rate))
 	if *jsonOut {
@@ -224,10 +258,25 @@ func runSingle(cfg traffic.Config, sk *sinks) {
 }
 
 func runSweep(cfg traffic.Config, rates []float64) {
-	if *traceFile != "" || *eventsFile != "" || *heatFile != "" {
+	if *traceFile != "" || *eventsFile != "" || *heatFile != "" || *heatCSV != "" {
 		log.Fatal("-trace/-events/-heatmap apply to a single run, -trans, or -campaign (-heatmap only)")
 	}
-	sr := traffic.Sweep(cfg, rates)
+	mx.attach(&cfg)
+	// Sweep points run serially, so sharing one fabric collector across
+	// them is safe (unlike campaign workers); counters accumulate over
+	// the whole curve.
+	cfg.Probe = mx.fabricProbe()
+	cfg.CollectWall = true
+	if len(rates) == 0 {
+		mx.setTotal(len(traffic.DefaultRates()))
+	} else {
+		mx.setTotal(len(rates))
+	}
+	start := time.Now()
+	sr := traffic.SweepProgress(cfg, rates, func(pd traffic.PointDone) {
+		mx.pointFinished(pd.Label, pd.WallMS)
+		progressLine("sweep", pd, start)
+	})
 	if *jsonOut {
 		emitJSON(sr)
 		return
@@ -241,12 +290,22 @@ func runCampaign(ccfg traffic.CampaignConfig, bucket int64) {
 	if *traceFile != "" || *eventsFile != "" {
 		log.Fatal("-trace/-events need a single simulation; campaigns support -heatmap only")
 	}
-	if *heatFile != "" {
+	if *heatFile != "" || *heatCSV != "" {
 		ccfg.HeatmapBuckets = bucket
 	}
+	mx.attach(&ccfg.Base)
+	ccfg.Base.CollectWall = true
+	if mx != nil {
+		ccfg.Progress = mx.prog
+	}
+	start := time.Now()
+	ccfg.OnPoint = func(pd traffic.PointDone) { progressLine("campaign", pd, start) }
 	cr := traffic.Campaign(ccfg)
 	if *heatFile != "" {
 		writeFile(*heatFile, func(w io.Writer) error { return stats.WriteJSON(w, cr.Heatmaps) })
+	}
+	if *heatCSV != "" {
+		writeFile(*heatCSV, func(w io.Writer) error { return obs.WriteHeatmapsCSV(w, cr.Heatmaps) })
 	}
 	if *jsonOut {
 		emitJSON(cr)
@@ -256,11 +315,23 @@ func runCampaign(ccfg traffic.CampaignConfig, bucket int64) {
 	for _, c := range cr.Curves {
 		fmt.Println(c.Table().Render())
 	}
+	if cr.Wall != nil {
+		fmt.Printf("wall clock: %.0f ms for %d kernel events (%.2g events/sec)\n",
+			cr.Wall.TotalMS, cr.Wall.Events, cr.Wall.EventsPerSec)
+	}
 }
 
 func runTrans(tc traffic.TransConfig, jsonOut bool, sk *sinks) {
-	tc.Probe = sk.probe()
+	tc.Probe = obs.Multi(sk.probe(), mx.fabricProbe())
+	if mx != nil {
+		tc.Prof = mx.prof
+	}
+	tc.CollectWall = true
+	mx.setTotal(1)
+	mx.pointStart()
+	start := time.Now()
 	tr := traffic.RunTrans(tc)
+	mx.pointDone(fmt.Sprintf("trans@%g", tc.Rate), start)
 	sk.write(fmt.Sprintf("trans@%g", tc.Rate))
 	if jsonOut {
 		emitJSON(tr)
@@ -268,6 +339,139 @@ func runTrans(tc traffic.TransConfig, jsonOut bool, sk *sinks) {
 	}
 	fmt.Println(tr.Table().Render())
 	fmt.Printf("throughput: %.1f completions/kcycle; incomplete: %d\n", tr.Throughput, tr.Incomplete)
+}
+
+// progressLine prints one per-point completion line to stderr — the
+// live pulse of a long sweep or campaign (stdout stays reserved for
+// the report). ETA extrapolates from the average completed-point pace.
+func progressLine(mode string, pd traffic.PointDone, start time.Time) {
+	elapsed := time.Since(start)
+	eta := ""
+	if pd.Done > 0 && pd.Done < pd.Total {
+		remain := time.Duration(float64(elapsed) / float64(pd.Done) * float64(pd.Total-pd.Done))
+		eta = fmt.Sprintf(", ~%s left", remain.Round(time.Second))
+	}
+	fmt.Fprintf(os.Stderr, "%s point %d/%d done: %s (offered %g, %.0f ms) — %s elapsed%s\n",
+		mode, pd.Done, pd.Total, pd.Label, pd.Offered, pd.WallMS, elapsed.Round(time.Millisecond), eta)
+}
+
+// ---- live metrics (-metrics-addr / -metrics-out) ----
+
+// metricsRun owns the process-wide live-metrics stack: one registry,
+// one simulator self-profile, one progress tracker, one per-router
+// fabric collector, plus the HTTP server and/or JSONL snapshotter the
+// flags asked for. All of it observes through atomics and never feeds
+// back into the simulation, so enabling it cannot perturb seeded
+// results (pinned by TestMetricsPassive in internal/traffic).
+type metricsRun struct {
+	reg    *metrics.Registry
+	prof   *metrics.SimProfile
+	prog   *metrics.Progress
+	coll   *metrics.FabricCollector
+	server *metrics.Server
+	snap   *metrics.Snapshotter
+	out    *os.File
+}
+
+// newMetricsRun returns nil when neither metrics flag was given; every
+// method on the nil receiver is a no-op, so the run modes attach
+// unconditionally.
+func newMetricsRun() *metricsRun {
+	if *metricsAddr == "" && *metricsOut == "" {
+		return nil
+	}
+	m := &metricsRun{reg: metrics.NewRegistry()}
+	m.prof = metrics.NewSimProfile(m.reg)
+	m.prog = metrics.NewProgress(m.reg)
+	m.coll = metrics.NewFabricCollector(m.reg)
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.out = f
+		m.snap = metrics.NewSnapshotter(f, *metricsEvery, m.reg, m.prof, m.prog)
+		m.prof.SetSnapshotter(m.snap)
+	}
+	if *metricsAddr != "" {
+		m.server = metrics.NewServer(m.reg, m.prof, m.prog)
+		addr, err := m.server.Start(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving live metrics on http://%s/metrics (progress: http://%s/progress)\n", addr, addr)
+	}
+	return m
+}
+
+// attach points a packet-run config at the shared registry and profile.
+func (m *metricsRun) attach(cfg *traffic.Config) {
+	if m == nil {
+		return
+	}
+	cfg.Metrics = m.reg
+	cfg.Prof = m.prof
+}
+
+// fabricProbe returns the per-router collector as a probe, or a true
+// nil interface when metrics are off — returning the nil *FabricCollector
+// itself would defeat obs.Multi's nil filter.
+func (m *metricsRun) fabricProbe() obs.Probe {
+	if m == nil {
+		return nil
+	}
+	return m.coll
+}
+
+func (m *metricsRun) setTotal(n int) {
+	if m == nil {
+		return
+	}
+	m.prog.SetTotal(n)
+}
+
+func (m *metricsRun) pointStart() {
+	if m == nil {
+		return
+	}
+	m.prog.PointStart()
+}
+
+func (m *metricsRun) pointDone(label string, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.prog.PointDone(label, float64(time.Since(start).Microseconds())/1e3)
+}
+
+// pointFinished records a point that reports only on completion (serial
+// sweep points), keeping the busy gauge balanced.
+func (m *metricsRun) pointFinished(label string, wallMS float64) {
+	if m == nil {
+		return
+	}
+	m.prog.PointStart()
+	m.prog.PointDone(label, wallMS)
+}
+
+// close flushes the final snapshot and stops the HTTP server.
+func (m *metricsRun) close() {
+	if m == nil {
+		return
+	}
+	if m.snap != nil {
+		if err := m.snap.Close(); err != nil {
+			log.Printf("metrics snapshots: %v", err)
+		}
+	}
+	if m.out != nil {
+		if err := m.out.Close(); err != nil {
+			log.Printf("metrics snapshots: %v", err)
+		}
+	}
+	if m.server != nil {
+		m.server.Close()
+	}
 }
 
 // ---- scenario plumbing ----
@@ -291,7 +495,7 @@ func runScenario() {
 	if !setFlags["heatmap-bucket"] && sc.Measure.HeatmapBucket > 0 {
 		bucket = sc.Measure.HeatmapBucket
 	}
-	sk := newSinks(*traceFile, *eventsFile, *heatFile, bucket)
+	sk := newSinks(*traceFile, *eventsFile, *heatFile, *heatCSV, bucket)
 
 	switch sc.Mode() {
 	case scenario.ModeTrans:
@@ -528,21 +732,22 @@ func printScenarioList() {
 
 // sinks bundles the optional observability outputs of one simulation:
 // a span recorder feeding the Chrome-trace and JSONL files, and a link
-// monitor feeding the heatmap file.
+// monitor feeding the heatmap JSON/CSV files.
 type sinks struct {
-	rec    *obs.SpanRecorder
-	mon    *obs.LinkMonitor
-	trace  string
-	events string
-	heat   string
+	rec     *obs.SpanRecorder
+	mon     *obs.LinkMonitor
+	trace   string
+	events  string
+	heat    string
+	heatCSV string
 }
 
-func newSinks(trace, events, heat string, bucket int64) *sinks {
-	s := &sinks{trace: trace, events: events, heat: heat}
+func newSinks(trace, events, heat, heatCSV string, bucket int64) *sinks {
+	s := &sinks{trace: trace, events: events, heat: heat, heatCSV: heatCSV}
 	if trace != "" || events != "" {
 		s.rec = &obs.SpanRecorder{}
 	}
-	if heat != "" {
+	if heat != "" || heatCSV != "" {
 		s.mon = obs.NewLinkMonitor(bucket)
 	}
 	return s
@@ -570,7 +775,12 @@ func (s *sinks) write(label string) {
 	}
 	if s.mon != nil {
 		rep := s.mon.Report(label)
-		writeFile(s.heat, rep.WriteJSON)
+		if s.heat != "" {
+			writeFile(s.heat, rep.WriteJSON)
+		}
+		if s.heatCSV != "" {
+			writeFile(s.heatCSV, rep.WriteCSV)
+		}
 	}
 }
 

@@ -23,7 +23,11 @@
 //	      hotspot cliff is topology-independent (internal/obs)
 //	E14 — declarative scenarios: every built-in internal/scenario
 //	      composition resolved, run, and re-run bit-identically
+//	E15 — self-profiled hotspot sweep: live metrics attached
+//	      (internal/obs/metrics) are a pure observer — results stay
+//	      byte-identical, and the events/sec trajectory is archived
 //
+
 // The per-experiment handbook — which paper claim each experiment
 // reproduces, the command to run it, the expected output shape, and the
 // CI artifact it feeds — is docs/EXPERIMENTS.md.

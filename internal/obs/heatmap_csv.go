@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// This file is the heatmap's CSV sink: the same per-link time-bucketed
+// utilization series as the JSON report, flattened to long format (one
+// row per link per time bucket) so it pivots straight into a heatmap
+// in any plotting tool — no JSON parsing required.
+
+// heatmapCSVHeader is the long-format column set. label repeats the
+// report label on every row so campaign exports (many reports, one
+// file) stay self-describing after a split or a filter.
+var heatmapCSVHeader = []string{
+	"label", "router", "router_name", "port", "bucket_start", "flits", "stalls", "peak_occ", "util",
+}
+
+// WriteCSV writes the report's time-bucketed series as long-format
+// CSV, links in (router, port) order, buckets in time order.
+func (rep HeatmapReport) WriteCSV(w io.Writer) error {
+	return WriteHeatmapsCSV(w, []HeatmapReport{rep})
+}
+
+// WriteCSV is the LinkMonitor-level convenience: digest and export in
+// one step (equivalent to m.Report(label).WriteCSV(w)).
+func (m *LinkMonitor) WriteCSV(w io.Writer, label string) error {
+	return m.Report(label).WriteCSV(w)
+}
+
+// WriteHeatmapsCSV writes several reports — a campaign's per-point
+// heatmaps — into one CSV stream under a single header, distinguished
+// by the label column.
+func WriteHeatmapsCSV(w io.Writer, reps []HeatmapReport) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(heatmapCSVHeader); err != nil {
+		return err
+	}
+	for _, rep := range reps {
+		for _, l := range rep.Links {
+			for _, c := range l.Series {
+				rec := []string{
+					rep.Label,
+					strconv.Itoa(l.Router),
+					l.RouterName,
+					strconv.Itoa(l.Port),
+					strconv.FormatInt(c.Start, 10),
+					strconv.FormatUint(c.Flits, 10),
+					strconv.FormatUint(c.Stalls, 10),
+					strconv.Itoa(c.PeakOccupancy),
+					strconv.FormatFloat(c.Utilization, 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

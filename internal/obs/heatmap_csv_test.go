@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+// TestHeatmapWriteCSV pins the long-format export: header shape, one
+// row per link per bucket, flit conservation against the JSON report,
+// and label/router-name propagation.
+func TestHeatmapWriteCSV(t *testing.T) {
+	m := NewLinkMonitor(64)
+	m.NameRouters([]string{"r0.0", "r1.0"})
+	for cyc := int64(0); cyc < 200; cyc += 2 {
+		m.Event(Event{Kind: KindFlit, Cycle: cyc, Router: 0, Port: 1})
+	}
+	m.Event(Event{Kind: KindStall, Cycle: 70, Router: 1, Port: 0})
+	m.Event(Event{Kind: KindBufSample, Cycle: 70, Router: 1, Port: 0, Val: 5})
+
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf, "mesh/uniform@0.05"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("only %d CSV rows", len(rows))
+	}
+	if got, want := len(rows[0]), len(heatmapCSVHeader); got != want {
+		t.Fatalf("header has %d columns, want %d", got, want)
+	}
+	rep := m.Report("mesh/uniform@0.05")
+	wantRows := 0
+	for _, l := range rep.Links {
+		wantRows += len(l.Series)
+	}
+	if len(rows)-1 != wantRows {
+		t.Fatalf("%d data rows, want %d (one per link per bucket)", len(rows)-1, wantRows)
+	}
+	var flits uint64
+	var sawPeak bool
+	for _, r := range rows[1:] {
+		if r[0] != "mesh/uniform@0.05" {
+			t.Fatalf("label column = %q", r[0])
+		}
+		if r[2] == "" {
+			t.Fatalf("row missing router name: %v", r)
+		}
+		n, err := strconv.ParseUint(r[5], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flits += n
+		if r[7] == "5" {
+			sawPeak = true
+		}
+	}
+	if flits != rep.TotalFlits {
+		t.Fatalf("CSV flit sum %d != report total %d", flits, rep.TotalFlits)
+	}
+	if !sawPeak {
+		t.Fatal("peak occupancy sample did not reach the CSV")
+	}
+
+	// Multi-report export: one header, labels distinguish the points.
+	var multi bytes.Buffer
+	if err := WriteHeatmapsCSV(&multi, []HeatmapReport{rep, m.Report("second")}); err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := csv.NewReader(&multi).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != 1+2*wantRows {
+		t.Fatalf("multi export has %d rows, want %d", len(rows2), 1+2*wantRows)
+	}
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file renders the registry in the Prometheus text exposition
+// format (version 0.0.4): "# HELP"/"# TYPE" headers followed by one
+// sample line per labeled instance, histograms expanded into
+// cumulative _bucket{le=...}, _sum, and _count series. Output is fully
+// deterministic — families sorted by name, samples by label string —
+// so a scrape can be pinned by a golden file.
+
+// WritePrometheus renders every registered metric to w. Values are
+// read atomically but the scrape as a whole is not a consistent
+// snapshot — standard for a live registry. A nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Snapshot the family/sample structure under the lock, then render
+	// outside it: rendering does I/O and GaugeFunc callbacks.
+	type expoSample struct {
+		lbl string
+		s   sample
+	}
+	type expoFamily struct {
+		name, help string
+		typ        familyType
+		samples    []expoSample
+	}
+	r.mu.Lock()
+	fams := make([]expoFamily, 0, len(r.families))
+	for _, f := range r.families {
+		ef := expoFamily{name: f.name, help: f.help, typ: f.typ}
+		for lbl, s := range f.byLabel {
+			ef.samples = append(ef.samples, expoSample{lbl: lbl, s: s})
+		}
+		sort.Slice(ef.samples, func(i, j int) bool { return ef.samples[i].lbl < ef.samples[j].lbl })
+		fams = append(fams, ef)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP " + f.name + " " + f.help + "\n")
+		}
+		bw.WriteString("# TYPE " + f.name + " " + f.typ.String() + "\n")
+		for _, es := range f.samples {
+			switch s := es.s.(type) {
+			case *Counter:
+				bw.WriteString(f.name + es.lbl + " " + strconv.FormatUint(s.Value(), 10) + "\n")
+			case *Gauge:
+				bw.WriteString(f.name + es.lbl + " " + formatFloat(s.Value()) + "\n")
+			case *gaugeFunc:
+				bw.WriteString(f.name + es.lbl + " " + formatFloat(s.fn()) + "\n")
+			case *Histogram:
+				writeHistogram(bw, f.name, es.lbl, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, name, lbl string, h *Histogram) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		bw.WriteString(name + "_bucket" + mergeLe(lbl, strconv.FormatInt(b, 10)) +
+			" " + strconv.FormatUint(cum, 10) + "\n")
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	bw.WriteString(name + "_bucket" + mergeLe(lbl, "+Inf") + " " + strconv.FormatUint(cum, 10) + "\n")
+	bw.WriteString(name + "_sum" + lbl + " " + strconv.FormatInt(h.Sum(), 10) + "\n")
+	bw.WriteString(name + "_count" + lbl + " " + strconv.FormatUint(h.Count(), 10) + "\n")
+}
+
+// mergeLe splices the le bucket label into an existing (possibly
+// empty) label set.
+func mergeLe(lbl, le string) string {
+	if lbl == "" {
+		return `{le="` + le + `"}`
+	}
+	return lbl[:len(lbl)-1] + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Each calls f once per flat sample with a fully qualified key
+// (name plus canonical label string; histograms contribute _sum and
+// _count). Iteration order is sorted and deterministic. Snapshots and
+// tests use it to dump the registry without parsing exposition text.
+func (r *Registry) Each(f func(key string, value float64)) {
+	if r == nil {
+		return
+	}
+	type flat struct {
+		key string
+		val func() float64
+	}
+	r.mu.Lock()
+	var out []flat
+	for _, fam := range r.families {
+		name := fam.name
+		for lbl, s := range fam.byLabel {
+			switch s := s.(type) {
+			case *Counter:
+				out = append(out, flat{name + lbl, func() float64 { return float64(s.Value()) }})
+			case *Gauge:
+				out = append(out, flat{name + lbl, s.Value})
+			case *gaugeFunc:
+				out = append(out, flat{name + lbl, s.fn})
+			case *Histogram:
+				out = append(out, flat{name + "_sum" + lbl, func() float64 { return float64(s.Sum()) }})
+				out = append(out, flat{name + "_count" + lbl, func() float64 { return float64(s.Count()) }})
+			}
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	for _, s := range out {
+		f(s.key, s.val())
+	}
+}

@@ -1,0 +1,330 @@
+// Package metrics is the repo's dependency-free live-metrics registry:
+// counters, gauges, and histograms with Prometheus text-format
+// exposition, periodic JSONL snapshots, and simulator self-profiling
+// (events/sec, wall-clock per phase, campaign progress, heap usage).
+//
+// The package follows the same two invariants as obs.Probe:
+//
+//   - Disabled costs nothing. Every handle type (*Counter, *Gauge,
+//     *Histogram) and the *Registry itself are nil-safe: methods on a
+//     nil receiver are no-ops that never allocate, so call sites can
+//     hold a possibly-nil handle unconditionally on the hot path.
+//   - Enabled never perturbs. Instrumentation reads simulation state;
+//     it must not feed anything back. All mutation is atomic, so a
+//     concurrent HTTP scrape (or campaign workers sharing one
+//     registry) never races a running kernel.
+//
+// Registration (Registry.Counter etc.) takes a mutex and may allocate;
+// it belongs in setup code. The returned handles are lock-free.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric sample.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// familyType distinguishes exposition rendering.
+type familyType uint8
+
+const (
+	typeCounter familyType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t familyType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// sample is one labeled instance within a family.
+type sample interface {
+	labelString() string // canonical {k="v",...} or ""
+}
+
+// family groups all samples sharing a metric name.
+type family struct {
+	name    string
+	help    string
+	typ     familyType
+	byLabel map[string]sample
+}
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry. A nil *Registry is the disabled registry: every
+// registration returns a nil handle and every read renders nothing.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelString renders labels canonically: sorted by key, in the
+// Prometheus {k="v",k2="v2"} form ("" when unlabeled).
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	s := "{"
+	for i, l := range ls {
+		if i > 0 {
+			s += ","
+		}
+		s += l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return s + "}"
+}
+
+func escapeLabelValue(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// getFamily returns the family for name, creating it on first use. It
+// panics when name is reused with a different type — that is a
+// programming error a test should catch immediately, not a runtime
+// condition.
+func (r *Registry) getFamily(name, help string, typ familyType) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, byLabel: make(map[string]sample)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// Counter is a monotonically increasing uint64. A nil *Counter is a
+// no-op handle.
+type Counter struct {
+	v   atomic.Uint64
+	lbl string
+}
+
+func (c *Counter) labelString() string { return c.lbl }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns the counter for name+labels, creating it on first
+// use; repeated calls with the same name and labels return the same
+// handle. On a nil registry it returns nil (the no-op handle).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, typeCounter)
+	key := labelString(labels)
+	if s, ok := f.byLabel[key]; ok {
+		return s.(*Counter)
+	}
+	c := &Counter{lbl: key}
+	f.byLabel[key] = c
+	return c
+}
+
+// Gauge is a float64 that can go up and down. A nil *Gauge is a no-op
+// handle.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+	lbl  string
+}
+
+func (g *Gauge) labelString() string { return g.lbl }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d (atomically, CAS loop).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value reads the current value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, typeGauge)
+	key := labelString(labels)
+	if s, ok := f.byLabel[key]; ok {
+		return s.(*Gauge)
+	}
+	g := &Gauge{lbl: key}
+	f.byLabel[key] = g
+	return g
+}
+
+// gaugeFunc samples a callback at read time (exposition / snapshot).
+type gaugeFunc struct {
+	lbl string
+	fn  func() float64
+}
+
+func (g *gaugeFunc) labelString() string { return g.lbl }
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. fn must be safe to call from the HTTP goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, typeGauge)
+	key := labelString(labels)
+	if _, ok := f.byLabel[key]; ok {
+		panic(fmt.Sprintf("metrics: duplicate GaugeFunc %s%s", name, key))
+	}
+	f.byLabel[key] = &gaugeFunc{lbl: key, fn: fn}
+}
+
+// Histogram counts int64 observations into fixed buckets (Prometheus
+// cumulative-le semantics: bucket i counts observations <= bounds[i],
+// plus an implicit +Inf bucket). A nil *Histogram is a no-op handle.
+type Histogram struct {
+	lbl     string
+	bounds  []int64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum     atomic.Int64
+	count   atomic.Uint64
+}
+
+func (h *Histogram) labelString() string { return h.lbl }
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count reads the number of observations (0 on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the sum of observations (0 on a nil handle).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Histogram returns the histogram for name+labels with the given
+// ascending bucket bounds, creating it on first use (later calls keep
+// the first bounds).
+func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: %s bucket bounds not ascending: %v", name, bounds))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, typeHistogram)
+	key := labelString(labels)
+	if s, ok := f.byLabel[key]; ok {
+		return s.(*Histogram)
+	}
+	h := &Histogram{
+		lbl:     key,
+		bounds:  append([]int64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	f.byLabel[key] = h
+	return h
+}

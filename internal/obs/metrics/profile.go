@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase labels what the simulator is currently doing; exposed as the
+// noc_sim_phase gauge (numeric) and as a string in /progress and
+// snapshots.
+type Phase int32
+
+// Phases in lifecycle order.
+const (
+	PhaseIdle Phase = iota
+	PhaseWarmup
+	PhaseMeasure
+	PhaseDrain
+	PhaseDone
+)
+
+// String renders the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseWarmup:
+		return "warmup"
+	case PhaseMeasure:
+		return "measure"
+	case PhaseDrain:
+		return "drain"
+	case PhaseDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// memEvery caps how often Advance re-samples runtime.ReadMemStats; the
+// call stops the world briefly, so it must stay far off the per-chunk
+// publishing cadence.
+const memEvery = 100 * time.Millisecond
+
+// SimProfile is the simulator's self-profiling surface: runners
+// publish cycle/event/heap-depth deltas as they go (SetPhase, Advance,
+// SetHeapDepth), and the profile turns them into registry metrics —
+// cumulative totals, session-average rates, Go heap gauges — plus the
+// numbers /progress and snapshots report. A nil *SimProfile disables
+// everything at zero cost, so runners call it unconditionally.
+//
+// One profile serves one simulation session, which may span many
+// sequential runs (a sweep or campaign): totals accumulate across
+// points.
+type SimProfile struct {
+	start time.Time
+
+	cycles    *Counter
+	events    *Counter
+	heapDepth *Gauge
+	phaseG    *Gauge
+	phase     atomic.Int32
+
+	heapAlloc   *Gauge
+	heapObjects *Gauge
+	gcTotal     *Gauge
+
+	memMu   sync.Mutex
+	lastMem time.Time
+
+	snap atomic.Pointer[Snapshotter]
+}
+
+// NewSimProfile returns a profile registering on reg, or nil when reg
+// is nil (disabled).
+func NewSimProfile(reg *Registry) *SimProfile {
+	if reg == nil {
+		return nil
+	}
+	p := &SimProfile{
+		start:       time.Now(),
+		cycles:      reg.Counter("noc_sim_cycles_total", "fabric cycles simulated"),
+		events:      reg.Counter("noc_sim_events_total", "kernel events executed"),
+		heapDepth:   reg.Gauge("noc_sim_event_heap_depth", "pending events in the kernel heap"),
+		phaseG:      reg.Gauge("noc_sim_phase", "current phase: 0 idle, 1 warmup, 2 measure, 3 drain, 4 done"),
+		heapAlloc:   reg.Gauge("noc_go_heap_alloc_bytes", "Go heap bytes in use (runtime.ReadMemStats)"),
+		heapObjects: reg.Gauge("noc_go_heap_objects", "live Go heap objects"),
+		gcTotal:     reg.Gauge("noc_go_gc_total", "completed GC cycles"),
+	}
+	reg.GaugeFunc("noc_sim_wall_seconds", "wall-clock time since profiling started", func() float64 {
+		return time.Since(p.start).Seconds()
+	})
+	reg.GaugeFunc("noc_sim_events_per_sec", "session-average kernel events per wall second", func() float64 {
+		return rate(float64(p.events.Value()), time.Since(p.start))
+	})
+	reg.GaugeFunc("noc_sim_cycles_per_sec", "session-average fabric cycles per wall second", func() float64 {
+		return rate(float64(p.cycles.Value()), time.Since(p.start))
+	})
+	return p
+}
+
+func rate(n float64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return n / d.Seconds()
+}
+
+// SetSnapshotter attaches a JSONL snapshotter whose cadence is driven
+// by this profile's publishing ticks (headless runs have no scraper to
+// pace them).
+func (p *SimProfile) SetSnapshotter(s *Snapshotter) {
+	if p != nil {
+		p.snap.Store(s)
+	}
+}
+
+// SetPhase records a phase transition.
+func (p *SimProfile) SetPhase(ph Phase) {
+	if p == nil {
+		return
+	}
+	p.phase.Store(int32(ph))
+	p.phaseG.Set(float64(ph))
+}
+
+// Phase reads the current phase (PhaseIdle on a nil profile).
+func (p *SimProfile) Phase() Phase {
+	if p == nil {
+		return PhaseIdle
+	}
+	return Phase(p.phase.Load())
+}
+
+// SetHeapDepth records the kernel's pending-event count.
+func (p *SimProfile) SetHeapDepth(n int) {
+	if p != nil {
+		p.heapDepth.Set(float64(n))
+	}
+}
+
+// Advance publishes progress deltas: dCycles fabric cycles and dEvents
+// kernel events executed since the last call. It also paces the slow
+// side-channels — memstats sampling (at most every 100ms) and the
+// attached snapshotter.
+func (p *SimProfile) Advance(dCycles, dEvents int64) {
+	if p == nil {
+		return
+	}
+	if dCycles > 0 {
+		p.cycles.Add(uint64(dCycles))
+	}
+	if dEvents > 0 {
+		p.events.Add(uint64(dEvents))
+	}
+	p.maybeSampleMem()
+	if s := p.snap.Load(); s != nil {
+		s.MaybeSnap()
+	}
+}
+
+func (p *SimProfile) maybeSampleMem() {
+	now := time.Now()
+	p.memMu.Lock()
+	due := now.Sub(p.lastMem) >= memEvery
+	if due {
+		p.lastMem = now
+	}
+	p.memMu.Unlock()
+	if !due {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.heapAlloc.Set(float64(ms.HeapAlloc))
+	p.heapObjects.Set(float64(ms.HeapObjects))
+	p.gcTotal.Set(float64(ms.NumGC))
+}
+
+// Cycles reads the cumulative cycle total (0 on a nil profile).
+func (p *SimProfile) Cycles() int64 {
+	if p == nil {
+		return 0
+	}
+	return int64(p.cycles.Value())
+}
+
+// Events reads the cumulative event total (0 on a nil profile).
+func (p *SimProfile) Events() int64 {
+	if p == nil {
+		return 0
+	}
+	return int64(p.events.Value())
+}
+
+// HeapDepth reads the last published kernel heap depth.
+func (p *SimProfile) HeapDepth() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.heapDepth.Value())
+}
+
+// Elapsed is the wall time since profiling started.
+func (p *SimProfile) Elapsed() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Since(p.start)
+}

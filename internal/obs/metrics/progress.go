@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// pointWallBounds buckets per-point wall time (milliseconds) over the
+// range campaigns actually span: sub-10ms toy points up to multi-minute
+// saturated ones.
+var pointWallBounds = []int64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000, 300000}
+
+// Progress tracks multi-point work — a sweep or campaign — for the
+// /progress endpoint and the registry: points total/done, worker-pool
+// occupancy, a windowed histogram of per-point wall time, and an ETA
+// extrapolated from the average completed-point pace. A nil *Progress
+// disables everything; campaign workers may call it concurrently.
+type Progress struct {
+	start time.Time
+
+	total *Gauge
+	done  *Gauge
+	busy  *Gauge
+	wall  *Histogram
+
+	mu        sync.Mutex
+	lastLabel string
+}
+
+// NewProgress returns a tracker registering on reg, or nil when reg is
+// nil (disabled).
+func NewProgress(reg *Registry) *Progress {
+	if reg == nil {
+		return nil
+	}
+	return &Progress{
+		start: time.Now(),
+		total: reg.Gauge("noc_points_total", "points (runs) scheduled in this session"),
+		done:  reg.Gauge("noc_points_done", "points completed so far"),
+		busy:  reg.Gauge("noc_workers_busy", "worker-pool slots currently running a point"),
+		wall:  reg.Histogram("noc_point_wall_ms", "wall-clock per completed point, milliseconds", pointWallBounds),
+	}
+}
+
+// SetTotal declares how many points the session will run.
+func (p *Progress) SetTotal(n int) {
+	if p != nil {
+		p.total.Set(float64(n))
+	}
+}
+
+// PointStart marks a worker picking up a point.
+func (p *Progress) PointStart() {
+	if p != nil {
+		p.busy.Add(1)
+	}
+}
+
+// PointDone marks a point finished after wallMS milliseconds.
+func (p *Progress) PointDone(label string, wallMS float64) {
+	if p == nil {
+		return
+	}
+	p.busy.Add(-1)
+	p.done.Add(1)
+	p.wall.Observe(int64(wallMS))
+	p.mu.Lock()
+	p.lastLabel = label
+	p.mu.Unlock()
+}
+
+// ProgressSnapshot is the point-in-time progress digest served by
+// /progress and embedded in JSONL snapshots.
+type ProgressSnapshot struct {
+	PointsTotal int     `json:"points_total"`
+	PointsDone  int     `json:"points_done"`
+	WorkersBusy int     `json:"workers_busy"`
+	LastPoint   string  `json:"last_point,omitempty"`
+	ElapsedSec  float64 `json:"elapsed_s"`
+	// EtaSec extrapolates remaining wall time from the average pace of
+	// completed points; 0 until the first point lands.
+	EtaSec float64 `json:"eta_s"`
+}
+
+// Snapshot captures the current progress state (zero value on a nil
+// tracker).
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	p.mu.Lock()
+	last := p.lastLabel
+	p.mu.Unlock()
+	elapsed := time.Since(p.start)
+	s := ProgressSnapshot{
+		PointsTotal: int(p.total.Value()),
+		PointsDone:  int(p.done.Value()),
+		WorkersBusy: int(p.busy.Value()),
+		LastPoint:   last,
+		ElapsedSec:  elapsed.Seconds(),
+	}
+	if s.PointsDone > 0 && s.PointsTotal > s.PointsDone {
+		perPoint := elapsed.Seconds() / float64(s.PointsDone)
+		s.EtaSec = perPoint * float64(s.PointsTotal-s.PointsDone)
+	}
+	return s
+}

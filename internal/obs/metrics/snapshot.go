@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Snapshot is one line of the JSONL self-profiling stream: where the
+// simulation is, how fast it is going right now (interval rates, not
+// session averages), and a flat dump of every registry metric.
+type Snapshot struct {
+	TMS   float64 `json:"t_ms"` // wall ms since the snapshotter started
+	Phase string  `json:"phase,omitempty"`
+
+	Cycles       int64   `json:"cycles"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"` // over the interval since the previous line
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	HeapDepth    int     `json:"event_heap_depth,omitempty"`
+
+	HeapAllocBytes float64 `json:"heap_alloc_bytes,omitempty"`
+
+	PointsDone  int `json:"points_done,omitempty"`
+	PointsTotal int `json:"points_total,omitempty"`
+
+	// Metrics is the full registry dump keyed by qualified sample name
+	// (encoding/json sorts map keys, so lines diff cleanly).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// defaultSnapEvery paces snapshots when the caller passes no interval.
+const defaultSnapEvery = 250 * time.Millisecond
+
+// Snapshotter appends periodic Snapshot lines to a writer — the
+// headless counterpart of the HTTP server. It is paced by the
+// simulation's own publishing ticks: SimProfile.Advance calls
+// MaybeSnap, which writes a line only when the interval has elapsed.
+// Close writes one final line so the stream always ends with the
+// finished state. A nil *Snapshotter is a no-op.
+type Snapshotter struct {
+	reg  *Registry
+	prof *SimProfile
+	prog *Progress
+
+	mu         sync.Mutex
+	w          *bufio.Writer
+	every      time.Duration
+	start      time.Time
+	last       time.Time
+	lastCycles int64
+	lastEvents int64
+	lines      int
+}
+
+// NewSnapshotter streams snapshots of the given (possibly nil)
+// components to w, one JSON line per interval (every <= 0 picks
+// 250ms).
+func NewSnapshotter(w io.Writer, every time.Duration, reg *Registry, prof *SimProfile, prog *Progress) *Snapshotter {
+	if every <= 0 {
+		every = defaultSnapEvery
+	}
+	now := time.Now()
+	return &Snapshotter{
+		reg: reg, prof: prof, prog: prog,
+		w: bufio.NewWriter(w), every: every,
+		start: now, last: now,
+	}
+}
+
+// MaybeSnap writes a line when the interval since the previous line
+// has elapsed; otherwise it returns immediately.
+func (s *Snapshotter) MaybeSnap() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if time.Since(s.last) >= s.every {
+		s.snapLocked()
+	}
+	s.mu.Unlock()
+}
+
+// Snap writes a line unconditionally.
+func (s *Snapshotter) Snap() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.snapLocked()
+	s.mu.Unlock()
+}
+
+func (s *Snapshotter) snapLocked() {
+	now := time.Now()
+	snap := Snapshot{
+		TMS:    float64(now.Sub(s.start).Microseconds()) / 1e3,
+		Phase:  s.prof.Phase().String(),
+		Cycles: s.prof.Cycles(),
+		Events: s.prof.Events(),
+	}
+	if dt := now.Sub(s.last); dt > 0 {
+		snap.EventsPerSec = rate(float64(snap.Events-s.lastEvents), dt)
+		snap.CyclesPerSec = rate(float64(snap.Cycles-s.lastCycles), dt)
+	}
+	snap.HeapDepth = s.prof.HeapDepth()
+	if s.prof != nil {
+		snap.HeapAllocBytes = s.prof.heapAlloc.Value()
+	}
+	if ps := s.prog.Snapshot(); ps.PointsTotal > 0 {
+		snap.PointsDone, snap.PointsTotal = ps.PointsDone, ps.PointsTotal
+	}
+	if s.reg != nil {
+		snap.Metrics = make(map[string]float64)
+		s.reg.Each(func(key string, v float64) { snap.Metrics[key] = v })
+	}
+	line, err := json.Marshal(snap)
+	if err == nil {
+		s.w.Write(line)
+		s.w.WriteByte('\n')
+		s.lines++
+	}
+	s.last = now
+	s.lastCycles, s.lastEvents = snap.Cycles, snap.Events
+}
+
+// Lines reports how many snapshot lines have been written.
+func (s *Snapshotter) Lines() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lines
+}
+
+// Close writes a final snapshot and flushes. It does not close the
+// underlying writer.
+func (s *Snapshotter) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapLocked()
+	return s.w.Flush()
+}
+
+// ParseSnapshots reads a JSONL snapshot stream back (blank lines
+// skipped) — the analysis-side helper for BENCH_metrics artifacts.
+func ParseSnapshots(r io.Reader) ([]Snapshot, error) {
+	var out []Snapshot
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var s Snapshot
+		if err := json.Unmarshal(line, &s); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gonoc/internal/noctypes"
+	"gonoc/internal/obs"
+)
+
+// TestFabricCollectorCounts drives the collector with a synthetic
+// event stream and checks every counter family it owns.
+func TestFabricCollectorCounts(t *testing.T) {
+	r := NewRegistry()
+	c := NewFabricCollector(r)
+	c.NameRouters([]string{"r0.0", "r1.0"})
+	ev := func(k obs.Kind, router int, src noctypes.NodeID) {
+		c.Event(obs.Event{Kind: k, Router: router, Src: src})
+	}
+	for i := 0; i < 5; i++ {
+		ev(obs.KindFlit, 0, 0)
+	}
+	ev(obs.KindFlit, 3, 0) // unnamed router appears mid-run
+	ev(obs.KindStall, 1, 0)
+	ev(obs.KindQueued, 0, 0)
+	ev(obs.KindInject, 0, 0)
+	ev(obs.KindEject, 0, 0)
+	ev(obs.KindTxnIssue, 0, 7)
+	ev(obs.KindTxnIssue, 0, 7)
+	ev(obs.KindTxnComplete, 0, 7)
+	ev(obs.KindSlaveRecv, 0, 9)
+	ev(obs.KindSlaveResp, 0, 9)
+
+	want := map[string]float64{
+		`noc_fabric_flits_total{router="r0.0"}`:   5,
+		`noc_fabric_flits_total{router="r1.0"}`:   0,
+		`noc_fabric_flits_total{router="r3"}`:     1,
+		`noc_fabric_stalls_total{router="r1.0"}`:  1,
+		`noc_fabric_pkts_queued_total`:            1,
+		`noc_fabric_pkts_injected_total`:          1,
+		`noc_fabric_pkts_ejected_total`:           1,
+		`noc_niu_txn_issued_total{node="7"}`:      2,
+		`noc_niu_txn_completed_total{node="7"}`:   1,
+		`noc_niu_txn_outstanding{node="7"}`:       1,
+		`noc_niu_slave_admitted_total{node="9"}`:  1,
+		`noc_niu_slave_responded_total{node="9"}`: 1,
+	}
+	got := map[string]float64{}
+	r.Each(func(k string, v float64) { got[k] = v })
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %g, want %g", k, got[k], v)
+		}
+	}
+	if c.routerName(2) != "r2" {
+		t.Errorf("fallback router name = %q", c.routerName(2))
+	}
+
+	var disabled *FabricCollector
+	disabled.NameRouters([]string{"x"}) // must not panic
+}
+
+// TestSimProfileAndSnapshotter runs the publish loop by hand and
+// checks the JSONL stream round-trips with sane interval rates.
+func TestSimProfileAndSnapshotter(t *testing.T) {
+	r := NewRegistry()
+	p := NewSimProfile(r)
+	var buf bytes.Buffer
+	s := NewSnapshotter(&buf, time.Nanosecond, r, p, NewProgress(r))
+	p.SetSnapshotter(s)
+
+	p.SetPhase(PhaseWarmup)
+	p.Advance(64, 120)
+	p.SetPhase(PhaseMeasure)
+	p.SetHeapDepth(9)
+	time.Sleep(2 * time.Millisecond) // let the interval elapse
+	p.Advance(64, 130)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if p.Cycles() != 128 || p.Events() != 250 {
+		t.Fatalf("profile totals = %d cycles / %d events", p.Cycles(), p.Events())
+	}
+	if p.Phase() != PhaseMeasure || p.HeapDepth() != 9 {
+		t.Fatalf("phase/heap = %v/%d", p.Phase(), p.HeapDepth())
+	}
+	snaps, err := ParseSnapshots(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("only %d snapshot lines", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.Cycles != 128 || last.Events != 250 {
+		t.Fatalf("final snapshot = %d cycles / %d events", last.Cycles, last.Events)
+	}
+	if last.Phase != "measure" {
+		t.Fatalf("final phase = %q", last.Phase)
+	}
+	if last.Metrics["noc_sim_events_total"] != 250 {
+		t.Fatalf("registry dump missing events total: %v", last.Metrics)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Cycles < snaps[i-1].Cycles || snaps[i].TMS < snaps[i-1].TMS {
+			t.Fatalf("snapshots not monotonic at line %d", i)
+		}
+	}
+}
+
+// TestProgressETA pins the extrapolation: half the points done means
+// the ETA is about the elapsed time again.
+func TestProgressETA(t *testing.T) {
+	r := NewRegistry()
+	p := NewProgress(r)
+	p.SetTotal(4)
+	for i := 0; i < 2; i++ {
+		p.PointStart()
+		p.PointDone("mesh/uniform@0.05", 5)
+	}
+	time.Sleep(2 * time.Millisecond)
+	s := p.Snapshot()
+	if s.PointsTotal != 4 || s.PointsDone != 2 || s.WorkersBusy != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.LastPoint != "mesh/uniform@0.05" {
+		t.Fatalf("last point = %q", s.LastPoint)
+	}
+	if s.EtaSec <= 0 || s.EtaSec > 100*s.ElapsedSec {
+		t.Fatalf("eta = %g (elapsed %g)", s.EtaSec, s.ElapsedSec)
+	}
+	if p.wall.Count() != 2 {
+		t.Fatalf("wall histogram count = %d", p.wall.Count())
+	}
+}

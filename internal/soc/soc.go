@@ -10,6 +10,7 @@ import (
 	"gonoc/internal/niu"
 	"gonoc/internal/noctypes"
 	"gonoc/internal/obs"
+	"gonoc/internal/obs/metrics"
 	"gonoc/internal/protocols/ahb"
 	"gonoc/internal/protocols/axi"
 	"gonoc/internal/protocols/ocp"
@@ -156,6 +157,14 @@ type System struct {
 
 	// Shared memory backings keyed by slave name.
 	Stores map[string]*mem.Backing
+
+	// Prof, when set (after Build, before Run), receives live
+	// self-profiling samples — cycles, kernel events, event-heap depth
+	// — as Run advances. It observes only; attaching it never changes
+	// simulated behavior.
+	Prof *metrics.SimProfile
+
+	profCycles, profEvents int64
 }
 
 // buildCommon creates kernel, clock, address map and stores.
@@ -430,14 +439,28 @@ func (s *System) Run(maxCycles int64) (int64, error) {
 	start := s.Clk.Cycle()
 	for s.Clk.Cycle()-start < maxCycles {
 		if s.AllDone() {
+			s.publishProf()
 			if err := ip.CheckAll(s.Gens); err != nil {
 				return s.Clk.Cycle() - start, err
 			}
 			return s.Clk.Cycle() - start, nil
 		}
 		s.Clk.RunCycles(64)
+		s.publishProf()
 	}
 	return maxCycles, fmt.Errorf("soc: %s system did not finish in %d cycles", s.Kind, maxCycles)
+}
+
+// publishProf pushes cycle/event deltas to the attached profile, if
+// any.
+func (s *System) publishProf() {
+	if s.Prof == nil {
+		return
+	}
+	c, e := s.Clk.Cycle(), int64(s.K.Steps())
+	s.Prof.SetHeapDepth(s.K.Pending())
+	s.Prof.Advance(c-s.profCycles, e-s.profEvents)
+	s.profCycles, s.profEvents = c, e
 }
 
 // RunUntil drives the system until cond (checked every cycle) or maxCycles.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gonoc/internal/obs"
+	"gonoc/internal/obs/metrics"
 	"gonoc/internal/sim"
 	"gonoc/internal/stats"
 )
@@ -38,7 +39,31 @@ type CampaignConfig struct {
 	// CampaignResult.Heatmaps. Monitors are per-point because a probe
 	// may not be shared between concurrently running kernels; for the
 	// same reason Base.Probe is ignored by the campaign runner.
+	// Base.Prof and Base.Metrics are NOT stripped: they only feed
+	// atomic counters, so sharing them across workers is safe and the
+	// live totals aggregate the whole campaign.
 	HeatmapBuckets int64
+
+	// OnPoint, when non-nil, is called as each point completes —
+	// serialized under the campaign's lock, in completion (not
+	// enumeration) order. The CLI hooks stderr progress lines here.
+	OnPoint func(PointDone)
+
+	// Progress, when non-nil, tracks live point counters and
+	// worker-pool occupancy (the /progress endpoint's campaign view).
+	Progress *metrics.Progress
+}
+
+// PointDone describes one completed sweep or campaign point for
+// progress callbacks.
+type PointDone struct {
+	Index   int     // position in enumeration order
+	Done    int     // points completed so far, including this one
+	Total   int     // points scheduled
+	Label   string  // "<topology>/<pattern>@<rate>"
+	Seed    int64   // the point's derived seed
+	Offered float64 // offered injection rate
+	WallMS  float64 // wall-clock the point took
 }
 
 // CampaignPoint is one measured load point plus the seed it ran under.
@@ -60,11 +85,18 @@ type CampaignResult struct {
 	// labeled "<topology>/<pattern>@<rate>".
 	Heatmaps []obs.HeatmapReport `json:"heatmaps,omitempty"`
 
-	// ElapsedMS is the campaign's wall-clock time. It is deliberately
-	// excluded from the JSON report and the table: CLI output is
-	// byte-identical for a given seed by repo convention, and wall
-	// clock is the one number here that can't be.
-	ElapsedMS int64 `json:"-"`
+	// Wall is the campaign's wall-clock digest; populated only when
+	// Base.CollectWall is set. Without it the JSON report stays
+	// byte-identical for a given seed by repo convention — wall clock
+	// is the one number here that can't be.
+	Wall *CampaignWall `json:"wall,omitempty"`
+}
+
+// CampaignWall is the whole-campaign wall-clock self-profile.
+type CampaignWall struct {
+	TotalMS      float64 `json:"total_ms"`
+	Events       uint64  `json:"events"`         // kernel events across all points (deterministic)
+	EventsPerSec float64 `json:"events_per_sec"` // aggregate across the worker pool
 }
 
 // pointSeed derives the deterministic seed for one campaign point.
@@ -114,6 +146,7 @@ func Campaign(cfg CampaignConfig) CampaignResult {
 		}
 	}
 
+	cfg.Progress.SetTotal(len(jobs))
 	start := time.Now()
 	points := make([]CampaignPoint, len(jobs))
 	hists := make([]*stats.Histogram, len(jobs))
@@ -121,6 +154,10 @@ func Campaign(cfg CampaignConfig) CampaignResult {
 	if cfg.HeatmapBuckets > 0 {
 		heatmaps = make([]obs.HeatmapReport, len(jobs))
 	}
+	// doneMu serializes the completion bookkeeping (counter + OnPoint);
+	// result slots need no lock — each worker writes only its own index.
+	var doneMu sync.Mutex
+	done := 0
 	ch := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -133,13 +170,27 @@ func Campaign(cfg CampaignConfig) CampaignResult {
 					mon = obs.NewLinkMonitor(cfg.HeatmapBuckets)
 					j.cfg.Probe = mon
 				}
+				cfg.Progress.PointStart()
+				pointStart := time.Now()
 				res, hist := run(j.cfg)
+				wallMS := durMS(time.Since(pointStart))
 				res.Flows = nil
 				points[j.idx] = CampaignPoint{Seed: j.seed, Result: res}
 				hists[j.idx] = hist
 				if mon != nil {
 					heatmaps[j.idx] = mon.Report(j.label)
 				}
+				cfg.Progress.PointDone(j.label, wallMS)
+				doneMu.Lock()
+				done++
+				if cfg.OnPoint != nil {
+					cfg.OnPoint(PointDone{
+						Index: j.idx, Done: done, Total: len(jobs),
+						Label: j.label, Seed: j.seed, Offered: j.cfg.Rate,
+						WallMS: wallMS,
+					})
+				}
+				doneMu.Unlock()
 			}
 		}()
 	}
@@ -150,11 +201,22 @@ func Campaign(cfg CampaignConfig) CampaignResult {
 	wg.Wait()
 
 	cr := CampaignResult{
-		Nodes:     cfg.Base.withDefaults().Nodes,
-		Workers:   workers,
-		Points:    points,
-		Heatmaps:  heatmaps,
-		ElapsedMS: time.Since(start).Milliseconds(),
+		Nodes:    cfg.Base.withDefaults().Nodes,
+		Workers:  workers,
+		Points:   points,
+		Heatmaps: heatmaps,
+	}
+	if cfg.Base.CollectWall {
+		wall := &CampaignWall{TotalMS: durMS(time.Since(start))}
+		for _, p := range points {
+			if p.Wall != nil {
+				wall.Events += p.Wall.Events
+			}
+		}
+		if s := time.Since(start).Seconds(); s > 0 {
+			wall.EventsPerSec = float64(wall.Events) / s
+		}
+		cr.Wall = wall
 	}
 	// Curves: consecutive runs of len(Rates) points share one
 	// (topology, pattern) pair by construction.

@@ -2,8 +2,10 @@ package traffic
 
 import (
 	"fmt"
+	"time"
 
 	"gonoc/internal/noctypes"
+	"gonoc/internal/obs/metrics"
 	"gonoc/internal/sim"
 	"gonoc/internal/stats"
 	"gonoc/internal/transport"
@@ -30,6 +32,7 @@ type collector struct {
 	measDone  uint64 // measured txns completed (any phase)
 
 	tagCollisions uint64 // busy tags skipped at injection after tag wrap
+	backpressure  uint64 // source-cycles a non-empty queue found CanSend false while measuring
 }
 
 // rig is one assembled packet-level traffic experiment: a fabric plus a
@@ -47,6 +50,12 @@ type rig struct {
 	// Known statically: warmup runs from cycle 0.
 	measStart, measEnd int64
 	col                collector
+
+	// Live-metrics state (all nil/zero when profiling is off).
+	mBackpressure          *metrics.Counter
+	lastCycles, lastEvents int64
+	lastBP                 uint64
+	wall                   *WallStats
 }
 
 // nodeID maps a source index onto a fabric NodeID (0 is reserved as a
@@ -110,6 +119,10 @@ func newRig(cfg *Config) *rig {
 	if cfg.Probe != nil {
 		r.net.SetProbe(cfg.Probe)
 	}
+	if cfg.Metrics != nil {
+		r.mBackpressure = cfg.Metrics.Counter("noc_traffic_backpressure_total",
+			"source-cycles a pending transaction found its endpoint unable to accept (measure phase)")
+	}
 
 	root := sim.NewRNG(cfg.Seed)
 	r.srcs = make([]*source, cfg.Nodes)
@@ -122,15 +135,29 @@ func newRig(cfg *Config) *rig {
 // measuredOutstanding counts measured txns not yet completed.
 func (r *rig) measuredOutstanding() uint64 { return r.col.generated - r.col.measDone }
 
+// profileChunk is the publishing cadence when self-profiling is on:
+// the phase loops run the clock in chunks of this many cycles and
+// publish deltas between chunks. Small enough that /metrics and
+// snapshots track a long run closely, large enough that the per-chunk
+// bookkeeping is noise.
+const profileChunk = 512
+
 // run executes warmup, measurement, and drain; it returns the total
 // cycles simulated.
 func (r *rig) run() int64 {
+	prof := r.cfg.Prof
+	t0 := time.Now()
 	r.genOn = true
-	r.clk.RunCycles(r.cfg.Warmup)
+	prof.SetPhase(metrics.PhaseWarmup)
+	r.runCycles(r.cfg.Warmup)
+	t1 := time.Now()
 	r.measuring = true
-	r.clk.RunCycles(r.cfg.Measure)
+	prof.SetPhase(metrics.PhaseMeasure)
+	r.runCycles(r.cfg.Measure)
+	t2 := time.Now()
 	r.measuring = false
 	r.genOn = false
+	prof.SetPhase(metrics.PhaseDrain)
 	// Drain: finish the measured transactions, up to the cap. The
 	// completion check runs every 64 cycles, with the last step clipped
 	// so the cap is exact rather than overshooting by up to 63 cycles.
@@ -141,6 +168,49 @@ func (r *rig) run() int64 {
 		}
 		r.clk.RunCycles(step)
 		c += step
+		r.publish()
+	}
+	prof.SetPhase(metrics.PhaseDone)
+	t3 := time.Now()
+	if r.cfg.CollectWall {
+		r.wall = newWallStats(t1.Sub(t0), t2.Sub(t1), t3.Sub(t2), r.k.Steps(), r.clk.Cycle())
 	}
 	return r.clk.Cycle()
+}
+
+// runCycles advances the clock n cycles, chunked for publishing when
+// live metrics are attached (the disabled path is a single RunCycles —
+// identical to the pre-metrics code).
+func (r *rig) runCycles(n int64) {
+	if r.cfg.Prof == nil && r.mBackpressure == nil {
+		r.clk.RunCycles(n)
+		return
+	}
+	for done := int64(0); done < n; {
+		step := int64(profileChunk)
+		if done+step > n {
+			step = n - done
+		}
+		r.clk.RunCycles(step)
+		done += step
+		r.publish()
+	}
+}
+
+// publish pushes cycle/event/backpressure deltas since the last call
+// to the attached profiling sinks. Chunk boundaries are cycle-exact,
+// so after the final publish of a run the live totals equal the
+// deterministic per-run numbers.
+func (r *rig) publish() {
+	if p := r.cfg.Prof; p != nil {
+		c, e := r.clk.Cycle(), int64(r.k.Steps())
+		p.SetHeapDepth(r.k.Pending())
+		p.Advance(c-r.lastCycles, e-r.lastEvents)
+		r.lastCycles, r.lastEvents = c, e
+	}
+	if r.mBackpressure != nil {
+		bp := r.col.backpressure
+		r.mBackpressure.Add(bp - r.lastBP)
+		r.lastBP = bp
+	}
 }

@@ -2,9 +2,43 @@ package traffic
 
 import (
 	"sort"
+	"time"
 
 	"gonoc/internal/stats"
 )
+
+// WallStats is the wall-clock self-profile of one run: how long each
+// phase took outside simulated time, and how much kernel work it was.
+// Everything here except Events is nondeterministic by nature, which
+// is why results only carry it when Config.CollectWall asks (the
+// determinism tests compare results with Wall normalized away).
+type WallStats struct {
+	WarmupMS  float64 `json:"warmup_ms"`
+	MeasureMS float64 `json:"measure_ms"`
+	DrainMS   float64 `json:"drain_ms"`
+	TotalMS   float64 `json:"total_ms"`
+
+	Events       uint64  `json:"events"`         // kernel events executed (deterministic)
+	EventsPerSec float64 `json:"events_per_sec"` // events / total wall
+	CyclesPerSec float64 `json:"cycles_per_sec"` // simulated cycles / total wall
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+func newWallStats(warmup, measure, drain time.Duration, events uint64, cycles int64) *WallStats {
+	w := &WallStats{
+		WarmupMS:  durMS(warmup),
+		MeasureMS: durMS(measure),
+		DrainMS:   durMS(drain),
+		TotalMS:   durMS(warmup + measure + drain),
+		Events:    events,
+	}
+	if total := (warmup + measure + drain).Seconds(); total > 0 {
+		w.EventsPerSec = float64(events) / total
+		w.CyclesPerSec = float64(cycles) / total
+	}
+	return w
+}
 
 // FlowStat is the exported latency digest of one source/destination
 // pair.
@@ -38,6 +72,15 @@ type Result struct {
 	TagCollisions uint64               `json:"tag_collisions"` // busy tags skipped after tag-counter wrap
 	Cycles        int64                `json:"cycles"`         // total cycles simulated
 	FabricFlits   uint64               `json:"fabric_flits"`   // flits forwarded by all switches, whole run
+
+	// InjectBackpressure counts source-cycles during the measurement
+	// window where a pending transaction found its endpoint unable to
+	// accept a packet — the injection-side congestion signal.
+	InjectBackpressure uint64 `json:"inject_backpressure"`
+
+	// Wall is the run's wall-clock self-profile; present only when
+	// Config.CollectWall was set (see WallStats).
+	Wall *WallStats `json:"wall,omitempty"`
 }
 
 // satThreshold: a run counts as saturated when accepted throughput falls
@@ -79,6 +122,9 @@ func (r *rig) result(cycles int64) Result {
 		Incomplete:    int(r.measuredOutstanding()),
 		TagCollisions: col.tagCollisions,
 		Cycles:        cycles,
+
+		InjectBackpressure: col.backpressure,
+		Wall:               r.wall,
 	}
 	// Fabric-wide flit total: the ground truth the congestion heatmap's
 	// per-link counts must sum to (both tally switch-output traversals).

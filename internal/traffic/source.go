@@ -210,9 +210,15 @@ func (s *source) Eval(cycle int64) {
 	}
 	for {
 		t, ok := s.q.Peek()
+		if !ok {
+			break
+		}
 		// CanSend gates packet construction: under backpressure a blocked
 		// source would otherwise allocate a throwaway packet every cycle.
-		if !ok || !s.ep.CanSend() {
+		if !s.ep.CanSend() {
+			if s.r.measuring {
+				s.r.col.backpressure++
+			}
 			break
 		}
 		// Tags are assigned here, not at generation: only injected

@@ -1,6 +1,11 @@
 package traffic
 
-import "gonoc/internal/stats"
+import (
+	"fmt"
+	"time"
+
+	"gonoc/internal/stats"
+)
 
 // SweepResult is a walk of injection rates under one configuration: the
 // latency-vs-offered-load curve plus its saturation summary.
@@ -27,6 +32,14 @@ func DefaultRates() []float64 {
 // Sweep runs cfg once per rate (open loop) and collects the curve. Flow
 // digests are dropped from the points to keep sweep output compact.
 func Sweep(cfg Config, rates []float64) SweepResult {
+	return SweepProgress(cfg, rates, nil)
+}
+
+// SweepProgress is Sweep with a per-point completion callback — the
+// hook the CLI uses for stderr progress lines and live point counters.
+// onPoint (ignored when nil) sees each point in rate order, right
+// after it finishes; it must not mutate the result.
+func SweepProgress(cfg Config, rates []float64, onPoint func(PointDone)) SweepResult {
 	if len(rates) == 0 {
 		rates = DefaultRates()
 	}
@@ -34,13 +47,23 @@ func Sweep(cfg Config, rates []float64) SweepResult {
 	// (negative sentinels map to 0, which a second pass would re-default),
 	// so it must run exactly once, inside Run.
 	points := make([]Result, 0, len(rates))
-	for _, rate := range rates {
+	for i, rate := range rates {
 		c := cfg
 		c.ClosedLoop = false
 		c.Rate = rate
+		start := time.Now()
 		res := Run(c)
 		res.Flows = nil
 		points = append(points, res)
+		if onPoint != nil {
+			onPoint(PointDone{
+				Index: i, Done: i + 1, Total: len(rates),
+				Label:   fmt.Sprintf("%s/%s@%g", res.Topology, res.Pattern, rate),
+				Seed:    c.Seed,
+				Offered: rate,
+				WallMS:  durMS(time.Since(start)),
+			})
+		}
 	}
 	return newSweepResult(points)
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"gonoc/internal/obs"
+	"gonoc/internal/obs/metrics"
 	"gonoc/internal/transport"
 )
 
@@ -145,6 +146,26 @@ type Config struct {
 	// race, which is why Campaign strips it from its per-point configs
 	// and builds per-point monitors instead (HeatmapBuckets).
 	Probe obs.Probe `json:"-"`
+
+	// Prof, when non-nil, receives simulator self-profiling samples as
+	// the run executes: the rig chunks its clock loop and publishes
+	// cycle/event/heap-depth deltas plus phase transitions. Unlike
+	// Probe, a profile only feeds atomic counters, so one instance may
+	// be shared across campaign workers (totals then aggregate across
+	// concurrent points).
+	Prof *metrics.SimProfile `json:"-"`
+
+	// Metrics, when non-nil, is the registry the run publishes its
+	// traffic-layer counters on (currently injection backpressure).
+	// Shareable across workers for the same reason as Prof.
+	Metrics *metrics.Registry `json:"-"`
+
+	// CollectWall populates Result.Wall with wall-clock phase timings.
+	// It is opt-in because wall clock is the one measurement that can't
+	// be deterministic: the repo's byte-identical-output convention
+	// (and the tests enforcing it) applies to everything else, so
+	// library callers default to off and the CLIs switch it on.
+	CollectWall bool `json:"-"`
 }
 
 // ackBytes is the payload of the non-data direction (a write ack or a

@@ -3,9 +3,11 @@ package traffic
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"gonoc/internal/noctypes"
 	"gonoc/internal/obs"
+	"gonoc/internal/obs/metrics"
 	"gonoc/internal/sim"
 	"gonoc/internal/soc"
 	"gonoc/internal/stats"
@@ -80,6 +82,14 @@ type TransConfig struct {
 	// Probe, when non-nil, instruments the SoC's fabric and NIUs for
 	// the whole run (same contract as Config.Probe).
 	Probe obs.Probe `json:"-"`
+
+	// Prof, when non-nil, receives self-profiling samples as the run
+	// executes (same contract as Config.Prof).
+	Prof *metrics.SimProfile `json:"-"`
+
+	// CollectWall populates TransResult.Wall (same opt-in rationale as
+	// Config.CollectWall).
+	CollectWall bool `json:"-"`
 }
 
 func (c TransConfig) withDefaults() TransConfig {
@@ -129,6 +139,10 @@ type TransResult struct {
 	PerMaster  []TransMaster `json:"per_master"`
 	Throughput float64       `json:"tput_per_kcycle"` // completions/kcycle, all masters, measure window
 	Incomplete int           `json:"incomplete"`
+
+	// Wall is the run's wall-clock self-profile; present only when
+	// TransConfig.CollectWall was set.
+	Wall *WallStats `json:"wall,omitempty"`
 }
 
 // reqWireOverhead bounds the encoded request/response metadata a NIU
@@ -316,12 +330,48 @@ func RunTrans(tc TransConfig) TransResult {
 		states = append(states, st)
 	}
 
+	// Phase loop with optional self-profiling, mirroring rig.run: when a
+	// profile is attached the clock runs in publishing chunks; otherwise
+	// each phase is a single RunCycles, exactly as before.
+	k := s.Clk.Kernel()
+	var lastCycles, lastEvents int64
+	publish := func() {
+		if tc.Prof == nil {
+			return
+		}
+		c, e := s.Clk.Cycle(), int64(k.Steps())
+		tc.Prof.SetHeapDepth(k.Pending())
+		tc.Prof.Advance(c-lastCycles, e-lastEvents)
+		lastCycles, lastEvents = c, e
+	}
+	runPhase := func(n int64) {
+		if tc.Prof == nil {
+			s.Clk.RunCycles(n)
+			return
+		}
+		for done := int64(0); done < n; {
+			step := int64(profileChunk)
+			if done+step > n {
+				step = n - done
+			}
+			s.Clk.RunCycles(step)
+			done += step
+			publish()
+		}
+	}
+
+	t0 := time.Now()
 	genOn = true
-	s.Clk.RunCycles(tc.Warmup)
+	tc.Prof.SetPhase(metrics.PhaseWarmup)
+	runPhase(tc.Warmup)
+	t1 := time.Now()
 	measuring = true
-	s.Clk.RunCycles(tc.Measure)
+	tc.Prof.SetPhase(metrics.PhaseMeasure)
+	runPhase(tc.Measure)
+	t2 := time.Now()
 	measuring = false
 	genOn = false
+	tc.Prof.SetPhase(metrics.PhaseDrain)
 	outstanding := func() int {
 		total := 0
 		for _, st := range states {
@@ -331,7 +381,10 @@ func RunTrans(tc TransConfig) TransResult {
 	}
 	for c := int64(0); c < tc.Drain && outstanding() > 0; c += 64 {
 		s.Clk.RunCycles(64)
+		publish()
 	}
+	tc.Prof.SetPhase(metrics.PhaseDone)
+	t3 := time.Now()
 
 	// The report's headline rate is the rate every role shares; a mixed
 	// role list reports 0 (the table then says "per-role rates"). The
@@ -353,6 +406,9 @@ func RunTrans(tc TransConfig) TransResult {
 	sort.Slice(res.PerMaster, func(i, j int) bool { return res.PerMaster[i].Master < res.PerMaster[j].Master })
 	res.Throughput = float64(cmplMeas) * 1000 / float64(tc.Measure)
 	res.Incomplete = outstanding()
+	if tc.CollectWall {
+		res.Wall = newWallStats(t1.Sub(t0), t2.Sub(t1), t3.Sub(t2), k.Steps(), s.Clk.Cycle())
+	}
 	return res
 }
 
