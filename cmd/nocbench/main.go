@@ -9,6 +9,7 @@
 // Usage:
 //
 //	nocbench [-seed N] [-requests N] [-only E1,E3,...] [-json]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"gonoc/internal/experiments"
+	"gonoc/internal/obs/prof"
 	"gonoc/internal/stats"
 )
 
@@ -27,7 +29,14 @@ func main() {
 	requests := flag.Int("requests", 25, "write/read-back pairs per master for E2/E3")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	jsonOut := flag.Bool("json", false, "emit results as one JSON document instead of text tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the suite to this file (docs/PERFORMANCE.md)")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -46,6 +46,12 @@
 // results, and long sweeps and campaigns additionally print per-point
 // completion lines to stderr whether or not metrics are on.
 //
+// Profiling (reference in docs/PERFORMANCE.md): -cpuprofile writes a
+// pprof CPU profile covering the whole run; -memprofile writes a pprof
+// allocation profile at exit (after a final GC, so it shows live and
+// cumulative allocations, not garbage). Inspect either with
+// `go tool pprof`.
+//
 // Usage:
 //
 //	noctraffic [-pattern uniform|hotspot|transpose|bitcomp|neighbor|bursty]
@@ -61,6 +67,7 @@
 //	           [-metrics-addr ADDR] [-metrics-out FILE]
 //	           [-metrics-interval D] [-scenario NAME|FILE]
 //	           [-save-scenario FILE] [-list-scenarios]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -76,6 +83,7 @@ import (
 
 	"gonoc/internal/obs"
 	"gonoc/internal/obs/metrics"
+	"gonoc/internal/obs/prof"
 	"gonoc/internal/scenario"
 	"gonoc/internal/soc"
 	"gonoc/internal/stats"
@@ -126,6 +134,9 @@ var (
 	scenarioFlag  = flag.String("scenario", "", "run a declarative scenario: a built-in name (-list-scenarios) or a *.scenario.json file; explicit flags override scenario fields (docs/SCENARIOS.md)")
 	saveScenario  = flag.String("save-scenario", "", "export this invocation as a scenario file before running it; re-running the file reproduces the identical seeded result")
 	listScenarios = flag.Bool("list-scenarios", false, "list the built-in scenarios and exit")
+
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (docs/PERFORMANCE.md)")
+	memProfile = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
 )
 
 // setFlags records which flags the user set explicitly — the set that
@@ -142,6 +153,11 @@ func main() {
 	if *heatBucket <= 0 {
 		*heatBucket = obs.DefaultHeatmapBucket
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	if *listScenarios {
 		printScenarioList()

@@ -22,7 +22,12 @@ type AsyncFifo[T any] struct {
 	depth      int
 	syncStages int
 
-	buf []asyncEntry[T]
+	// buf[head:] is the live window, oldest first. Pops advance head
+	// instead of re-slicing, so the backing array is reused instead of
+	// creeping forward and forcing every push burst to reallocate —
+	// the same fix the fabric's flit lanes use (see transport's flitQ).
+	buf  []asyncEntry[T]
+	head int
 
 	// Credit turnaround: a slot freed by Pop at kernel time T is not
 	// reusable by CanPush until a strictly later time, mirroring
@@ -59,7 +64,7 @@ func NewAsyncFifo[T any](k *sim.Kernel, name string, depth, syncStages int, cons
 // credit becomes visible to the producer at its next evaluation after
 // the pop.
 func (f *AsyncFifo[T]) CanPush() bool {
-	occ := len(f.buf)
+	occ := f.Len()
 	if f.popsNow > 0 && f.lastPopAt == f.k.Now() {
 		occ += f.popsNow
 	}
@@ -72,20 +77,39 @@ func (f *AsyncFifo[T]) Push(v T) bool {
 	if !f.CanPush() {
 		return false
 	}
+	if f.head > 0 && len(f.buf) == cap(f.buf) {
+		// Compact the live window to the front so the append reuses the
+		// backing array's full capacity instead of growing it.
+		n := copy(f.buf, f.buf[f.head:])
+		clear(f.buf[n:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
 	f.buf = append(f.buf, asyncEntry[T]{
 		v:       v,
 		readyAt: f.k.Now() + sim.Time(f.syncStages)*f.consumer.Period(),
 	})
 	f.pushes++
-	if len(f.buf) > f.maxOcc {
-		f.maxOcc = len(f.buf)
+	if f.Len() > f.maxOcc {
+		f.maxOcc = f.Len()
 	}
 	return true
 }
 
 // CanPop reports whether a synchronized value is available now.
 func (f *AsyncFifo[T]) CanPop() bool {
-	return len(f.buf) > 0 && f.buf[0].readyAt <= f.k.Now()
+	return f.Len() > 0 && f.buf[f.head].readyAt <= f.k.Now()
+}
+
+// notePop records one pop's credit-turnaround mark at the current
+// kernel instant.
+func (f *AsyncFifo[T]) notePop() {
+	f.pops++
+	if f.lastPopAt != f.k.Now() {
+		f.lastPopAt = f.k.Now()
+		f.popsNow = 0
+	}
+	f.popsNow++
 }
 
 // Pop removes the oldest synchronized value.
@@ -94,19 +118,40 @@ func (f *AsyncFifo[T]) Pop() (T, bool) {
 	if !f.CanPop() {
 		return zero, false
 	}
-	v := f.buf[0].v
-	f.buf = f.buf[1:]
-	f.pops++
-	if f.lastPopAt != f.k.Now() {
-		f.lastPopAt = f.k.Now()
-		f.popsNow = 0
+	v := f.buf[f.head].v
+	f.buf[f.head] = asyncEntry[T]{}
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
 	}
-	f.popsNow++
+	f.notePop()
 	return v, true
 }
 
+// PopReady appends every value that has cleared the synchronizer to dst
+// and returns the extended slice — the batch form of Pop (one call per
+// consumer-clock edge instead of one per value), aligned with the
+// transport layer's per-edge batching. Credit turnaround is identical
+// to the equivalent sequence of Pops: all slots freed here become
+// visible to the producer only after the current kernel instant.
+func (f *AsyncFifo[T]) PopReady(dst []T) []T {
+	now := f.k.Now()
+	for f.head < len(f.buf) && f.buf[f.head].readyAt <= now {
+		dst = append(dst, f.buf[f.head].v)
+		f.buf[f.head] = asyncEntry[T]{}
+		f.head++
+		f.notePop()
+	}
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return dst
+}
+
 // Len returns the number of stored values (synchronized or not).
-func (f *AsyncFifo[T]) Len() int { return len(f.buf) }
+func (f *AsyncFifo[T]) Len() int { return len(f.buf) - f.head }
 
 // AsyncFifoStats aggregates activity.
 type AsyncFifoStats struct {

@@ -269,3 +269,67 @@ func TestLinkUtilizationStats(t *testing.T) {
 		t.Fatal("CyclesPerFlit wrong")
 	}
 }
+
+// TestAsyncFifoPopReady checks the batch pop: it drains exactly the
+// synchronized prefix, preserves order, and keeps the credit-turnaround
+// rule — slots freed by the batch are not reusable at the same instant.
+func TestAsyncFifoPopReady(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "c", sim.Nanosecond, 0)
+	fifo := NewAsyncFifo[int](k, "cdc", 4, 2, clk)
+	for i := 0; i < 4; i++ {
+		if !fifo.Push(i) {
+			t.Fatalf("push %d refused", i)
+		}
+	}
+	if got := fifo.PopReady(nil); len(got) != 0 {
+		t.Fatalf("values visible before synchronization: %v", got)
+	}
+	k.RunUntil(2 * sim.Nanosecond) // 2 sync stages at 1ns
+	got := fifo.PopReady(nil)
+	if len(got) != 4 {
+		t.Fatalf("PopReady drained %d/4 synchronized values", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("batch pop reordered data: %v", got)
+		}
+	}
+	if fifo.CanPush() {
+		t.Fatal("credit visible at the freeing instant; want one-cycle turnaround")
+	}
+	k.RunUntil(3 * sim.Nanosecond)
+	if !fifo.CanPush() {
+		t.Fatal("credit never returned after batch pop")
+	}
+	if s := fifo.Stats(); s.Pops != 4 {
+		t.Fatalf("stats recorded %d pops, want 4", s.Pops)
+	}
+}
+
+// TestAsyncFifoStorageReuse pins the head-index ring behaviour: a
+// sustained push/pop stream reuses the backing array instead of letting
+// the live window creep forward and force repeated reallocation.
+func TestAsyncFifoStorageReuse(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "c", sim.Nanosecond, 0)
+	fifo := NewAsyncFifo[int](k, "cdc", 8, 1, clk)
+	clk.Start()
+	sent, got := 0, 0
+	for got < 10000 {
+		if fifo.CanPush() {
+			fifo.Push(sent)
+			sent++
+		}
+		k.RunUntil(k.Now() + sim.Nanosecond)
+		for _, v := range fifo.PopReady(nil) {
+			if v != got {
+				t.Fatalf("value %d out of order (want %d)", v, got)
+			}
+			got++
+		}
+	}
+	if c := cap(fifo.buf); c > 16 {
+		t.Fatalf("backing array grew to %d entries for a depth-8 FIFO: storage is not being reused", c)
+	}
+}

@@ -125,6 +125,35 @@ func (p *Pipe[T]) Pop() (T, bool) {
 	return v, true
 }
 
+// Quiescent reports whether an Update would be a no-op beyond stats
+// bookkeeping: nothing staged and the credit snapshot already current.
+// Owners driving many unclocked pipes per edge use it to skip idle ones.
+func (p *Pipe[T]) Quiescent() bool {
+	return len(p.pending) == 0 && p.startLen == p.Len()
+}
+
+// Window returns the committed entries as a slice, oldest first, without
+// removing them. It is the batch form of Peek: a consumer that drains the
+// pipe every cycle reads the window once and Consumes its length — one
+// call per (pipe, edge) instead of one Pop per entry. The slice aliases
+// internal storage and is invalidated by Pop, Consume, or Update.
+func (p *Pipe[T]) Window() []T { return p.buf[p.head:] }
+
+// Consume removes the n oldest committed entries (freed slots are zeroed,
+// releasing any references). It panics if fewer than n are committed.
+func (p *Pipe[T]) Consume(n int) {
+	if n < 0 || n > p.Len() {
+		panic(fmt.Sprintf("sim: pipe %q: Consume(%d) with %d committed", p.name, n, p.Len()))
+	}
+	clear(p.buf[p.head : p.head+n])
+	p.head += n
+	if p.head == len(p.buf) {
+		p.buf = p.buf[:0]
+		p.head = 0
+	}
+	p.pops += uint64(n)
+}
+
 // Eval implements Clocked; Pipes do no work in the Eval phase.
 func (p *Pipe[T]) Eval(cycle int64) {}
 

@@ -38,6 +38,8 @@ type source struct {
 	nextTag     uint32
 	tagSpace    uint32 // number of distinct tags (tests shrink it)
 	inflight    int
+
+	rxBuf []*transport.Packet // receive-drain scratch, reused per cycle
 }
 
 func newSource(r *rig, idx int, rng *sim.RNG) *source {
@@ -109,6 +111,8 @@ func payloadFor(read, isRsp bool, dataBytes int) int {
 	return ackBytes
 }
 
+// requestPacket builds a request from the network's packet pool; the
+// caller recycles it after TrySend (the fabric copies during the call).
 func (s *source) requestPacket(t *txn) *transport.Packet {
 	prio := noctypes.PrioDefault
 	if t.urgent {
@@ -118,32 +122,31 @@ func (s *source) requestPacket(t *txn) *transport.Packet {
 	if t.read {
 		user |= txnUserRead
 	}
-	return &transport.Packet{
-		Header: transport.Header{
-			Kind:     transport.KindReq,
-			Dst:      nodeID(t.dst),
-			Src:      nodeID(s.idx),
-			Tag:      t.tag,
-			Priority: prio,
-			User:     user,
-		},
-		Payload: make([]byte, payloadFor(t.read, false, s.r.cfg.PayloadBytes)),
+	p := s.r.net.NewPacket(payloadFor(t.read, false, s.r.cfg.PayloadBytes))
+	p.Header = transport.Header{
+		Kind:     transport.KindReq,
+		Dst:      nodeID(t.dst),
+		Src:      nodeID(s.idx),
+		Tag:      t.tag,
+		Priority: prio,
+		User:     user,
 	}
+	return p
 }
 
-// reflect turns a received request into the matching response.
+// reflect turns a received request into the matching response, drawn
+// from the network's packet pool (recycled after injection).
 func (s *source) reflect(req *transport.Packet) *transport.Packet {
-	return &transport.Packet{
-		Header: transport.Header{
-			Kind:     transport.KindRsp,
-			Dst:      req.Src,
-			Src:      nodeID(s.idx),
-			Tag:      req.Tag,
-			Priority: req.Priority,
-			User:     req.User,
-		},
-		Payload: make([]byte, payloadFor(req.User&txnUserRead != 0, true, s.r.cfg.PayloadBytes)),
+	p := s.r.net.NewPacket(payloadFor(req.User&txnUserRead != 0, true, s.r.cfg.PayloadBytes))
+	p.Header = transport.Header{
+		Kind:     transport.KindRsp,
+		Dst:      req.Src,
+		Src:      nodeID(s.idx),
+		Tag:      req.Tag,
+		Priority: req.Priority,
+		User:     req.User,
 	}
+	return p
 }
 
 func (s *source) complete(t *txn, cycle int64) {
@@ -173,18 +176,16 @@ func (s *source) complete(t *txn, cycle int64) {
 func (s *source) Eval(cycle int64) {
 	// Receive: always drain the endpoint so the fabric never backs up
 	// into the ejection port (reflector replies wait in replyQ instead).
-	for {
-		pkt, ok := s.ep.Recv()
-		if !ok {
-			break
-		}
+	// The batch drain is one call per edge, and every delivered packet
+	// is consumed in place and recycled, keeping steady state heap-free.
+	s.rxBuf = s.ep.RecvAll(s.rxBuf[:0])
+	for _, pkt := range s.rxBuf {
 		if pkt.Kind == transport.KindReq {
 			s.replyQ.Push(s.reflect(pkt))
-			continue
-		}
-		if t, ok := s.outstanding[pkt.Tag]; ok {
+		} else if t, ok := s.outstanding[pkt.Tag]; ok {
 			s.complete(t, cycle)
 		}
+		s.r.net.Recycle(pkt)
 	}
 
 	// Generate.
@@ -207,6 +208,7 @@ func (s *source) Eval(cycle int64) {
 			break
 		}
 		s.replyQ.Pop()
+		s.r.net.Recycle(rsp)
 	}
 	for {
 		t, ok := s.q.Peek()
@@ -229,7 +231,10 @@ func (s *source) Eval(cycle int64) {
 			break // every tag outstanding; retry next cycle
 		}
 		t.tag = tag
-		if !s.ep.TrySend(s.requestPacket(t)) {
+		req := s.requestPacket(t)
+		sent := s.ep.TrySend(req)
+		s.r.net.Recycle(req)
+		if !sent {
 			break
 		}
 		s.q.Pop()

@@ -60,6 +60,12 @@ func PacketizeInto(p *Packet, flitBytes int, flits []Flit) []Flit {
 	wire := make([]byte, 0, HeaderBytes+len(p.Payload))
 	wire = AppendHeader(wire, &p.Header)
 	wire = append(wire, p.Payload...)
+	return sliceFlits(p, wire, flitBytes, flits)
+}
+
+// sliceFlits splits a serialized wire image into flit views over it,
+// reusing the caller's flit slice.
+func sliceFlits(p *Packet, wire []byte, flitBytes int, flits []Flit) []Flit {
 	vc := VCNormal
 	if p.Locked {
 		vc = VCLocked
@@ -91,6 +97,29 @@ func PacketizeInto(p *Packet, flitBytes int, flits []Flit) []Flit {
 	return flits
 }
 
+// Packetizer is a reusable packetization scratch: the wire-byte buffer
+// and flit slice live on the Packetizer and are overwritten per call, so
+// steady-state packetization performs zero allocations. The returned
+// flits (and their Data slices) are valid until the next Packetize call.
+type Packetizer struct {
+	wire  []byte
+	flits []Flit
+}
+
+// Packetize serializes a packet into flits of at most flitBytes data
+// each, reusing the Packetizer's scratch. The packet's PayloadLen is set
+// as a side effect.
+func (z *Packetizer) Packetize(p *Packet, flitBytes int) []Flit {
+	if flitBytes <= 0 {
+		panic(fmt.Sprintf("transport: flitBytes must be positive, got %d", flitBytes))
+	}
+	p.PayloadLen = uint32(len(p.Payload))
+	z.wire = AppendHeader(z.wire[:0], &p.Header)
+	z.wire = append(z.wire, p.Payload...)
+	z.flits = sliceFlits(p, z.wire, flitBytes, z.flits)
+	return z.flits
+}
+
 // Reassembler rebuilds packets from a contiguous flit stream. Wormhole
 // and store-and-forward switching both deliver the flits of one packet
 // contiguously on a given ejection port, so a single accumulation buffer
@@ -105,23 +134,33 @@ type Reassembler struct {
 // packet is returned. Errors indicate fabric bugs (interleaving or
 // corruption) and are fatal in tests.
 func (r *Reassembler) Feed(f Flit) (*Packet, error) {
-	if f.Head {
+	return r.feed(f.PktID, f.Head, f.Tail, f.Data, nil)
+}
+
+// feed is the field-wise Feed the fabric hot path uses: endpoint
+// ejection reads flit fields straight out of struct-of-arrays slots, so
+// no Flit value is ever materialized. When net is non-nil, completed
+// packets draw their descriptor and payload storage from the network's
+// free list (see Network.Recycle); a nil net allocates fresh, matching
+// the exported Feed.
+func (r *Reassembler) feed(pktID uint64, head, tail bool, data []byte, net *Network) (*Packet, error) {
+	if head {
 		if r.active {
-			return nil, fmt.Errorf("transport: head flit of pkt#%d interleaved into pkt#%d", f.PktID, r.curID)
+			return nil, fmt.Errorf("transport: head flit of pkt#%d interleaved into pkt#%d", pktID, r.curID)
 		}
 		r.active = true
-		r.curID = f.PktID
+		r.curID = pktID
 		r.cur = r.cur[:0]
 	} else {
 		if !r.active {
-			return nil, fmt.Errorf("transport: body flit of pkt#%d with no packet in progress", f.PktID)
+			return nil, fmt.Errorf("transport: body flit of pkt#%d with no packet in progress", pktID)
 		}
-		if f.PktID != r.curID {
-			return nil, fmt.Errorf("transport: flit of pkt#%d interleaved into pkt#%d", f.PktID, r.curID)
+		if pktID != r.curID {
+			return nil, fmt.Errorf("transport: flit of pkt#%d interleaved into pkt#%d", pktID, r.curID)
 		}
 	}
-	r.cur = append(r.cur, f.Data...)
-	if !f.Tail {
+	r.cur = append(r.cur, data...)
+	if !tail {
 		return nil, nil
 	}
 	r.active = false
@@ -131,11 +170,18 @@ func (r *Reassembler) Feed(f Flit) (*Packet, error) {
 	}
 	if int(hdr.PayloadLen) != len(r.cur)-HeaderBytes {
 		return nil, fmt.Errorf("transport: pkt#%d declares %d payload bytes, carries %d",
-			f.PktID, hdr.PayloadLen, len(r.cur)-HeaderBytes)
+			pktID, hdr.PayloadLen, len(r.cur)-HeaderBytes)
 	}
-	pkt := &Packet{Header: hdr, ID: f.PktID}
+	var pkt *Packet
+	if net != nil {
+		pkt = net.getPacket()
+	} else {
+		pkt = &Packet{}
+	}
+	pkt.Header = hdr
+	pkt.ID = pktID
 	if hdr.PayloadLen > 0 {
-		pkt.Payload = append([]byte(nil), r.cur[HeaderBytes:]...)
+		pkt.Payload = append(pkt.Payload[:0], r.cur[HeaderBytes:]...)
 	}
 	return pkt, nil
 }

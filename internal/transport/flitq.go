@@ -1,0 +1,264 @@
+package transport
+
+import "fmt"
+
+// This file is the struct-of-arrays flit store behind the fabric hot
+// path. The exported Flit struct remains the package's view type — NIU
+// adapters, obs probes, phys.Link and the tests all keep seeing flits —
+// but inside the fabric a flit is a *slot index* into parallel arrays:
+// one array per field plus an inline payload-byte block, so moving a
+// flit across a link is a handful of array stores with no pointers, no
+// GC write barriers, and no per-flit allocation. Payload bytes travel
+// by value (stride bytes per slot) instead of aliasing a heap-allocated
+// wire buffer, which is what lets a warmed-up fabric run without
+// touching the heap at all.
+
+// Flit slot flag bits (the SoA form of Flit.Head/Flit.Tail).
+const (
+	slotHead uint8 = 1 << 0
+	slotTail uint8 = 1 << 1
+)
+
+// flitSlots is parallel flit storage: field i of flit j lives at
+// arrays[j], and slot j's payload bytes at data[j*stride:]. Headers are
+// only meaningful on slots flagged slotHead, mirroring the Flit
+// contract ("Hdr valid when Head").
+type flitSlots struct {
+	pktID []uint64
+	flags []uint8
+	vc    []uint8
+	hops  []uint8
+	dlen  []uint16
+	hdr   []Header
+	data  []byte
+}
+
+func newFlitSlots(n, stride int) flitSlots {
+	return flitSlots{
+		pktID: make([]uint64, n),
+		flags: make([]uint8, n),
+		vc:    make([]uint8, n),
+		hops:  make([]uint8, n),
+		dlen:  make([]uint16, n),
+		hdr:   make([]Header, n),
+		data:  make([]byte, n*stride),
+	}
+}
+
+// copySlot copies slot j of src into slot i of dst. Headers travel only
+// on head flits; payload bytes are copied by value.
+func (dst *flitSlots) copySlot(i int, src *flitSlots, j, stride int) {
+	dst.pktID[i] = src.pktID[j]
+	fl := src.flags[j]
+	dst.flags[i] = fl
+	dst.vc[i] = src.vc[j]
+	dst.hops[i] = src.hops[j]
+	n := src.dlen[j]
+	dst.dlen[i] = n
+	copy(dst.data[i*stride:i*stride+int(n)], src.data[j*stride:j*stride+int(n)])
+	if fl&slotHead != 0 {
+		dst.hdr[i] = src.hdr[j]
+	}
+}
+
+// view materializes slot i as the exported Flit type. The Data slice
+// aliases the slot's storage: it is valid until the slot is popped or
+// overwritten, which is exactly the lifetime the probe hooks and tests
+// need. Body flits get a zero Hdr, matching the AoS behaviour.
+func (s *flitSlots) view(i, stride int) Flit {
+	f := Flit{
+		PktID: s.pktID[i],
+		VC:    s.vc[i],
+		Head:  s.flags[i]&slotHead != 0,
+		Tail:  s.flags[i]&slotTail != 0,
+		Hops:  s.hops[i],
+		Data:  s.data[i*stride : i*stride+int(s.dlen[i])],
+	}
+	if f.Head {
+		f.Hdr = s.hdr[i]
+	}
+	return f
+}
+
+// setFromFlit writes the exported Flit f into slot i (the inverse of
+// view, for the compat push path).
+func (s *flitSlots) setFromFlit(i int, f Flit, stride int) {
+	s.pktID[i] = f.PktID
+	var fl uint8
+	if f.Head {
+		fl |= slotHead
+	}
+	if f.Tail {
+		fl |= slotTail
+	}
+	s.flags[i] = fl
+	s.vc[i] = f.VC
+	s.hops[i] = f.Hops
+	s.dlen[i] = uint16(len(f.Data))
+	copy(s.data[i*stride:], f.Data)
+	if f.Head {
+		s.hdr[i] = f.Hdr
+	}
+}
+
+// flitQ is a flit FIFO over flitSlots with sim.Pipe register semantics:
+// values staged during a cycle become consumable at the next cycle, and
+// a slot freed by a pop cannot be refilled until the next cycle
+// (one-cycle credit turnaround via the startLen snapshot). It is not a
+// clocked component — the owning Network commits every lane in one
+// batch pass per clock edge, replacing the per-pipe virtual Update
+// calls of the AoS design.
+//
+// Committed slots live in a power-of-two ring [head, head+clen); slots
+// staged this cycle are written in place directly behind them, at
+// [head+clen, head+clen+pend). That position is stable within the
+// cycle — a pop moves head forward and clen down by one, leaving
+// head+clen fixed — so commit publishes staged slots by just extending
+// clen: no second copy, and an idle lane's commit is two integer
+// stores. Consumers never index past clen, which is what keeps staged
+// data invisible until the edge. A bounded queue (router lanes,
+// ejection buffers) refuses pushes past capacity, and capacity never
+// exceeds the ring size, so in-place staging cannot overrun; an
+// unbounded one (endpoint send queues) grows instead.
+type flitQ struct {
+	name      string
+	capacity  int // credit limit; also the logical depth reported to CanPush
+	stride    int // payload bytes per slot (the fabric's flit width)
+	unbounded bool
+
+	ring flitSlots
+	mask int // len(ring arrays) - 1, power of two
+	head int // ring index of the oldest committed slot
+	clen int // committed slot count
+	pend int // staged slot count, occupying [head+clen, head+clen+pend)
+
+	// startLen is the committed length at the start of the cycle, before
+	// any pops: push credit checks use it so results cannot depend on
+	// Eval order within a cycle (same rule as sim.Pipe).
+	startLen int
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newFlitQ creates a bounded flit queue (router input lanes, ejection
+// buffers).
+func newFlitQ(name string, capacity, stride int) *flitQ {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("transport: flit queue %q: capacity must be positive, got %d", name, capacity))
+	}
+	if stride <= 0 {
+		panic(fmt.Sprintf("transport: flit queue %q: stride must be positive, got %d", name, stride))
+	}
+	n := nextPow2(capacity)
+	return &flitQ{
+		name:     name,
+		capacity: capacity,
+		stride:   stride,
+		ring:     newFlitSlots(n, stride),
+		mask:     n - 1,
+	}
+}
+
+// newFlitDeq creates an unbounded flit queue (endpoint send queues,
+// which are bounded in packets by MaxPendingPkts, not in flits).
+func newFlitDeq(name string, stride int) *flitQ {
+	q := newFlitQ(name, 8, stride)
+	q.unbounded = true
+	return q
+}
+
+// canPush reports whether n more slots may be staged this cycle.
+func (q *flitQ) canPush(n int) bool {
+	return q.unbounded || q.startLen+q.pend+n <= q.capacity
+}
+
+// len returns the number of committed (consumable) slots.
+func (q *flitQ) len() int { return q.clen }
+
+// occupancy returns committed plus staged slots (total storage in use).
+func (q *flitQ) occupancy() int { return q.clen + q.pend }
+
+// slot returns the ring index of the i-th oldest committed slot.
+func (q *flitQ) slot(i int) int { return (q.head + i) & q.mask }
+
+// stagePush reserves the next staging slot and returns its ring index;
+// the caller fills the parallel arrays directly via q.ring. Bounded
+// queues must have checked canPush first.
+func (q *flitQ) stagePush() int {
+	if q.clen+q.pend > q.mask {
+		q.growRing(q.clen + q.pend + 1)
+	}
+	i := (q.head + q.clen + q.pend) & q.mask
+	q.pend++
+	return i
+}
+
+// pushFlit stages the exported Flit f — the compat path for code that
+// holds a Flit value rather than a source slot.
+func (q *flitQ) pushFlit(f Flit) bool {
+	if !q.canPush(1) {
+		return false
+	}
+	if len(f.Data) > q.stride {
+		panic(fmt.Sprintf("transport: flit queue %q: %dB flit exceeds %dB stride", q.name, len(f.Data), q.stride))
+	}
+	q.ring.setFromFlit(q.stagePush(), f, q.stride)
+	return true
+}
+
+// pop discards the oldest committed slot. Callers read the slot's
+// fields (via q.slot(0) indexing or peek) before popping. No zeroing is
+// needed: slots hold no references.
+func (q *flitQ) pop() {
+	q.head = (q.head + 1) & q.mask
+	q.clen--
+}
+
+// peek returns the oldest committed slot as a Flit view.
+func (q *flitQ) peek() (Flit, bool) {
+	if q.clen == 0 {
+		return Flit{}, false
+	}
+	return q.ring.view(q.head, q.stride), true
+}
+
+// Peek is the exported spelling of peek, for tests that sample a
+// buffer head (the AoS code exposed a sim.Pipe here).
+func (q *flitQ) Peek() (Flit, bool) { return q.peek() }
+
+// Len is the exported spelling of len, for occupancy sampling.
+func (q *flitQ) Len() int { return q.clen }
+
+// commit publishes this cycle's staged slots (already written in place
+// behind the committed window) and refreshes the credit snapshot. The
+// Network calls it for every lane on every edge; the cost is a few
+// integer stores whether the lane moved flits or sat idle.
+func (q *flitQ) commit() {
+	q.clen += q.pend
+	q.pend = 0
+	q.startLen = q.clen
+}
+
+// growRing doubles the ring until need slots fit (unbounded queues
+// only; bounded queues can never stage past capacity <= ring size),
+// linearizing the committed and staged window to the front.
+func (q *flitQ) growRing(need int) {
+	n := q.mask + 1
+	for n < need {
+		n *= 2
+	}
+	old := q.ring
+	oldMask, oldHead := q.mask, q.head
+	q.ring = newFlitSlots(n, q.stride)
+	for i := 0; i < q.clen+q.pend; i++ {
+		q.ring.copySlot(i, &old, (oldHead+i)&oldMask, q.stride)
+	}
+	q.mask = n - 1
+	q.head = 0
+}

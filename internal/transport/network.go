@@ -62,14 +62,23 @@ type LinkID struct {
 // Network is an assembled fabric: switches, links, and endpoints. Use a
 // topology builder (NewCrossbar, NewMesh, NewTorus, NewRing, NewTree)
 // to construct one.
+//
+// The whole fabric is driven by a single clocked component: one Eval
+// call steps every switch and endpoint, and one Update call commits
+// every flit lane in a tight batch loop. Compared to registering each
+// lane as its own component, this removes per-lane interface dispatch
+// from the per-cycle path — the "one call per (link, edge)" batching
+// the hot path is built around.
 type Network struct {
 	clk *sim.Clock
 	cfg NetConfig
 
 	routers []*Router
-	adj     [][]int // adj[router][port] = downstream router index, -1 endpoint/unconnected
+	qs      []*flitQ // every flit lane in the fabric, committed per edge
+	adj     [][]int  // adj[router][port] = downstream router index, -1 endpoint/unconnected
 	eps     map[noctypes.NodeID]*Endpoint
 	epOrder []noctypes.NodeID
+	epList  []*Endpoint // evaluation order (attach order)
 
 	nextPktID uint64
 
@@ -81,7 +90,17 @@ type Network struct {
 	lockHeld  bool
 	lockOwner noctypes.NodeID
 
+	// pktFree is the packet-descriptor free list: ejection-side
+	// reassembly draws descriptors (and their payload capacity) from it,
+	// and Recycle returns them. A consumer that never recycles simply
+	// sees freshly allocated packets, exactly as before pooling.
+	pktFree []*Packet
+
 	// OnTransit, when non-nil, observes every completed packet journey.
+	// Set it after the topology builder returns and before the simulation
+	// runs: the per-packet lifecycle timestamps feeding TransitRecord are
+	// tracked only while a hook is installed, so packets sent before one
+	// is set report zero queue/inject cycles.
 	OnTransit func(TransitRecord)
 
 	// probe, when non-nil, receives instrumentation events from the
@@ -92,7 +111,52 @@ type Network struct {
 }
 
 func newNetwork(clk *sim.Clock, cfg NetConfig) *Network {
-	return &Network{clk: clk, cfg: cfg.WithDefaults(), eps: make(map[noctypes.NodeID]*Endpoint)}
+	n := &Network{clk: clk, cfg: cfg.WithDefaults(), eps: make(map[noctypes.NodeID]*Endpoint)}
+	clk.Register(netTick{n})
+	return n
+}
+
+// netTick is the fabric's single clocked component: it batches every
+// switch, endpoint, and lane of one Network into one Eval and one
+// Update per clock edge.
+type netTick struct{ n *Network }
+
+// Eval implements sim.Clocked: one cycle of fabric operation. Switches
+// and endpoints only read lane state committed in earlier cycles (and
+// push into staging), so the iteration order here cannot influence
+// results — the same discipline that made the per-component design
+// registration-order independent.
+func (t netTick) Eval(cycle int64) {
+	for _, r := range t.n.routers {
+		r.eval(cycle)
+	}
+	for _, ep := range t.n.epList {
+		ep.eval(cycle)
+	}
+}
+
+// Update implements sim.Clocked: commit every lane's staged flits and
+// per-cycle marks in one batch pass.
+func (t netTick) Update(cycle int64) {
+	for _, q := range t.n.qs {
+		q.commit()
+	}
+	for _, r := range t.n.routers {
+		r.clearFreed()
+	}
+	for _, ep := range t.n.epList {
+		if !ep.recvQ.Quiescent() {
+			ep.recvQ.Update(cycle)
+		}
+	}
+}
+
+// addLane creates a bounded flit lane owned by this network's batch
+// commit pass.
+func (n *Network) addLane(name string, capacity int) *flitQ {
+	q := newFlitQ(name, capacity, n.cfg.FlitBytes)
+	n.qs = append(n.qs, q)
+	return q
 }
 
 // Config returns the fabric configuration.
@@ -125,8 +189,8 @@ func (n *Network) SetProbe(p obs.Probe) {
 	for _, r := range n.routers {
 		r.probe = p
 	}
-	for _, id := range n.epOrder {
-		n.eps[id].probe = p
+	for _, ep := range n.epList {
+		ep.probe = p
 	}
 	if nm, ok := p.(obs.RouterNamer); ok && p != nil {
 		names := make([]string, len(n.routers))
@@ -146,6 +210,50 @@ func (n *Network) Ejected() uint64  { return n.ejected }
 
 // InFlight reports packets injected but not yet ejected.
 func (n *Network) InFlight() int { return int(n.injected - n.ejected) }
+
+// getPacket pops a pooled packet descriptor, or allocates one the first
+// time through.
+func (n *Network) getPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// NewPacket returns a packet descriptor from the network's free list
+// with a zeroed header and a payload of payloadBytes zero bytes. Paired
+// with Recycle it gives traffic generators and adapters the same
+// zero-alloc steady state the fabric core has: after warmup every
+// send/receive cycle reuses pooled descriptors and payload storage.
+func (n *Network) NewPacket(payloadBytes int) *Packet {
+	p := n.getPacket()
+	if cap(p.Payload) < payloadBytes {
+		p.Payload = make([]byte, payloadBytes)
+	} else {
+		p.Payload = p.Payload[:payloadBytes]
+		clear(p.Payload)
+	}
+	return p
+}
+
+// Recycle returns a packet delivered by Recv (or consumed by TrySend —
+// the fabric copies everything it needs during the call) to the
+// network's descriptor free list, so a steady-state consumer that
+// recycles never allocates packets. The caller must not retain p or
+// p.Payload afterwards. Recycling is optional: consumers that keep
+// their packets simply leave the pool empty.
+func (n *Network) Recycle(p *Packet) {
+	if p == nil {
+		return
+	}
+	payload := p.Payload[:0]
+	*p = Packet{}
+	p.Payload = payload
+	n.pktFree = append(n.pktFree, p)
+}
 
 // TryAcquireLock claims the global legacy-lock token for node. The token
 // serializes READEX/LOCK sequences fabric-wide (the AHB arbiter's HMASTLOCK
@@ -209,8 +317,8 @@ func (n *Network) Drained() bool {
 	if n.InFlight() != 0 {
 		return false
 	}
-	for _, id := range n.epOrder {
-		if len(n.eps[id].sendQ) > 0 || len(n.eps[id].stage) > 0 {
+	for _, ep := range n.epList {
+		if ep.sendQ.occupancy() > 0 {
 			return false
 		}
 	}
@@ -222,50 +330,66 @@ func (n *Network) attach(node noctypes.NodeID, r *Router, port int) *Endpoint {
 	if _, dup := n.eps[node]; dup {
 		panic(fmt.Sprintf("transport: node %v attached twice", node))
 	}
-	ej := sim.NewPipe[Flit](n.clk, fmt.Sprintf("ej.%v", node), n.cfg.BufDepth)
-	r.connectOut(port, [NumVCs]*sim.Pipe[Flit]{ej, ej})
+	ej := n.addLane(fmt.Sprintf("ej.%v", node), n.cfg.BufDepth)
+	r.connectOut(port, [NumVCs]*flitQ{ej, ej})
 	ep := &Endpoint{
-		net:      n,
-		node:     node,
-		router:   r,
-		port:     port,
-		ej:       ej,
-		recvQ:    sim.NewPipe[*Packet](n.clk, fmt.Sprintf("recv.%v", node), 64),
-		injTimes: make(map[uint64]int64),
-		qTimes:   make(map[uint64]int64),
+		net:    n,
+		node:   node,
+		router: r,
+		port:   port,
+		sendQ:  newFlitDeq(fmt.Sprintf("send.%v", node), n.cfg.FlitBytes),
+		ej:     ej,
+		recvQ:  sim.NewUnclockedPipe[*Packet](fmt.Sprintf("recv.%v", node), 64),
+		times:  make(map[uint64]pktTimes),
 	}
-	n.clk.Register(ep)
+	n.qs = append(n.qs, ep.sendQ)
 	n.eps[node] = ep
 	n.epOrder = append(n.epOrder, node)
+	n.epList = append(n.epList, ep)
 	return ep
 }
 
-// Endpoint is a node's attachment point: it serializes packets into flits
-// on the send side and reassembles flits into packets on the receive
-// side, at one flit per cycle in each direction.
+// Endpoint is a node's attachment point: it serializes packets into flit
+// slots on the send side and reassembles flits into packets on the
+// receive side, at one flit per cycle in each direction. Both queues are
+// struct-of-arrays flit storage; TrySend writes header and payload bytes
+// straight into staged slots, so a send never allocates.
 type Endpoint struct {
 	net    *Network
 	node   noctypes.NodeID
 	router *Router
 	port   int
 
-	stage   []Flit // staged by TrySend this cycle
-	sendQ   []Flit // committed, injecting one per cycle
-	scratch []Flit // packetization scratch, reused across TrySends
+	sendQ   *flitQ // staged by TrySend this cycle, committed at the edge, injecting one per cycle
 	pending int    // packets not yet fully injected
 
-	ej    *sim.Pipe[Flit]
+	ej    *flitQ
 	reasm Reassembler
 	recvQ *sim.Pipe[*Packet]
 
-	injTimes map[uint64]int64 // pktID -> head-flit injection cycle
-	qTimes   map[uint64]int64 // pktID -> TrySend cycle
+	// times tracks per-packet lifecycle cycles for TransitRecord,
+	// maintained only while the network's OnTransit hook is installed so
+	// runs without a transit observer pay no map traffic per packet.
+	times map[uint64]pktTimes // pktID -> queued/injected cycles
+
+	hdrScratch [HeaderBytes]byte // header serialization scratch, reused per TrySend
 
 	probe obs.Probe // set by Network.SetProbe; nil = disabled
 }
 
+// pktTimes is a packet's send-side lifecycle, recorded at the source
+// endpoint and resolved into a TransitRecord at ejection.
+type pktTimes struct {
+	queued   int64 // cycle TrySend accepted the packet
+	injected int64 // cycle the head flit entered the fabric
+}
+
 // ID returns the endpoint's node ID.
 func (ep *Endpoint) ID() noctypes.NodeID { return ep.node }
+
+// Network returns the fabric this endpoint is attached to (for Recycle
+// and configuration lookups).
+func (ep *Endpoint) Network() *Network { return ep.net }
 
 // CanSend reports whether TrySend would accept a packet now.
 func (ep *Endpoint) CanSend() bool { return ep.pending < ep.net.cfg.MaxPendingPkts }
@@ -273,6 +397,11 @@ func (ep *Endpoint) CanSend() bool { return ep.pending < ep.net.cfg.MaxPendingPk
 // TrySend queues a packet for injection. It returns false under
 // backpressure. It panics if a store-and-forward fabric is given a packet
 // larger than switch buffers (a configuration error).
+//
+// The packet's header and payload bytes are serialized directly into
+// the send queue's flit slots during the call; the fabric retains no
+// reference to p or p.Payload, so the caller may reuse (or Recycle)
+// both immediately.
 func (ep *Endpoint) TrySend(p *Packet) bool {
 	if !ep.CanSend() {
 		return false
@@ -282,96 +411,159 @@ func (ep *Endpoint) TrySend(p *Packet) bool {
 	if p.Src != ep.node {
 		panic(fmt.Sprintf("transport: %v sending packet with Src=%v", ep.node, p.Src))
 	}
-	// The flit headers are copied into the stage queue, so the scratch
-	// slice is safely reused on the next TrySend; only the wire bytes
-	// (freshly allocated by PacketizeInto) travel with the flits.
-	ep.scratch = PacketizeInto(p, ep.net.cfg.FlitBytes, ep.scratch)
-	flits := ep.scratch
-	if (ep.net.cfg.Mode == StoreAndForward || ep.net.cutThrough) && len(flits) > ep.net.cfg.BufDepth {
-		panic(fmt.Sprintf("transport: packet of %d flits exceeds BufDepth %d (whole-packet buffering required)", len(flits), ep.net.cfg.BufDepth))
+	p.PayloadLen = uint32(len(p.Payload))
+	fb := ep.net.cfg.FlitBytes
+	wireLen := HeaderBytes + len(p.Payload)
+	n := (wireLen + fb - 1) / fb
+	if (ep.net.cfg.Mode == StoreAndForward || ep.net.cutThrough) && n > ep.net.cfg.BufDepth {
+		panic(fmt.Sprintf("transport: packet of %d flits exceeds BufDepth %d (whole-packet buffering required)", n, ep.net.cfg.BufDepth))
 	}
-	ep.stage = append(ep.stage, flits...)
+	vc := VCNormal
+	if p.Locked {
+		vc = VCLocked
+	}
+	hdr := AppendHeader(ep.hdrScratch[:0], &p.Header)
+	q := ep.sendQ
+	for i := 0; i < n; i++ {
+		lo := i * fb
+		hi := lo + fb
+		if hi > wireLen {
+			hi = wireLen
+		}
+		si := q.stagePush()
+		q.ring.pktID[si] = p.ID
+		var fl uint8
+		if i == 0 {
+			fl |= slotHead
+			q.ring.hdr[si] = p.Header
+		}
+		if i == n-1 {
+			fl |= slotTail
+		}
+		q.ring.flags[si] = fl
+		q.ring.vc[si] = vc
+		q.ring.hops[si] = 0
+		q.ring.dlen[si] = uint16(hi - lo)
+		dst := q.ring.data[si*q.stride : si*q.stride+(hi-lo)]
+		// The flit's bytes straddle the header/payload boundary of the
+		// wire image; copy each segment from its source.
+		off := 0
+		if lo < HeaderBytes {
+			he := hi
+			if he > HeaderBytes {
+				he = HeaderBytes
+			}
+			off = copy(dst, hdr[lo:he])
+		}
+		if hi > HeaderBytes {
+			copy(dst[off:], p.Payload[lo+off-HeaderBytes:hi-HeaderBytes])
+		}
+	}
 	ep.pending++
-	ep.qTimes[p.ID] = ep.net.clk.Cycle()
+	if ep.net.OnTransit != nil {
+		ep.times[p.ID] = pktTimes{queued: ep.net.clk.Cycle()}
+	}
 	if ep.probe != nil {
 		ep.probe.Event(obs.Event{
 			Kind: obs.KindQueued, Cycle: ep.net.clk.Cycle(),
-			PktID: p.ID, Src: p.Src, Dst: p.Dst, Val: len(flits),
+			PktID: p.ID, Src: p.Src, Dst: p.Dst, Val: n,
 		})
 	}
 	return true
 }
 
-// Recv pops the next received packet, if any.
+// Recv pops the next received packet, if any. The packet belongs to the
+// caller; returning it with Network.Recycle when done keeps the fabric
+// allocation-free.
 func (ep *Endpoint) Recv() (*Packet, bool) { return ep.recvQ.Pop() }
 
-// Eval implements sim.Clocked: inject one flit, eject one flit.
-func (ep *Endpoint) Eval(cycle int64) {
+// RecvAll appends every currently received packet to dst and returns
+// the extended slice — the batch form of Recv (one call per edge
+// instead of one per packet) for consumers that always drain their
+// ejection port.
+func (ep *Endpoint) RecvAll(dst []*Packet) []*Packet {
+	w := ep.recvQ.Window()
+	if len(w) == 0 {
+		return dst
+	}
+	dst = append(dst, w...)
+	ep.recvQ.Consume(len(w))
+	return dst
+}
+
+// eval runs one endpoint cycle — inject one flit, eject one flit — from
+// the network's fabric tick.
+func (ep *Endpoint) eval(cycle int64) {
 	// Injection.
-	if len(ep.sendQ) > 0 {
-		f := ep.sendQ[0]
-		lane := ep.router.lanes[ep.port][f.VC]
-		if lane.CanPush(1) {
-			lane.Push(f)
-			ep.sendQ = ep.sendQ[1:]
-			if f.Head {
-				ep.injTimes[f.PktID] = cycle
+	q := ep.sendQ
+	if q.clen > 0 {
+		hs := q.slot(0)
+		lane := ep.router.lanes[ep.port][q.ring.vc[hs]]
+		if lane.canPush(1) {
+			si := lane.stagePush()
+			lane.ring.copySlot(si, &q.ring, hs, q.stride)
+			fl := q.ring.flags[hs]
+			if fl&slotHead != 0 {
+				pktID := q.ring.pktID[hs]
+				if ep.net.OnTransit != nil {
+					tm := ep.times[pktID]
+					tm.injected = cycle
+					ep.times[pktID] = tm
+				}
 				ep.net.injected++
 				if ep.probe != nil {
 					ep.probe.Event(obs.Event{
 						Kind: obs.KindInject, Cycle: cycle,
-						PktID: f.PktID, Src: ep.node, Dst: f.Hdr.Dst,
+						PktID: pktID, Src: ep.node, Dst: q.ring.hdr[hs].Dst,
 					})
 				}
 			}
-			if f.Tail {
+			if fl&slotTail != 0 {
 				ep.pending--
 			}
+			q.pop()
 		}
 	}
 	// Ejection: only when the receive queue has room (backpressure).
-	if ep.recvQ.CanPush(1) {
-		if f, ok := ep.ej.Pop(); ok {
-			pkt, err := ep.reasm.Feed(f)
-			if err != nil {
-				panic(fmt.Sprintf("transport: %v: %v", ep.node, err))
+	if ep.recvQ.CanPush(1) && ep.ej.clen > 0 {
+		hs := ep.ej.slot(0)
+		s := &ep.ej.ring
+		pkt, err := ep.reasm.feed(
+			s.pktID[hs],
+			s.flags[hs]&slotHead != 0,
+			s.flags[hs]&slotTail != 0,
+			s.data[hs*ep.ej.stride:hs*ep.ej.stride+int(s.dlen[hs])],
+			ep.net,
+		)
+		hops := s.hops[hs]
+		ep.ej.pop()
+		if err != nil {
+			panic(fmt.Sprintf("transport: %v: %v", ep.node, err))
+		}
+		if pkt != nil {
+			ep.net.ejected++
+			ep.recvQ.Push(pkt)
+			if ep.probe != nil {
+				ep.probe.Event(obs.Event{
+					Kind: obs.KindEject, Cycle: cycle,
+					PktID: pkt.ID, Src: pkt.Src, Dst: ep.node, Val: int(hops),
+				})
 			}
-			if pkt != nil {
-				ep.net.ejected++
-				ep.recvQ.Push(pkt)
-				if ep.probe != nil {
-					ep.probe.Event(obs.Event{
-						Kind: obs.KindEject, Cycle: cycle,
-						PktID: pkt.ID, Src: pkt.Src, Dst: ep.node, Val: int(f.Hops),
-					})
+			if ep.net.OnTransit != nil {
+				src := ep.net.eps[pkt.Src]
+				rec := TransitRecord{
+					Pkt:        pkt,
+					EjectCycle: cycle,
+					Hops:       int(hops),
 				}
-				if ep.net.OnTransit != nil {
-					src := ep.net.eps[pkt.Src]
-					rec := TransitRecord{
-						Pkt:        pkt,
-						EjectCycle: cycle,
-						Hops:       int(f.Hops),
-					}
-					if src != nil {
-						rec.InjectCycle = src.injTimes[pkt.ID]
-						rec.QueuedCycle = src.qTimes[pkt.ID]
-						delete(src.injTimes, pkt.ID)
-						delete(src.qTimes, pkt.ID)
-					}
-					ep.net.OnTransit(rec)
-				} else if src := ep.net.eps[pkt.Src]; src != nil {
-					delete(src.injTimes, pkt.ID)
-					delete(src.qTimes, pkt.ID)
+				if src != nil {
+					tm := src.times[pkt.ID]
+					rec.QueuedCycle = tm.queued
+					rec.InjectCycle = tm.injected
+					delete(src.times, pkt.ID)
 				}
+				ep.net.OnTransit(rec)
 			}
 		}
-	}
-}
-
-// Update implements sim.Clocked: commit this cycle's staged flits.
-func (ep *Endpoint) Update(cycle int64) {
-	if len(ep.stage) > 0 {
-		ep.sendQ = append(ep.sendQ, ep.stage...)
-		ep.stage = ep.stage[:0]
 	}
 }

@@ -5,7 +5,6 @@ import (
 
 	"gonoc/internal/noctypes"
 	"gonoc/internal/obs"
-	"gonoc/internal/sim"
 )
 
 // SwitchingMode selects how switches handle packets. The paper's layering
@@ -63,9 +62,12 @@ type RouterStats struct {
 	OutStall   []uint64 // per-output cycles a granted output moved no flit
 }
 
-// Router is an N-port NoC switch. It owns its input buffers (one flit
-// Pipe per port per virtual channel); its outputs are references to the
-// downstream hop's input buffers or to an endpoint's ejection buffer.
+// Router is an N-port NoC switch. It owns its input buffers (one
+// struct-of-arrays flit lane per port per virtual channel); its outputs
+// are references to the downstream hop's input lanes or to an
+// endpoint's ejection buffer. It is not a clocked component itself: the
+// owning Network drives every switch and commits every lane in one
+// batched pass per clock edge.
 //
 // Arbitration: an output is held by one packet from head to tail
 // (wormhole) or for a buffered packet's full streaming (store-and-
@@ -83,16 +85,20 @@ type Router struct {
 	index int // position in the network's router list
 	cfg   RouterConfig
 
-	lanes    [][]*sim.Pipe[Flit] // [port][vc] input buffers (owned)
-	outs     [][]*sim.Pipe[Flit] // [port][vc] downstream buffers (referenced)
-	laneHdr  [][]Header          // [port][vc] header of packet in flight
-	laneAl   [][]int             // [port][vc] allocated output, -1
-	outHold  []laneRef           // per output: lane holding it
-	outFreed []bool              // freed this cycle; not reallocatable
-	outLock  []int32             // per output: locked-for source NodeID, -1
-	rr       []int               // per output: round-robin port pointer
+	lanes    [][]*flitQ // [port][vc] input lanes (owned)
+	outs     [][]*flitQ // [port][vc] downstream lanes (referenced)
+	laneHdr  [][]Header // [port][vc] header of packet in flight
+	laneAl   [][]int    // [port][vc] allocated output, -1
+	outHold  []laneRef  // per output: lane holding it
+	outFreed []bool     // freed this cycle; not reallocatable
+	outLock  []int32    // per output: locked-for source NodeID, -1
+	rr       []int      // per output: round-robin port pointer
 
 	table map[noctypes.NodeID]int
+
+	// cands is the arbitration candidate scratch, reused across cycles
+	// so steady-state arbitration never allocates.
+	cands []arbCand
 
 	// vcOut, when non-nil, rewrites a flit's virtual channel as it leaves
 	// the switch: vcOut[in][out] is the VC flits arriving on input port
@@ -112,28 +118,37 @@ type Router struct {
 	stats RouterStats
 }
 
-// newRouter creates a router with numPorts ports and allocates its input
-// buffers on clk. Builders wire outputs afterwards.
-func newRouter(clk *sim.Clock, name string, numPorts int, cfg RouterConfig) *Router {
+type arbCand struct {
+	ln  laneRef
+	pri noctypes.Priority
+}
+
+// newRouter creates a router with numPorts ports and allocates its
+// input lanes on the owning network's batched fabric tick. Builders
+// place the router in n.routers and wire outputs afterwards.
+func newRouter(n *Network, name string, numPorts int, cfg RouterConfig) *Router {
 	if cfg.BufDepth <= 0 {
 		panic(fmt.Sprintf("transport: router %q: BufDepth must be positive", name))
+	}
+	if cfg.FlitBytes <= 0 {
+		panic(fmt.Sprintf("transport: router %q: FlitBytes must be positive", name))
 	}
 	r := &Router{
 		name:  name,
 		cfg:   cfg,
 		table: make(map[noctypes.NodeID]int),
 	}
-	r.lanes = make([][]*sim.Pipe[Flit], numPorts)
-	r.outs = make([][]*sim.Pipe[Flit], numPorts)
+	r.lanes = make([][]*flitQ, numPorts)
+	r.outs = make([][]*flitQ, numPorts)
 	r.laneHdr = make([][]Header, numPorts)
 	r.laneAl = make([][]int, numPorts)
 	for p := 0; p < numPorts; p++ {
-		r.lanes[p] = make([]*sim.Pipe[Flit], NumVCs)
-		r.outs[p] = make([]*sim.Pipe[Flit], NumVCs)
+		r.lanes[p] = make([]*flitQ, NumVCs)
+		r.outs[p] = make([]*flitQ, NumVCs)
 		r.laneHdr[p] = make([]Header, NumVCs)
 		r.laneAl[p] = make([]int, NumVCs)
 		for v := 0; v < NumVCs; v++ {
-			r.lanes[p][v] = sim.NewPipe[Flit](clk, fmt.Sprintf("%s.in%d.vc%d", name, p, v), cfg.BufDepth)
+			r.lanes[p][v] = n.addLane(fmt.Sprintf("%s.in%d.vc%d", name, p, v), cfg.BufDepth)
 			r.laneAl[p][v] = -1
 		}
 	}
@@ -147,7 +162,6 @@ func newRouter(clk *sim.Clock, name string, numPorts int, cfg RouterConfig) *Rou
 	}
 	r.stats.OutBusy = make([]uint64, numPorts)
 	r.stats.OutStall = make([]uint64, numPorts)
-	clk.Register(r)
 	return r
 }
 
@@ -200,15 +214,16 @@ func (r *Router) setVCOut(in, out int, vc uint8) {
 	r.vcOut[in][out] = int8(vc)
 }
 
-// connectOut wires output port o to the given per-VC downstream buffers.
-func (r *Router) connectOut(o int, vcBufs [NumVCs]*sim.Pipe[Flit]) {
+// connectOut wires output port o to the given per-VC downstream lanes.
+func (r *Router) connectOut(o int, vcBufs [NumVCs]*flitQ) {
 	for v := 0; v < NumVCs; v++ {
 		r.outs[o][v] = vcBufs[v]
 	}
 }
 
-// Eval implements sim.Clocked: one cycle of switch operation.
-func (r *Router) Eval(cycle int64) {
+// eval runs one cycle of switch operation; the Network's fabric tick
+// calls it once per clock edge.
+func (r *Router) eval(cycle int64) {
 	if r.probe != nil {
 		r.sampleBuffers(cycle)
 	}
@@ -236,21 +251,31 @@ func (r *Router) Eval(cycle int64) {
 		if win == noLane {
 			continue
 		}
-		f, _ := r.lanes[win.port][win.vc].Peek()
+		lane := r.lanes[win.port][win.vc]
+		hs := lane.slot(0)
 		r.outHold[o] = win
 		r.laneAl[win.port][win.vc] = o
-		r.laneHdr[win.port][win.vc] = f.Hdr
+		r.laneHdr[win.port][win.vc] = lane.ring.hdr[hs]
 		r.rr[o] = win.port + 1
 		if r.probe != nil {
+			hdr := &lane.ring.hdr[hs]
 			r.probe.Event(obs.Event{
-				Kind: obs.KindVCAlloc, Cycle: cycle, PktID: f.PktID,
-				Src: f.Hdr.Src, Dst: f.Hdr.Dst,
-				Router: r.index, Port: o, VC: r.outVC(win.port, o, f.VC),
+				Kind: obs.KindVCAlloc, Cycle: cycle, PktID: lane.ring.pktID[hs],
+				Src: hdr.Src, Dst: hdr.Dst,
+				Router: r.index, Port: o, VC: r.outVC(win.port, o, lane.ring.vc[hs]),
 			})
 		}
 		if !r.moveFlit(cycle, o, win) {
 			r.noteStall(cycle, o)
 		}
+	}
+}
+
+// clearFreed resets the per-cycle output-freed marks; the Network's
+// fabric tick calls it in the commit phase.
+func (r *Router) clearFreed() {
+	for o := range r.outFreed {
+		r.outFreed[o] = false
 	}
 }
 
@@ -276,51 +301,48 @@ func (r *Router) sampleBuffers(cycle int64) {
 			}
 			r.probe.Event(obs.Event{
 				Kind: obs.KindBufSample, Cycle: cycle,
-				Router: r.index, Port: o, VC: uint8(v), Val: dst.Len(),
+				Router: r.index, Port: o, VC: uint8(v), Val: dst.len(),
 			})
 		}
 	}
 }
 
-// Update implements sim.Clocked.
-func (r *Router) Update(cycle int64) {
-	for o := range r.outFreed {
-		r.outFreed[o] = false
-	}
-}
-
 // moveFlit attempts to forward one flit from lane ln through output o,
 // handling tail release and lock reservation bookkeeping. It reports
-// whether a flit moved (false = a stall cycle for the output).
+// whether a flit moved (false = a stall cycle for the output). The move
+// is slot-to-slot: a struct-of-arrays copy from the input lane's head
+// into the downstream lane's staging slot, with the VC rewrite and hop
+// count applied in place.
 func (r *Router) moveFlit(cycle int64, o int, ln laneRef) bool {
 	lane := r.lanes[ln.port][ln.vc]
-	f, ok := lane.Peek()
-	if !ok {
+	if lane.clen == 0 {
 		return false // wormhole bubble: body flits not yet arrived
 	}
-	vc := r.outVC(ln.port, o, f.VC)
+	hs := lane.slot(0)
+	vc := r.outVC(ln.port, o, lane.ring.vc[hs])
 	dst := r.outs[o][vc]
 	if dst == nil {
 		panic(fmt.Sprintf("transport: router %q output %d has no VC%d buffer", r.name, o, vc))
 	}
-	if !dst.CanPush(1) {
+	if !dst.canPush(1) {
 		return false // downstream backpressure
 	}
-	lane.Pop()
-	f.VC = vc
-	f.Hops++
-	if !dst.Push(f) {
-		panic("transport: push failed after CanPush")
-	}
+	si := dst.stagePush()
+	dst.ring.copySlot(si, &lane.ring, hs, lane.stride)
+	dst.ring.vc[si] = vc
+	dst.ring.hops[si] = lane.ring.hops[hs] + 1
+	pktID := lane.ring.pktID[hs]
+	tail := lane.ring.flags[hs]&slotTail != 0
+	lane.pop()
 	r.stats.FlitsMoved++
 	r.stats.OutBusy[o]++
 	if r.probe != nil {
 		r.probe.Event(obs.Event{
-			Kind: obs.KindFlit, Cycle: cycle, PktID: f.PktID,
+			Kind: obs.KindFlit, Cycle: cycle, PktID: pktID,
 			Router: r.index, Port: o, VC: vc,
 		})
 	}
-	if f.Tail {
+	if tail {
 		r.stats.PktsMoved++
 		hdr := r.laneHdr[ln.port][ln.vc]
 		r.outHold[o] = noLane
@@ -352,64 +374,66 @@ func (r *Router) outVC(in, o int, vc uint8) uint8 {
 
 // ready reports whether the lane at (port,vc) has a packet ready to
 // request an output: a committed head flit, and — in store-and-forward
-// mode — the packet's tail already buffered.
-func (r *Router) ready(port, vc int) (Flit, bool) {
+// mode — the packet's tail already buffered. It returns the head slot's
+// ring index.
+func (r *Router) ready(port, vc int) (int, bool) {
 	lane := r.lanes[port][vc]
-	f, ok := lane.Peek()
-	if !ok || !f.Head {
-		return Flit{}, false
+	if lane.clen == 0 {
+		return 0, false
 	}
-	if r.cfg.Mode == StoreAndForward && !f.Tail {
+	hs := lane.slot(0)
+	if lane.ring.flags[hs]&slotHead == 0 {
+		return 0, false
+	}
+	if r.cfg.Mode == StoreAndForward && lane.ring.flags[hs]&slotTail == 0 {
 		found := false
-		for i := 1; i < lane.Len(); i++ {
-			g, _ := lane.PeekAt(i)
-			if g.Tail {
+		for i := 1; i < lane.clen; i++ {
+			if lane.ring.flags[lane.slot(i)]&slotTail != 0 {
 				found = true
 				break
 			}
 		}
 		if !found {
-			return Flit{}, false
+			return 0, false
 		}
 	}
-	return f, true
+	return hs, true
 }
 
 // arbitrate picks the winning lane for free output o, or noLane.
 func (r *Router) arbitrate(o int) laneRef {
-	type cand struct {
-		ln  laneRef
-		pri noctypes.Priority
-	}
-	var cands []cand
+	cands := r.cands[:0]
 	for p := range r.lanes {
 		for v := 0; v < NumVCs; v++ {
 			if r.laneAl[p][v] != -1 {
 				continue
 			}
-			f, ok := r.ready(p, v)
+			hs, ok := r.ready(p, v)
 			if !ok {
 				continue
 			}
-			if r.routeFor(f.Hdr.Dst) != o {
+			lane := r.lanes[p][v]
+			hdr := &lane.ring.hdr[hs]
+			if r.routeFor(hdr.Dst) != o {
 				continue
 			}
-			if lk := r.outLock[o]; lk >= 0 && noctypes.NodeID(lk) != f.Hdr.Src {
+			if lk := r.outLock[o]; lk >= 0 && noctypes.NodeID(lk) != hdr.Src {
 				r.stats.LockStalls++
 				continue
 			}
 			// Virtual-cut-through admission: grant only with space for
-			// the whole packet downstream (CanPush keeps the check
-			// consistent with the pipes' one-cycle credit semantics).
+			// the whole packet downstream (canPush keeps the check
+			// consistent with the lanes' one-cycle credit semantics).
 			if r.cfg.CutThrough {
-				need := FlitCount(HeaderBytes+int(f.Hdr.PayloadLen), r.cfg.FlitBytes)
-				if !r.outs[o][r.outVC(p, o, f.VC)].CanPush(need) {
+				need := FlitCount(HeaderBytes+int(hdr.PayloadLen), r.cfg.FlitBytes)
+				if !r.outs[o][r.outVC(p, o, lane.ring.vc[hs])].canPush(need) {
 					continue
 				}
 			}
-			cands = append(cands, cand{laneRef{p, v}, f.Hdr.Priority})
+			cands = append(cands, arbCand{laneRef{p, v}, hdr.Priority})
 		}
 	}
+	r.cands = cands[:0] // keep the (possibly grown) scratch for next cycle
 	if len(cands) == 0 {
 		return noLane
 	}

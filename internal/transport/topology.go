@@ -16,7 +16,7 @@ import (
 // unit tests.
 func NewCrossbar(clk *sim.Clock, cfg NetConfig, nodes []noctypes.NodeID) *Network {
 	n := newNetwork(clk, cfg)
-	r := newRouter(clk, "xbar", len(nodes), RouterConfig{Mode: n.cfg.Mode, BufDepth: n.cfg.BufDepth, QoS: n.cfg.QoS})
+	r := newRouter(n, "xbar", len(nodes), RouterConfig{Mode: n.cfg.Mode, BufDepth: n.cfg.BufDepth, QoS: n.cfg.QoS, FlitBytes: n.cfg.FlitBytes})
 	r.index = 0
 	n.routers = []*Router{r}
 	n.adj = [][]int{make([]int, len(nodes))}
@@ -54,14 +54,14 @@ func NewMesh(clk *sim.Clock, cfg NetConfig, spec MeshSpec) *Network {
 		panic("transport: mesh dimensions must be positive")
 	}
 	n := newNetwork(clk, cfg)
-	rcfg := RouterConfig{Mode: n.cfg.Mode, BufDepth: n.cfg.BufDepth, QoS: n.cfg.QoS}
+	rcfg := RouterConfig{Mode: n.cfg.Mode, BufDepth: n.cfg.BufDepth, QoS: n.cfg.QoS, FlitBytes: n.cfg.FlitBytes}
 	idx := func(x, y int) int { return y*spec.W + x }
 
 	n.routers = make([]*Router, spec.W*spec.H)
 	n.adj = make([][]int, spec.W*spec.H)
 	for y := 0; y < spec.H; y++ {
 		for x := 0; x < spec.W; x++ {
-			r := newRouter(clk, fmt.Sprintf("r%d.%d", x, y), meshPorts, rcfg)
+			r := newRouter(n, fmt.Sprintf("r%d.%d", x, y), meshPorts, rcfg)
 			r.index = idx(x, y)
 			n.routers[r.index] = r
 			n.adj[r.index] = []int{-1, -1, -1, -1, -1}
@@ -74,16 +74,16 @@ func NewMesh(clk *sim.Clock, cfg NetConfig, spec MeshSpec) *Network {
 			r := n.routers[idx(x, y)]
 			if x+1 < spec.W {
 				e := n.routers[idx(x+1, y)]
-				r.connectOut(portEast, [NumVCs]*sim.Pipe[Flit]{e.lanes[portWest][0], e.lanes[portWest][1]})
+				r.connectOut(portEast, [NumVCs]*flitQ{e.lanes[portWest][0], e.lanes[portWest][1]})
 				n.adj[r.index][portEast] = e.index
-				e.connectOut(portWest, [NumVCs]*sim.Pipe[Flit]{r.lanes[portEast][0], r.lanes[portEast][1]})
+				e.connectOut(portWest, [NumVCs]*flitQ{r.lanes[portEast][0], r.lanes[portEast][1]})
 				n.adj[e.index][portWest] = r.index
 			}
 			if y+1 < spec.H {
 				s := n.routers[idx(x, y+1)]
-				r.connectOut(portSouth, [NumVCs]*sim.Pipe[Flit]{s.lanes[portNorth][0], s.lanes[portNorth][1]})
+				r.connectOut(portSouth, [NumVCs]*flitQ{s.lanes[portNorth][0], s.lanes[portNorth][1]})
 				n.adj[r.index][portSouth] = s.index
-				s.connectOut(portNorth, [NumVCs]*sim.Pipe[Flit]{r.lanes[portSouth][0], r.lanes[portSouth][1]})
+				s.connectOut(portNorth, [NumVCs]*flitQ{r.lanes[portSouth][0], r.lanes[portSouth][1]})
 				n.adj[s.index][portNorth] = r.index
 			}
 		}
@@ -159,7 +159,7 @@ func NewRing(clk *sim.Clock, cfg NetConfig, nodes []noctypes.NodeID) *Network {
 	n.routers = make([]*Router, N)
 	n.adj = make([][]int, N)
 	for i := range nodes {
-		r := newRouter(clk, fmt.Sprintf("ring%d", i), ringPorts, rcfg)
+		r := newRouter(n, fmt.Sprintf("ring%d", i), ringPorts, rcfg)
 		r.index = i
 		n.routers[i] = r
 		n.adj[i] = []int{-1, -1, -1}
@@ -167,9 +167,9 @@ func NewRing(clk *sim.Clock, cfg NetConfig, nodes []noctypes.NodeID) *Network {
 	// Neighbour links: lanes[p] receives from the neighbour in direction p.
 	for i, r := range n.routers {
 		nxt := n.routers[(i+1)%N]
-		r.connectOut(ringCW, [NumVCs]*sim.Pipe[Flit]{nxt.lanes[ringCCW][0], nxt.lanes[ringCCW][1]})
+		r.connectOut(ringCW, [NumVCs]*flitQ{nxt.lanes[ringCCW][0], nxt.lanes[ringCCW][1]})
 		n.adj[i][ringCW] = nxt.index
-		nxt.connectOut(ringCCW, [NumVCs]*sim.Pipe[Flit]{r.lanes[ringCW][0], r.lanes[ringCW][1]})
+		nxt.connectOut(ringCCW, [NumVCs]*flitQ{r.lanes[ringCW][0], r.lanes[ringCW][1]})
 		n.adj[nxt.index][ringCCW] = i
 	}
 	// Routing tables: shortest direction. Half-way-around ties split by
@@ -237,7 +237,7 @@ func NewTorus(clk *sim.Clock, cfg NetConfig, spec MeshSpec) *Network {
 	n.adj = make([][]int, spec.W*spec.H)
 	for y := 0; y < spec.H; y++ {
 		for x := 0; x < spec.W; x++ {
-			r := newRouter(clk, fmt.Sprintf("t%d.%d", x, y), meshPorts, rcfg)
+			r := newRouter(n, fmt.Sprintf("t%d.%d", x, y), meshPorts, rcfg)
 			r.index = idx(x, y)
 			n.routers[r.index] = r
 			n.adj[r.index] = []int{-1, -1, -1, -1, -1}
@@ -250,18 +250,18 @@ func NewTorus(clk *sim.Clock, cfg NetConfig, spec MeshSpec) *Network {
 			r := n.routers[idx(x, y)]
 			if spec.W > 1 {
 				e := n.routers[idx(x+1, y)]
-				r.connectOut(portEast, [NumVCs]*sim.Pipe[Flit]{e.lanes[portWest][0], e.lanes[portWest][1]})
+				r.connectOut(portEast, [NumVCs]*flitQ{e.lanes[portWest][0], e.lanes[portWest][1]})
 				n.adj[r.index][portEast] = e.index
 				w := n.routers[idx(x-1, y)]
-				r.connectOut(portWest, [NumVCs]*sim.Pipe[Flit]{w.lanes[portEast][0], w.lanes[portEast][1]})
+				r.connectOut(portWest, [NumVCs]*flitQ{w.lanes[portEast][0], w.lanes[portEast][1]})
 				n.adj[r.index][portWest] = w.index
 			}
 			if spec.H > 1 {
 				s := n.routers[idx(x, y+1)]
-				r.connectOut(portSouth, [NumVCs]*sim.Pipe[Flit]{s.lanes[portNorth][0], s.lanes[portNorth][1]})
+				r.connectOut(portSouth, [NumVCs]*flitQ{s.lanes[portNorth][0], s.lanes[portNorth][1]})
 				n.adj[r.index][portSouth] = s.index
 				nn := n.routers[idx(x, y-1)]
-				r.connectOut(portNorth, [NumVCs]*sim.Pipe[Flit]{nn.lanes[portSouth][0], nn.lanes[portSouth][1]})
+				r.connectOut(portNorth, [NumVCs]*flitQ{nn.lanes[portSouth][0], nn.lanes[portSouth][1]})
 				n.adj[r.index][portNorth] = nn.index
 			}
 		}
@@ -365,10 +365,10 @@ func NewTree(clk *sim.Clock, cfg NetConfig, fanout int, nodes []noctypes.NodeID)
 		panic("transport: tree fanout must be positive")
 	}
 	n := newNetwork(clk, cfg)
-	rcfg := RouterConfig{Mode: n.cfg.Mode, BufDepth: n.cfg.BufDepth, QoS: n.cfg.QoS}
+	rcfg := RouterConfig{Mode: n.cfg.Mode, BufDepth: n.cfg.BufDepth, QoS: n.cfg.QoS, FlitBytes: n.cfg.FlitBytes}
 
 	numLeaves := (len(nodes) + fanout - 1) / fanout
-	root := newRouter(clk, "root", numLeaves, rcfg)
+	root := newRouter(n, "root", numLeaves, rcfg)
 	root.index = 0
 	n.routers = append(n.routers, root)
 	n.adj = append(n.adj, make([]int, numLeaves))
@@ -380,16 +380,16 @@ func NewTree(clk *sim.Clock, cfg NetConfig, fanout int, nodes []noctypes.NodeID)
 			hi = len(nodes)
 		}
 		local := nodes[lo:hi]
-		leaf := newRouter(clk, fmt.Sprintf("leaf%d", l), len(local)+1, rcfg)
+		leaf := newRouter(n, fmt.Sprintf("leaf%d", l), len(local)+1, rcfg)
 		leaf.index = len(n.routers)
 		n.routers = append(n.routers, leaf)
 		n.adj = append(n.adj, make([]int, len(local)+1))
 		upPort := len(local)
 
 		// Leaf <-> root links.
-		leaf.connectOut(upPort, [NumVCs]*sim.Pipe[Flit]{root.lanes[l][0], root.lanes[l][1]})
+		leaf.connectOut(upPort, [NumVCs]*flitQ{root.lanes[l][0], root.lanes[l][1]})
 		n.adj[leaf.index][upPort] = 0
-		root.connectOut(l, [NumVCs]*sim.Pipe[Flit]{leaf.lanes[upPort][0], leaf.lanes[upPort][1]})
+		root.connectOut(l, [NumVCs]*flitQ{leaf.lanes[upPort][0], leaf.lanes[upPort][1]})
 		n.adj[0][l] = leaf.index
 
 		for i, node := range local {
