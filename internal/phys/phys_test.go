@@ -333,3 +333,40 @@ func TestAsyncFifoStorageReuse(t *testing.T) {
 		t.Fatalf("backing array grew to %d entries for a depth-8 FIFO: storage is not being reused", c)
 	}
 }
+
+// TestAsyncFifoPopReadyPartialPrefix pins that PopReady drains only the
+// synchronized prefix when pushes straddle the sync window: later pushes
+// stay staged-invisible until their own readyAt, and a caller-provided dst
+// slice is reused instead of reallocated.
+func TestAsyncFifoPopReadyPartialPrefix(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "c", sim.Nanosecond, 0)
+	fifo := NewAsyncFifo[int](k, "cdc", 8, 2, clk)
+
+	fifo.Push(100) // ready at 2ns
+	fifo.Push(101) // ready at 2ns
+	k.RunUntil(1 * sim.Nanosecond)
+	fifo.Push(102) // ready at 3ns
+
+	k.RunUntil(2 * sim.Nanosecond)
+	dst := make([]int, 0, 8)
+	got := fifo.PopReady(dst)
+	if len(got) != 2 || got[0] != 100 || got[1] != 101 {
+		t.Fatalf("PopReady at 2ns = %v, want [100 101]", got)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Fatal("PopReady reallocated despite sufficient dst capacity")
+	}
+	// The straddling push is still invisible — both to the batch pop and
+	// to the scalar CanPop view.
+	if fifo.CanPop() {
+		t.Fatal("unsynchronized entry visible to CanPop")
+	}
+	if rest := fifo.PopReady(nil); len(rest) != 0 {
+		t.Fatalf("unsynchronized entry drained early: %v", rest)
+	}
+	k.RunUntil(3 * sim.Nanosecond)
+	if rest := fifo.PopReady(nil); len(rest) != 1 || rest[0] != 102 {
+		t.Fatalf("PopReady at 3ns = %v, want [102]", rest)
+	}
+}

@@ -200,10 +200,18 @@ func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
 // RunWhile steps the simulation while cond returns true. It returns nil as
 // soon as cond is false, ErrDeadline if the deadline passes first, and an
 // error if the event queue drains while cond still holds.
+//
+// The deadline is checked against the next pending event's time before that
+// event executes: an event scheduled past the deadline never runs. Without
+// the peek, a sparse event queue could jump the clock well past the deadline
+// (running the late event's side effects) before the overrun was noticed.
 func (k *Kernel) RunWhile(cond func() bool, deadline Time) error {
 	for cond() {
 		if k.now > deadline {
 			return fmt.Errorf("%w (now=%v)", ErrDeadline, k.now)
+		}
+		if !k.stopped && len(k.events) > 0 && k.events[0].at > deadline {
+			return fmt.Errorf("%w (next event at %v)", ErrDeadline, k.events[0].at)
 		}
 		if !k.Step() {
 			return errors.New("sim: event queue drained while condition still true")

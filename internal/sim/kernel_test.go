@@ -151,3 +151,28 @@ func TestTimeString(t *testing.T) {
 		}
 	}
 }
+
+func TestKernelRunWhileDeadlineBeforeLateEvent(t *testing.T) {
+	// An event scheduled past the deadline must not execute: RunWhile has
+	// to check the next event's time before stepping, not after.
+	k := NewKernel()
+	fired := false
+	k.After(100*Nanosecond, func() { fired = true })
+	err := k.RunWhile(func() bool { return !fired }, 50*Nanosecond)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("RunWhile: err = %v, want ErrDeadline", err)
+	}
+	if fired {
+		t.Fatal("event past the deadline executed before ErrDeadline was reported")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0 (deadline overrun must not advance time)", k.Now())
+	}
+	// The late event is still pending and runs normally afterwards.
+	if err := k.RunWhile(func() bool { return !fired }, Millisecond); err != nil {
+		t.Fatalf("RunWhile after extending deadline: %v", err)
+	}
+	if !fired || k.Now() != 100*Nanosecond {
+		t.Fatalf("fired=%v Now()=%v, want true/100ns", fired, k.Now())
+	}
+}

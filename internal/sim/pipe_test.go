@@ -232,3 +232,106 @@ func TestPipeQuickFIFOProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPipeWindowBatchAPI(t *testing.T) {
+	k := NewKernel()
+	clk := NewClock(k, "clk", Nanosecond, 0)
+	p := NewPipe[int](clk, "p", 8)
+
+	// Empty pipe: empty window, quiescent.
+	if w := p.Window(); len(w) != 0 {
+		t.Fatalf("empty pipe Window() len = %d, want 0", len(w))
+	}
+	if !p.Quiescent() {
+		t.Fatal("empty pipe is not Quiescent")
+	}
+
+	// Staged-but-uncommitted entries are invisible to Window and break
+	// quiescence until Update publishes them.
+	for _, v := range []int{10, 20, 30} {
+		if !p.Push(v) {
+			t.Fatalf("Push(%d) refused with free capacity", v)
+		}
+	}
+	if w := p.Window(); len(w) != 0 {
+		t.Fatalf("Window() sees %d staged entries before commit, want 0", len(w))
+	}
+	if p.Quiescent() {
+		t.Fatal("Quiescent with staged pushes pending")
+	}
+
+	clk.RunCycles(1) // commit
+	w := p.Window()
+	if len(w) != 3 || w[0] != 10 || w[1] != 20 || w[2] != 30 {
+		t.Fatalf("Window() after commit = %v, want [10 20 30]", w)
+	}
+	if !p.Quiescent() {
+		t.Fatal("pipe not Quiescent after commit with nothing staged")
+	}
+
+	// Consume removes oldest-first and invalidates the credit snapshot
+	// until the next Update (the freed slot has register semantics).
+	p.Consume(2)
+	if w := p.Window(); len(w) != 1 || w[0] != 30 {
+		t.Fatalf("Window() after Consume(2) = %v, want [30]", w)
+	}
+	if p.Quiescent() {
+		t.Fatal("Quiescent immediately after Consume (credit snapshot is stale)")
+	}
+	clk.RunCycles(1)
+	if !p.Quiescent() {
+		t.Fatal("pipe not Quiescent one cycle after Consume")
+	}
+
+	// Consume beyond the committed count panics.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Consume overrun did not panic")
+		}
+		if msg, ok := r.(string); !ok || msg != `sim: pipe "p": Consume(2) with 1 committed` {
+			t.Fatalf("Consume overrun panic = %v", r)
+		}
+	}()
+	p.Consume(2)
+}
+
+func TestPipeWindowConsumeMatchesPop(t *testing.T) {
+	// Window+Consume is the batch form of Peek+Pop: draining via either
+	// path yields the same values in the same order.
+	build := func() (*Clock, *Pipe[int]) {
+		k := NewKernel()
+		clk := NewClock(k, "clk", Nanosecond, 0)
+		p := NewPipe[int](clk, "p", 4)
+		for v := 1; v <= 4; v++ {
+			p.Push(v)
+		}
+		clk.RunCycles(1)
+		return clk, p
+	}
+
+	_, a := build()
+	var viaPop []int
+	for {
+		v, ok := a.Pop()
+		if !ok {
+			break
+		}
+		viaPop = append(viaPop, v)
+	}
+
+	_, b := build()
+	viaWindow := append([]int(nil), b.Window()...)
+	b.Consume(len(viaWindow))
+	if b.Len() != 0 {
+		t.Fatalf("Len() = %d after consuming the full window", b.Len())
+	}
+	if len(viaPop) != len(viaWindow) {
+		t.Fatalf("drain mismatch: pop=%v window=%v", viaPop, viaWindow)
+	}
+	for i := range viaPop {
+		if viaPop[i] != viaWindow[i] {
+			t.Fatalf("drain mismatch at %d: pop=%v window=%v", i, viaPop, viaWindow)
+		}
+	}
+}

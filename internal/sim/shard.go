@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ShardGroup runs one logical simulation on N kernel shards. Each shard owns
+// a private Kernel, a private Clock (identical period and offset across
+// shards), and a dedicated worker goroutine, so the shards' event heaps and
+// clock edges advance with no shared mutable state between barriers.
+//
+// The group is a conservative (null-message style) parallel scheduler: every
+// shard may advance freely up to the current time horizon, and the horizon
+// advances only when every shard has reached it. The horizon step is derived
+// from the minimum cross-shard link latency (SetLookahead) — with all fabric
+// lanes registering their cargo one cycle after it is staged, the minimum
+// lookahead is one cycle, so the group exchanges at every clock edge. A
+// coarser lookahead would permit a rarer barrier; exchanging every cycle is
+// strictly more conservative and therefore always correct.
+//
+// Protocol per clock edge (enforced by a fence component that Seal registers
+// last on every shard clock):
+//
+//  1. Each shard runs its Eval phase, reading only state committed on the
+//     previous edge and staging writes (including cross-shard exchange
+//     buffers) without publishing them.
+//  2. fence.Eval: barrier A. When the last shard arrives, that shard alone
+//     runs the serial hook (SetSerial) — the deterministic cross-shard merge
+//     point — while every other shard waits.
+//  3. Each shard runs its Update phase, committing its own staged state and
+//     draining exchange buffers targeted at lanes it owns.
+//  4. fence.Update: barrier B. No shard starts the next edge's Eval until
+//     every shard has committed, so Evals never observe a half-published
+//     cycle.
+//
+// Determinism: barriers only constrain timing, never ordering of state
+// mutations — each piece of state has exactly one writing shard per phase,
+// and the serial hook runs alone. Results are byte-identical to a
+// single-shard run of the same model.
+type ShardGroup struct {
+	name      string
+	ks        []*Kernel
+	clks      []*Clock
+	lookahead int64 // conservative horizon step, in cycles (>= barrier cadence of 1)
+	serial    func(cycle int64)
+	bar       *cyclicBarrier
+
+	cmds []chan int64 // absolute cycle targets, one channel per worker
+	acks chan shardAck
+	wg   sync.WaitGroup
+
+	// Per-shard horizon instrumentation, written only by the owning worker
+	// between barriers and read by the coordinator between RunCycles calls
+	// (the command/ack channels provide the happens-before edges).
+	stalls []uint64 // edges on which the shard waited at barrier A for a peer
+	waitNS []int64  // wall-clock ns spent blocked at barriers A and B
+
+	sealed bool
+	closed bool
+	broken bool // a shard panicked; the group can no longer advance
+}
+
+type shardAck struct {
+	shard    int
+	err      any  // non-nil: the original panic value from this shard
+	poisoned bool // shard aborted because a peer poisoned the barrier
+}
+
+// NewShardGroup creates n kernels and n clocks named "<name>.s<i>", all with
+// the same period and offset. Register per-shard components on Clock(i),
+// then call Seal before the first RunCycles.
+func NewShardGroup(name string, n int, period, offset Time) *ShardGroup {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: ShardGroup %q: need at least 1 shard, got %d", name, n))
+	}
+	g := &ShardGroup{
+		name:      name,
+		ks:        make([]*Kernel, n),
+		clks:      make([]*Clock, n),
+		lookahead: 1,
+		bar:       newCyclicBarrier(n),
+		cmds:      make([]chan int64, n),
+		acks:      make(chan shardAck, n),
+		stalls:    make([]uint64, n),
+		waitNS:    make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		g.ks[i] = NewKernel()
+		g.clks[i] = NewClock(g.ks[i], fmt.Sprintf("%s.s%d", name, i), period, offset)
+		g.cmds[i] = make(chan int64)
+	}
+	return g
+}
+
+// Shards returns the number of shards in the group.
+func (g *ShardGroup) Shards() int { return len(g.ks) }
+
+// Kernel returns shard i's kernel.
+func (g *ShardGroup) Kernel(i int) *Kernel { return g.ks[i] }
+
+// Clock returns shard i's clock.
+func (g *ShardGroup) Clock(i int) *Clock { return g.clks[i] }
+
+// Cycle returns the current cycle count. All shard clocks are in lockstep
+// between RunCycles calls, so shard 0 speaks for the group.
+func (g *ShardGroup) Cycle() int64 { return g.clks[0].Cycle() }
+
+// Steps returns the total number of kernel events executed across shards.
+func (g *ShardGroup) Steps() uint64 {
+	var t uint64
+	for _, k := range g.ks {
+		t += k.Steps()
+	}
+	return t
+}
+
+// Pending returns the total number of scheduled, unexecuted events.
+func (g *ShardGroup) Pending() int {
+	t := 0
+	for _, k := range g.ks {
+		t += k.Pending()
+	}
+	return t
+}
+
+// Stalls returns the number of edges on which shard i reached barrier A
+// before some peer (a horizon stall). Deterministic workloads produce
+// deterministic event counts but not deterministic stall counts: stalls
+// depend on OS scheduling.
+func (g *ShardGroup) Stalls(i int) uint64 { return g.stalls[i] }
+
+// WaitNS returns the cumulative wall-clock nanoseconds shard i has spent
+// blocked at horizon barriers. Like Stalls, this is a wall-clock quantity
+// and is not deterministic.
+func (g *ShardGroup) WaitNS(i int) int64 { return g.waitNS[i] }
+
+// Lookahead returns the conservative horizon step in cycles.
+func (g *ShardGroup) Lookahead() int64 { return g.lookahead }
+
+// SetLookahead records the conservative horizon derived from the minimum
+// cross-shard link latency, in cycles. The group barriers every cycle, so
+// any lookahead >= 1 is admissible (the barrier cadence may be at most the
+// lookahead, never more). A lookahead below one cycle would mean two shards
+// can affect each other within a single edge, which the shard partition must
+// never allow.
+func (g *ShardGroup) SetLookahead(cycles int64) {
+	if cycles < 1 {
+		panic(fmt.Sprintf("sim: ShardGroup %q: lookahead %d cycles is below the 1-cycle barrier cadence", g.name, cycles))
+	}
+	g.lookahead = cycles
+}
+
+// SetSerial installs the hook run by exactly one shard at barrier A of every
+// edge, after all shards' Eval phases have quiesced and before any Update
+// phase commits. This is where cross-shard observations (e.g. packet
+// lifecycle records) are merged in a fixed order.
+func (g *ShardGroup) SetSerial(fn func(cycle int64)) {
+	if g.sealed {
+		panic(fmt.Sprintf("sim: ShardGroup %q: SetSerial after Seal", g.name))
+	}
+	g.serial = fn
+}
+
+// Seal registers the horizon fence as the last component on every shard
+// clock and starts the worker goroutines. No components may be registered
+// after Seal — the fence must evaluate after every model component on its
+// clock for the barrier protocol to hold.
+func (g *ShardGroup) Seal() {
+	if g.sealed {
+		panic(fmt.Sprintf("sim: ShardGroup %q: already sealed", g.name))
+	}
+	g.sealed = true
+	for i := range g.clks {
+		g.clks[i].Register(&shardFence{g: g, shard: i})
+	}
+	g.wg.Add(len(g.cmds))
+	for i := range g.cmds {
+		go g.worker(i)
+	}
+}
+
+// RunCycles advances every shard by exactly n edges, in lockstep. It blocks
+// until all shards have reached the target cycle. If any shard panics, the
+// barrier is poisoned so the remaining shards abort instead of deadlocking,
+// and the first panic value is re-raised on the caller's goroutine.
+func (g *ShardGroup) RunCycles(n int64) {
+	if !g.sealed {
+		panic(fmt.Sprintf("sim: ShardGroup %q: RunCycles before Seal", g.name))
+	}
+	if g.closed || g.broken {
+		panic(fmt.Sprintf("sim: ShardGroup %q: RunCycles on a closed or broken group", g.name))
+	}
+	if n <= 0 {
+		return
+	}
+	target := g.Cycle() + n
+	for _, c := range g.cmds {
+		c <- target
+	}
+	var firstErr any
+	for range g.cmds {
+		ack := <-g.acks
+		if ack.err != nil && firstErr == nil {
+			firstErr = ack.err
+		}
+	}
+	if firstErr != nil {
+		g.broken = true
+		panic(firstErr)
+	}
+}
+
+// Close shuts down the worker goroutines. Idempotent. The group cannot be
+// reused after Close.
+func (g *ShardGroup) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, c := range g.cmds {
+		close(c)
+	}
+	if g.broken {
+		// Panicked workers have already exited; waiting for the rest would
+		// deadlock on the poisoned barrier if any are still mid-cycle, but
+		// poisoning guarantees they all aborted, so the WaitGroup drains.
+		g.wg.Wait()
+		return
+	}
+	g.wg.Wait()
+}
+
+func (g *ShardGroup) worker(i int) {
+	defer g.wg.Done()
+	for target := range g.cmds[i] {
+		err, poisoned := g.runTo(i, target)
+		g.acks <- shardAck{shard: i, err: err, poisoned: poisoned}
+		if err != nil || poisoned {
+			return // the group is broken; stop consuming commands
+		}
+	}
+}
+
+// runTo advances shard i to the absolute cycle target, converting a panic
+// (the shard's own, or a barrier-poisoned abort) into an ack payload.
+func (g *ShardGroup) runTo(i int, target int64) (err any, poisoned bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(barrierPoisoned); ok {
+				poisoned = true
+				return
+			}
+			// Poison the barrier so peers blocked at A or B abort instead
+			// of waiting forever for this shard.
+			g.bar.poison()
+			err = r
+		}
+	}()
+	g.clks[i].RunCycles(target - g.clks[i].Cycle())
+	return nil, false
+}
+
+// shardFence is the per-shard horizon fence. Seal registers it last, so its
+// Eval runs after every model Eval on the shard and its Update runs after
+// every model Update.
+type shardFence struct {
+	g     *ShardGroup
+	shard int
+}
+
+// Eval is barrier A: all shards' Eval phases have quiesced. The last shard
+// to arrive runs the serial merge hook.
+func (f *shardFence) Eval(cycle int64) {
+	g := f.g
+	t0 := time.Now()
+	last := g.bar.await(func() {
+		if g.serial != nil {
+			g.serial(cycle)
+		}
+	})
+	g.waitNS[f.shard] += time.Since(t0).Nanoseconds()
+	if !last {
+		g.stalls[f.shard]++
+	}
+}
+
+// Update is barrier B: all shards' Update phases have committed. No shard
+// proceeds to the next edge until every shard has passed.
+func (f *shardFence) Update(cycle int64) {
+	g := f.g
+	t0 := time.Now()
+	g.bar.await(nil)
+	g.waitNS[f.shard] += time.Since(t0).Nanoseconds()
+}
+
+// barrierPoisoned is the panic value delivered to shards blocked on a
+// barrier when a peer panics. It is converted into a quiet abort by runTo.
+type barrierPoisoned struct{}
+
+// cyclicBarrier is a reusable N-party barrier. The last arriver of each
+// generation runs the action (if any) while the others remain blocked, then
+// releases the generation. A poisoned barrier panics every current and
+// future waiter with barrierPoisoned.
+type cyclicBarrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	broken bool
+}
+
+func newCyclicBarrier(n int) *cyclicBarrier {
+	b := &cyclicBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n parties have arrived. The last arriver runs
+// action before releasing the others and returns true; all other parties
+// return false.
+func (b *cyclicBarrier) await(action func()) (last bool) {
+	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		panic(barrierPoisoned{})
+	}
+	b.count++
+	if b.count == b.n {
+		// Run the serial action while holding the barrier closed: peers are
+		// blocked in cond.Wait, so the action has exclusive access to all
+		// shard state. Release the lock around the action so a panic inside
+		// it unwinds through poison() cleanly.
+		b.mu.Unlock()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					b.poison()
+					panic(r)
+				}
+			}()
+			if action != nil {
+				action()
+			}
+		}()
+		b.mu.Lock()
+		b.count = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return true
+	}
+	gen := b.gen
+	for b.gen == gen && !b.broken {
+		b.cond.Wait()
+	}
+	poisoned := b.broken
+	b.mu.Unlock()
+	if poisoned {
+		panic(barrierPoisoned{})
+	}
+	return false
+}
+
+// poison permanently breaks the barrier: every blocked and future waiter
+// panics with barrierPoisoned.
+func (b *cyclicBarrier) poison() {
+	b.mu.Lock()
+	b.broken = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

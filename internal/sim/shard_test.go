@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// counterComp increments its slot during Eval; the slice is only read by the
+// serial hook (exclusive at barrier A) and by the test after RunCycles.
+type counterComp struct {
+	slot    *int64
+	panicAt int64
+}
+
+func (c *counterComp) Eval(cycle int64) {
+	if c.panicAt != 0 && cycle == c.panicAt {
+		panic("counterComp: deliberate test panic")
+	}
+	*c.slot++
+}
+func (c *counterComp) Update(cycle int64) {}
+
+func TestShardGroupLockstep(t *testing.T) {
+	const shards, cycles = 3, 25
+	g := NewShardGroup("test", shards, Nanosecond, 0)
+	counts := make([]int64, shards)
+	for i := 0; i < shards; i++ {
+		g.Clock(i).Register(&counterComp{slot: &counts[i]})
+	}
+	// The serial hook sees every shard's Eval effects for the current
+	// cycle: if the barrier protocol held, the counters all equal cycle.
+	var hookCalls int64
+	g.SetSerial(func(cycle int64) {
+		hookCalls++
+		for i, c := range counts {
+			if c != cycle {
+				t.Errorf("cycle %d: shard %d counter = %d (evals not quiesced at barrier A)", cycle, i, c)
+			}
+		}
+	})
+	g.Seal()
+	defer g.Close()
+
+	g.RunCycles(10)
+	g.RunCycles(cycles - 10)
+	if hookCalls != cycles {
+		t.Fatalf("serial hook ran %d times, want %d", hookCalls, cycles)
+	}
+	if g.Cycle() != cycles {
+		t.Fatalf("Cycle() = %d, want %d", g.Cycle(), cycles)
+	}
+	for i := 0; i < shards; i++ {
+		if got := g.Clock(i).Cycle(); got != cycles {
+			t.Fatalf("shard %d clock at cycle %d, want %d", i, got, cycles)
+		}
+		if counts[i] != cycles {
+			t.Fatalf("shard %d counter = %d, want %d", i, counts[i], cycles)
+		}
+	}
+	if g.Steps() == 0 {
+		t.Fatal("Steps() = 0 after running")
+	}
+	if g.Lookahead() != 1 {
+		t.Fatalf("default Lookahead() = %d, want 1", g.Lookahead())
+	}
+}
+
+func TestShardGroupPanicPropagates(t *testing.T) {
+	g := NewShardGroup("test", 4, Nanosecond, 0)
+	counts := make([]int64, 4)
+	for i := 0; i < 4; i++ {
+		c := &counterComp{slot: &counts[i]}
+		if i == 2 {
+			c.panicAt = 5 // one shard fails mid-run
+		}
+		g.Clock(i).Register(c)
+	}
+	g.Seal()
+	defer g.Close()
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("RunCycles did not propagate the shard panic")
+		}
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, "deliberate test panic") {
+			t.Fatalf("propagated panic = %v, want the original shard panic", r)
+		}
+	}()
+	g.RunCycles(20)
+}
+
+func TestShardGroupSetLookaheadValidates(t *testing.T) {
+	g := NewShardGroup("test", 2, Nanosecond, 0)
+	defer g.Close()
+	g.SetLookahead(3) // coarser than the barrier cadence: admissible
+	if g.Lookahead() != 3 {
+		t.Fatalf("Lookahead() = %d, want 3", g.Lookahead())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLookahead(0) did not panic")
+		}
+	}()
+	g.SetLookahead(0)
+}
+
+func TestShardGroupCloseIdempotent(t *testing.T) {
+	g := NewShardGroup("test", 2, Nanosecond, 0)
+	var a, b int64
+	g.Clock(0).Register(&counterComp{slot: &a})
+	g.Clock(1).Register(&counterComp{slot: &b})
+	g.Seal()
+	g.RunCycles(3)
+	g.Close()
+	g.Close()
+	if a != 3 || b != 3 {
+		t.Fatalf("counters = %d,%d, want 3,3", a, b)
+	}
+}

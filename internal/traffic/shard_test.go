@@ -1,0 +1,43 @@
+package traffic
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTopologyGoldenSharded is the sharded-execution byte-identity
+// contract: every topology golden must reproduce the committed Result
+// JSON exactly at any shard count. The sweep includes shards=1 (the
+// serial kernel) so a divergence at 2 or 4 points at the parallel path,
+// not at a stale golden. There is deliberately no -update mode here —
+// the goldens belong to the serial run; sharding must match them.
+func TestTopologyGoldenSharded(t *testing.T) {
+	for _, g := range goldenRuns {
+		for _, shards := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", g.name, shards), func(t *testing.T) {
+				cfg := g.cfg
+				cfg.Shards = shards
+				res := Run(cfg)
+				var buf bytes.Buffer
+				enc := json.NewEncoder(&buf)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(res); err != nil {
+					t.Fatal(err)
+				}
+				golden := filepath.Join("testdata", fmt.Sprintf("topology_%s.golden.json", g.name))
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("%v (generate with -run TopologyGoldenResults -update first)", err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatalf("%s at %d shards diverged from the serial golden — the parallel kernel must be byte-identical\n--- got ---\n%s",
+						g.name, shards, buf.Bytes())
+				}
+			})
+		}
+	}
+}

@@ -32,6 +32,12 @@ type source struct {
 	rng *sim.RNG
 	ch  *chooser
 
+	// col is where this source's statistics accumulate: the rig's single
+	// collector on a serial run, the owning shard's collector on a sharded
+	// one (each shard's sources share one collector, so no write ever
+	// crosses a shard boundary; the rig merges them after the run).
+	col *collector
+
 	q           *sim.Queue[*txn]              // generated, awaiting injection
 	replyQ      *sim.Queue[*transport.Packet] // reflector responses awaiting injection
 	outstanding map[noctypes.Tag]*txn
@@ -54,7 +60,10 @@ func newSource(r *rig, idx int, rng *sim.RNG) *source {
 		tagSpace:    1 << 16,
 	}
 	s.ch = newChooser(r.cfg, idx, rng.Fork("dest"))
-	r.clk.Register(s)
+	s.col = r.colFor(s.ep.Shard())
+	// Register on the endpoint's shard clock (the rig clock when serial)
+	// so Eval always runs on the shard that owns the endpoint.
+	s.ep.ShardClock().Register(s)
 	return s
 }
 
@@ -72,7 +81,7 @@ func (s *source) generate(cycle int64) {
 	}
 	s.q.Push(t)
 	if t.measured {
-		s.r.col.generated++
+		s.col.generated++
 	}
 }
 
@@ -94,7 +103,7 @@ func (s *source) freeTag() (noctypes.Tag, bool) {
 		tag := noctypes.Tag(s.nextTag)
 		s.nextTag = (s.nextTag + 1) % s.tagSpace
 		if _, busy := s.outstanding[tag]; !busy {
-			s.r.col.tagCollisions += skipped
+			s.col.tagCollisions += skipped
 			return tag, true
 		}
 		skipped++
@@ -111,8 +120,9 @@ func payloadFor(read, isRsp bool, dataBytes int) int {
 	return ackBytes
 }
 
-// requestPacket builds a request from the network's packet pool; the
-// caller recycles it after TrySend (the fabric copies during the call).
+// requestPacket builds a request from the endpoint's shard-local packet
+// pool; the caller recycles it after TrySend (the fabric copies during
+// the call).
 func (s *source) requestPacket(t *txn) *transport.Packet {
 	prio := noctypes.PrioDefault
 	if t.urgent {
@@ -122,7 +132,7 @@ func (s *source) requestPacket(t *txn) *transport.Packet {
 	if t.read {
 		user |= txnUserRead
 	}
-	p := s.r.net.NewPacket(payloadFor(t.read, false, s.r.cfg.PayloadBytes))
+	p := s.ep.NewPacket(payloadFor(t.read, false, s.r.cfg.PayloadBytes))
 	p.Header = transport.Header{
 		Kind:     transport.KindReq,
 		Dst:      nodeID(t.dst),
@@ -135,9 +145,9 @@ func (s *source) requestPacket(t *txn) *transport.Packet {
 }
 
 // reflect turns a received request into the matching response, drawn
-// from the network's packet pool (recycled after injection).
+// from the endpoint's shard-local packet pool (recycled after injection).
 func (s *source) reflect(req *transport.Packet) *transport.Packet {
-	p := s.r.net.NewPacket(payloadFor(req.User&txnUserRead != 0, true, s.r.cfg.PayloadBytes))
+	p := s.ep.NewPacket(payloadFor(req.User&txnUserRead != 0, true, s.r.cfg.PayloadBytes))
 	p.Header = transport.Header{
 		Kind:     transport.KindRsp,
 		Dst:      req.Src,
@@ -153,13 +163,13 @@ func (s *source) complete(t *txn, cycle int64) {
 	delete(s.outstanding, t.tag)
 	s.inflight--
 	if s.r.measuring {
-		s.r.col.completed++
+		s.col.completed++
 	}
 	if !t.measured {
 		return
 	}
 	lat := cycle - t.genCycle
-	col := &s.r.col
+	col := s.col
 	col.measDone++
 	col.agg.Record(lat)
 	col.hist.Record(lat)
@@ -185,7 +195,7 @@ func (s *source) Eval(cycle int64) {
 		} else if t, ok := s.outstanding[pkt.Tag]; ok {
 			s.complete(t, cycle)
 		}
-		s.r.net.Recycle(pkt)
+		s.ep.Recycle(pkt)
 	}
 
 	// Generate.
@@ -208,7 +218,7 @@ func (s *source) Eval(cycle int64) {
 			break
 		}
 		s.replyQ.Pop()
-		s.r.net.Recycle(rsp)
+		s.ep.Recycle(rsp)
 	}
 	for {
 		t, ok := s.q.Peek()
@@ -219,7 +229,7 @@ func (s *source) Eval(cycle int64) {
 		// source would otherwise allocate a throwaway packet every cycle.
 		if !s.ep.CanSend() {
 			if s.r.measuring {
-				s.r.col.backpressure++
+				s.col.backpressure++
 			}
 			break
 		}
@@ -233,7 +243,7 @@ func (s *source) Eval(cycle int64) {
 		t.tag = tag
 		req := s.requestPacket(t)
 		sent := s.ep.TrySend(req)
-		s.r.net.Recycle(req)
+		s.ep.Recycle(req)
 		if !sent {
 			break
 		}
@@ -241,7 +251,7 @@ func (s *source) Eval(cycle int64) {
 		s.outstanding[t.tag] = t
 		s.inflight++
 		if s.r.measuring {
-			s.r.col.injected++
+			s.col.injected++
 		}
 	}
 }

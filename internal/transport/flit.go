@@ -139,11 +139,11 @@ func (r *Reassembler) Feed(f Flit) (*Packet, error) {
 
 // feed is the field-wise Feed the fabric hot path uses: endpoint
 // ejection reads flit fields straight out of struct-of-arrays slots, so
-// no Flit value is ever materialized. When net is non-nil, completed
-// packets draw their descriptor and payload storage from the network's
-// free list (see Network.Recycle); a nil net allocates fresh, matching
-// the exported Feed.
-func (r *Reassembler) feed(pktID uint64, head, tail bool, data []byte, net *Network) (*Packet, error) {
+// no Flit value is ever materialized. When pool is non-nil, completed
+// packets draw their descriptor and payload storage from that free list
+// (the ejecting endpoint's shard-local pool; see Network.Recycle); a nil
+// pool allocates fresh, matching the exported Feed.
+func (r *Reassembler) feed(pktID uint64, head, tail bool, data []byte, pool *pktPool) (*Packet, error) {
 	if head {
 		if r.active {
 			return nil, fmt.Errorf("transport: head flit of pkt#%d interleaved into pkt#%d", pktID, r.curID)
@@ -173,8 +173,8 @@ func (r *Reassembler) feed(pktID uint64, head, tail bool, data []byte, net *Netw
 			pktID, hdr.PayloadLen, len(r.cur)-HeaderBytes)
 	}
 	var pkt *Packet
-	if net != nil {
-		pkt = net.getPacket()
+	if pool != nil {
+		pkt = pool.get()
 	} else {
 		pkt = &Packet{}
 	}

@@ -1,0 +1,230 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"gonoc/internal/noctypes"
+	"gonoc/internal/obs"
+	"gonoc/internal/sim"
+)
+
+// meshNet builds a W x H mesh with one endpoint per router and the given
+// shard count (0 = serial).
+func meshNet(w, h, shards int) (*sim.Clock, *Network, []*Endpoint) {
+	k := sim.NewKernel()
+	clk := sim.NewClock(k, "t", sim.Nanosecond, 0)
+	spec := MeshSpec{W: w, H: h, Nodes: map[noctypes.NodeID]Coord{}}
+	nodes := make([]noctypes.NodeID, 0, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := noctypes.NodeID(y*w + x + 1)
+			spec.Nodes[id] = Coord{X: x, Y: y}
+			nodes = append(nodes, id)
+		}
+	}
+	net := NewMesh(clk, NetConfig{BufDepth: 8, Shards: shards}, spec)
+	eps := make([]*Endpoint, len(nodes))
+	for i, id := range nodes {
+		eps[i] = net.Endpoint(id)
+	}
+	return clk, net, eps
+}
+
+func TestShardPartitionDefaults(t *testing.T) {
+	t.Run("mesh-quadrants", func(t *testing.T) {
+		_, net, _ := meshNet(4, 4, 4)
+		if net.NumShards() != 4 {
+			t.Fatalf("NumShards = %d, want 4", net.NumShards())
+		}
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				want := y/2*2 + x/2 // 2x2 blocks of routers
+				if got := net.ShardOf(y*4 + x); got != want {
+					t.Errorf("router (%d,%d) on shard %d, want quadrant %d", x, y, got, want)
+				}
+			}
+		}
+	})
+	t.Run("ring-arcs", func(t *testing.T) {
+		k := sim.NewKernel()
+		clk := sim.NewClock(k, "t", sim.Nanosecond, 0)
+		nodes := make([]noctypes.NodeID, 8)
+		for i := range nodes {
+			nodes[i] = noctypes.NodeID(i + 1)
+		}
+		net := NewRing(clk, NetConfig{BufDepth: 8, Shards: 2}, nodes)
+		for i := 0; i < 8; i++ {
+			want := i / 4 // two contiguous arcs
+			if got := net.ShardOf(i); got != want {
+				t.Errorf("ring router %d on shard %d, want %d", i, got, want)
+			}
+		}
+	})
+	t.Run("tree-subtrees", func(t *testing.T) {
+		k := sim.NewKernel()
+		clk := sim.NewClock(k, "t", sim.Nanosecond, 0)
+		nodes := make([]noctypes.NodeID, 8)
+		for i := range nodes {
+			nodes[i] = noctypes.NodeID(i + 1)
+		}
+		net := NewTree(clk, NetConfig{BufDepth: 8, Shards: 2}, 2, nodes)
+		if got := net.ShardOf(0); got != 0 {
+			t.Errorf("tree root on shard %d, want 0", got)
+		}
+		// 4 leaves at router indices 1..4: first two on shard 0, rest on 1.
+		for l := 0; l < 4; l++ {
+			want := l / 2
+			if got := net.ShardOf(l + 1); got != want {
+				t.Errorf("leaf %d on shard %d, want %d", l, got, want)
+			}
+		}
+	})
+	t.Run("crossbar-endpoint-spread", func(t *testing.T) {
+		k := sim.NewKernel()
+		clk := sim.NewClock(k, "t", sim.Nanosecond, 0)
+		nodes := make([]noctypes.NodeID, 8)
+		for i := range nodes {
+			nodes[i] = noctypes.NodeID(i + 1)
+		}
+		net := NewCrossbar(clk, NetConfig{BufDepth: 8, Shards: 4}, nodes)
+		if got := net.ShardOf(0); got != 0 {
+			t.Errorf("crossbar switch on shard %d, want 0", got)
+		}
+		for i, id := range nodes {
+			if got := net.Endpoint(id).Shard(); got != i/2 {
+				t.Errorf("endpoint %d on shard %d, want %d", i, got, i/2)
+			}
+		}
+	})
+}
+
+func TestShardedProbeRejected(t *testing.T) {
+	_, net, _ := meshNet(4, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetProbe on a sharded fabric did not panic")
+		}
+	}()
+	net.SetProbe(probeStub{})
+}
+
+// probeStub is the minimal obs.Probe for the rejection test.
+type probeStub struct{}
+
+func (probeStub) Event(ev obs.Event) {}
+
+// transitKey flattens the comparable fields of one completed journey.
+type transitKey struct {
+	id, src, dst              uint64
+	queued, injected, ejected int64
+	hops                      int
+	payloadLen                int
+	payloadHash               uint64
+}
+
+// driveMesh runs a fixed deterministic workload on a 4x4 mesh for the
+// given cycle count and returns every received packet (as formatted
+// strings, in per-endpoint receive order) plus sorted transit records
+// and the fabric flit total.
+func driveMesh(shards, cycles int) (rx []string, transits []transitKey, inj, ej, flits uint64) {
+	clk, net, eps := meshNet(4, 4, shards)
+	// Flatten each record as it arrives: the packet is recycled by the
+	// consumer loop below, so its fields must be captured in the callback.
+	net.OnTransit = func(r TransitRecord) {
+		var h uint64
+		for _, b := range r.Pkt.Payload {
+			h = h*131 + uint64(b)
+		}
+		transits = append(transits, transitKey{
+			id: r.Pkt.ID, src: uint64(r.Pkt.Src), dst: uint64(r.Pkt.Dst),
+			queued: r.QueuedCycle, injected: r.InjectCycle, ejected: r.EjectCycle,
+			hops: r.Hops, payloadLen: len(r.Pkt.Payload), payloadHash: h,
+		})
+	}
+
+	// Per-endpoint xorshift streams: the driven workload is a pure
+	// function of the endpoint index, never of shard count.
+	rngs := make([]uint64, len(eps))
+	for i := range rngs {
+		rngs[i] = uint64(i)*0x9E3779B97F4A7C15 + 0x85EBCA6B
+	}
+	next := func(i int) uint64 {
+		rngs[i] ^= rngs[i] << 13
+		rngs[i] ^= rngs[i] >> 7
+		rngs[i] ^= rngs[i] << 17
+		return rngs[i]
+	}
+	var seq byte
+	var rxBuf []*Packet
+	for c := 0; c < cycles; c++ {
+		for i, ep := range eps {
+			if next(i)%4 != 0 || !ep.CanSend() {
+				continue
+			}
+			d := int(next(i) % uint64(len(eps)))
+			if d == i {
+				continue
+			}
+			seq++
+			p := &Packet{Header: Header{Kind: KindReq, Src: ep.ID(), Dst: eps[d].ID()},
+				Payload: bytes.Repeat([]byte{seq}, 8+int(next(i)%17))}
+			ep.TrySend(p)
+		}
+		clk.RunCycles(1)
+		for i, ep := range eps {
+			rxBuf = ep.RecvAll(rxBuf[:0])
+			for _, p := range rxBuf {
+				rx = append(rx, fmt.Sprintf("c%d ep%d id=%d src=%d dst=%d pay=%x",
+					clk.Cycle(), i, p.ID, p.Src, p.Dst, p.Payload))
+				ep.Recycle(p)
+			}
+		}
+	}
+	sort.Slice(transits, func(i, j int) bool {
+		if transits[i].ejected != transits[j].ejected {
+			return transits[i].ejected < transits[j].ejected
+		}
+		return transits[i].id < transits[j].id
+	})
+	return rx, transits, net.Injected(), net.Ejected(), fabricFlits(net)
+}
+
+// TestForkJoinByteIdentical drives the same workload on a serial fabric
+// and on fork-join partitions and requires identical delivery: every
+// received packet (bytes, order, cycle), every transit record, and the
+// fabric-wide counters.
+func TestForkJoinByteIdentical(t *testing.T) {
+	const cycles = 600
+	rx1, tr1, inj1, ej1, fl1 := driveMesh(0, cycles)
+	if ej1 == 0 || fl1 == 0 {
+		t.Fatal("serial reference run delivered nothing")
+	}
+	for _, shards := range []int{2, 4} {
+		rxN, trN, injN, ejN, flN := driveMesh(shards, cycles)
+		if injN != inj1 || ejN != ej1 || flN != fl1 {
+			t.Fatalf("shards=%d counters diverge: injected %d/%d ejected %d/%d flits %d/%d",
+				shards, injN, inj1, ejN, ej1, flN, fl1)
+		}
+		if len(rxN) != len(rx1) {
+			t.Fatalf("shards=%d delivered %d packets, serial %d", shards, len(rxN), len(rx1))
+		}
+		for i := range rx1 {
+			if rxN[i] != rx1[i] {
+				t.Fatalf("shards=%d delivery %d diverges:\n  serial:  %s\n  sharded: %s",
+					shards, i, rx1[i], rxN[i])
+			}
+		}
+		if len(trN) != len(tr1) {
+			t.Fatalf("shards=%d recorded %d transits, serial %d", shards, len(trN), len(tr1))
+		}
+		for i := range tr1 {
+			if trN[i] != tr1[i] {
+				t.Fatalf("shards=%d transit %d diverges:\n  serial:  %+v\n  sharded: %+v",
+					shards, i, tr1[i], trN[i])
+			}
+		}
+	}
+}
