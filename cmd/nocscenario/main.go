@@ -4,19 +4,22 @@
 //
 //	nocscenario                      # list the built-in scenarios
 //	nocscenario -show NAME|FILE      # print a scenario as canonical JSON
-//	nocscenario FILE [FILE ...]      # validate files; non-zero exit on the first broken one
+//	nocscenario FILE [FILE ...]      # validate files
 //
 // Validation is the same strict load path the CLIs use — unknown fields,
 // type errors, and semantic problems (overlapping address windows,
 // zero-rate masters, unknown protocols) are all reported with the
-// offending line:column or field path. The CI docs job runs it over
+// offending line:column or field path. Every file is checked even after
+// one fails: the exit code is non-zero when any file failed, and a
+// summary line counts the failures, so a CI sweep over a directory
+// reports every broken file in one pass. The CI docs job runs it over
 // every *.scenario.json in the repository.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"gonoc/internal/scenario"
@@ -24,52 +27,66 @@ import (
 )
 
 func main() {
-	show := flag.String("show", "", "print one scenario (built-in name or file) as canonical JSON and exit")
-	quiet := flag.Bool("q", false, "validate silently: only report failures")
-	flag.Parse()
-	log.SetFlags(0)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its process edges injected, so the regression tests
+// can drive the full argument-to-exit-code path in process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nocscenario", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	show := fs.String("show", "", "print one scenario (built-in name or file) as canonical JSON and exit")
+	quiet := fs.Bool("q", false, "validate silently: only report failures")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *show != "" {
 		sc, err := scenario.Resolve(*show)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		if err := sc.Save(os.Stdout); err != nil {
-			log.Fatal(err)
+		if err := sc.Save(stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	if flag.NArg() == 0 {
+	if fs.NArg() == 0 {
 		t := stats.NewTable("built-in scenarios (see docs/SCENARIOS.md)",
 			"name", "kind", "mode", "description")
 		for _, name := range scenario.Names() {
 			sc, _ := scenario.Get(name)
 			t.AddRow(name, sc.Workload.Kind, string(sc.Mode()), sc.Description)
 		}
-		fmt.Println(t.Render())
-		fmt.Printf("run one:   noctraffic -scenario %s\n", scenario.Names()[0])
-		fmt.Println("validate:  nocscenario path/to/file.scenario.json")
-		return
+		fmt.Fprintln(stdout, t.Render())
+		fmt.Fprintf(stdout, "run one:   noctraffic -scenario %s\n", scenario.Names()[0])
+		fmt.Fprintln(stdout, "validate:  nocscenario path/to/file.scenario.json")
+		return 0
 	}
 
+	// Validate every listed file, broken ones included: stopping at the
+	// first failure would hide the rest of a broken directory sweep.
 	failed := 0
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		sc, err := scenario.LoadFile(path)
 		if err != nil {
 			failed++
-			fmt.Fprintf(os.Stderr, "FAIL %v\n", err)
+			fmt.Fprintf(stderr, "FAIL %v\n", err)
 			continue
 		}
 		if !*quiet {
-			fmt.Printf("ok   %s (%q, %s %s)\n", path, sc.Name, sc.Workload.Kind, sc.Mode())
+			fmt.Fprintf(stdout, "ok   %s (%q, %s %s)\n", path, sc.Name, sc.Workload.Kind, sc.Mode())
 		}
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d of %d scenario files failed validation\n", failed, flag.NArg())
-		os.Exit(1)
+		fmt.Fprintf(stderr, "%d of %d scenario files failed validation\n", failed, fs.NArg())
+		return 1
 	}
 	if *quiet {
-		fmt.Printf("%d scenario files ok\n", flag.NArg())
+		fmt.Fprintf(stdout, "%d scenario files ok\n", fs.NArg())
 	}
+	return 0
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gonoc/internal/scenario"
+)
+
+// writeFiles lays out named scenario files in a temp dir and returns
+// their paths in order.
+func writeFiles(t *testing.T, files map[string]string, order ...string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	var paths []string
+	for _, name := range order {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(files[name]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+func validScenarioJSON(t *testing.T) string {
+	t.Helper()
+	sc, ok := scenario.Get("hotspot-dram")
+	if !ok {
+		t.Fatal("built-in hotspot-dram missing")
+	}
+	b, err := sc.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestValidateReportsEveryBrokenFile is the regression test for the
+// multi-file validate contract: several broken files in one invocation
+// must all be reported (not just the first), the exit code must be
+// non-zero, and the summary must count the failures.
+func TestValidateReportsEveryBrokenFile(t *testing.T) {
+	paths := writeFiles(t, map[string]string{
+		"bad-syntax.scenario.json":  `{"version": 1,`,
+		"good.scenario.json":        validScenarioJSON(t),
+		"bad-field.scenario.json":   `{"version": 1, "name": "x", "fabric": {"topology": "moebius"}, "workload": {"kind": "packet"}}`,
+		"bad-unknown.scenario.json": `{"version": 1, "name": "x", "turbo": true}`,
+	}, "bad-syntax.scenario.json", "good.scenario.json", "bad-field.scenario.json", "bad-unknown.scenario.json")
+
+	var stdout, stderr bytes.Buffer
+	code := run(paths, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	errOut := stderr.String()
+	for _, want := range []string{
+		paths[0], // syntax error named
+		paths[2], // semantic error named
+		paths[3], // unknown-field error named
+		"fabric.topology",
+		"unknown field",
+		"3 of 4 scenario files failed validation",
+	} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errOut)
+		}
+	}
+	if !strings.Contains(stdout.String(), "ok   "+paths[1]) {
+		t.Errorf("stdout missing the ok line for the valid file:\n%s", stdout.String())
+	}
+}
+
+func TestValidateAllGood(t *testing.T) {
+	good := validScenarioJSON(t)
+	paths := writeFiles(t, map[string]string{
+		"a.scenario.json": good,
+		"b.scenario.json": good,
+	}, "a.scenario.json", "b.scenario.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run(paths, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if got := strings.Count(stdout.String(), "ok   "); got != 2 {
+		t.Errorf("want 2 ok lines, got %d:\n%s", got, stdout.String())
+	}
+
+	// Quiet mode: failures only, plus the count summary.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(append([]string{"-q"}, paths...), &stdout, &stderr); code != 0 {
+		t.Fatalf("quiet exit code %d, want 0", code)
+	}
+	if strings.Contains(stdout.String(), "ok   ") {
+		t.Errorf("quiet mode printed per-file ok lines:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "2 scenario files ok") {
+		t.Errorf("quiet mode missing the summary:\n%s", stdout.String())
+	}
+}
+
+func TestValidateMissingFileFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{filepath.Join(t.TempDir(), "absent.scenario.json")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d for a missing file, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "1 of 1 scenario files failed validation") {
+		t.Errorf("missing-file summary absent:\n%s", stderr.String())
+	}
+}
+
+func TestShowBuiltinAndList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-show", "hotspot-dram"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-show exit code %d\nstderr: %s", code, stderr.String())
+	}
+	if want := validScenarioJSON(t); stdout.String() != want {
+		t.Errorf("-show output is not the canonical form:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-show", "no-such"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-show of an unknown scenario: exit %d, want 1", code)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("list exit code %d", code)
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("list output missing built-in %q", name)
+		}
+	}
+}

@@ -60,7 +60,7 @@
 //	           [-rates R1,R2,...] [-closed] [-window N] [-payload B]
 //	           [-readfrac F] [-hotfrac F] [-burstlen N] [-urgentfrac F]
 //	           [-warmup N] [-measure N] [-drain N] [-seed N] [-flows]
-//	           [-json] [-campaign] [-topologies T1,T2,...]
+//	           [-json] [-wall=false] [-campaign] [-topologies T1,T2,...]
 //	           [-patterns P1,P2,...] [-workers N] [-trans] [-hotspot-mem]
 //	           [-wb] [-trace FILE] [-events FILE] [-heatmap FILE]
 //	           [-heatmap-bucket N] [-heatmap-csv FILE]
@@ -114,6 +114,7 @@ var (
 	seed       = flag.Int64("seed", 1, "root random seed")
 	flows      = flag.Bool("flows", false, "print per-flow latency digests (single run)")
 	jsonOut    = flag.Bool("json", false, "emit JSON instead of text tables")
+	wallOut    = flag.Bool("wall", true, "include the wall-clock self-profile in the report; -wall=false makes -json output fully deterministic (byte-comparable to a nocserver cached result)")
 	campaign   = flag.Bool("campaign", false, "fan a (topology x pattern x rate) product across a worker pool; with -heatmap, one congestion heatmap per point")
 	topoList   = flag.String("topologies", "crossbar,mesh,torus,ring,tree", "campaign: comma-separated topologies")
 	patList    = flag.String("patterns", "uniform,hotspot", "campaign: comma-separated patterns")
@@ -274,7 +275,7 @@ func fabricProbeFor(shards int) obs.Probe {
 func runSingle(cfg traffic.Config, sk *sinks) {
 	cfg.Probe = obs.Multi(sk.probe(), fabricProbeFor(cfg.Shards))
 	mx.attach(&cfg)
-	cfg.CollectWall = true
+	cfg.CollectWall = *wallOut
 	mx.setTotal(1)
 	mx.pointStart()
 	label := fmt.Sprintf("%s/%s@%g", cfg.Topology, cfg.Pattern, cfg.Rate)
@@ -299,7 +300,7 @@ func runSweep(cfg traffic.Config, rates []float64) {
 	// them is safe (unlike campaign workers); counters accumulate over
 	// the whole curve.
 	cfg.Probe = fabricProbeFor(cfg.Shards)
-	cfg.CollectWall = true
+	cfg.CollectWall = *wallOut
 	if len(rates) == 0 {
 		mx.setTotal(len(traffic.DefaultRates()))
 	} else {
@@ -327,7 +328,7 @@ func runCampaign(ccfg traffic.CampaignConfig, bucket int64) {
 		ccfg.HeatmapBuckets = bucket
 	}
 	mx.attach(&ccfg.Base)
-	ccfg.Base.CollectWall = true
+	ccfg.Base.CollectWall = *wallOut
 	if mx != nil {
 		ccfg.Progress = mx.prog
 	}
@@ -359,7 +360,7 @@ func runTrans(tc traffic.TransConfig, jsonOut bool, sk *sinks) {
 	if mx != nil {
 		tc.Prof = mx.prof
 	}
-	tc.CollectWall = true
+	tc.CollectWall = *wallOut
 	mx.setTotal(1)
 	mx.pointStart()
 	start := time.Now()

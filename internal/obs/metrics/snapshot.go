@@ -3,6 +3,7 @@ package metrics
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -136,6 +137,18 @@ func (s *Snapshotter) Lines() int {
 	return s.lines
 }
 
+// Flush pushes buffered lines to the underlying writer without taking
+// a snapshot — the streaming servers call it after each Snap so a line
+// reaches the HTTP client as soon as it is written.
+func (s *Snapshotter) Flush() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
 // Close writes a final snapshot and flushes. It does not close the
 // underlying writer.
 func (s *Snapshotter) Close() error {
@@ -149,7 +162,12 @@ func (s *Snapshotter) Close() error {
 }
 
 // ParseSnapshots reads a JSONL snapshot stream back (blank lines
-// skipped) — the analysis-side helper for BENCH_metrics artifacts.
+// skipped) — the analysis-side helper for BENCH_metrics artifacts and
+// the client side of the nocserver progress stream. A malformed line
+// (typically a tail truncated mid-write: the stream's producer was
+// killed, or a live file is being read while the writer holds a
+// partial line) returns the cleanly parsed prefix together with the
+// error, so callers can use what arrived intact.
 func ParseSnapshots(r io.Reader) ([]Snapshot, error) {
 	var out []Snapshot
 	sc := bufio.NewScanner(r)
@@ -161,7 +179,7 @@ func ParseSnapshots(r io.Reader) ([]Snapshot, error) {
 		}
 		var s Snapshot
 		if err := json.Unmarshal(line, &s); err != nil {
-			return nil, err
+			return out, fmt.Errorf("snapshot line %d: %w", len(out)+1, err)
 		}
 		out = append(out, s)
 	}

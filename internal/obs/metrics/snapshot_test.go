@@ -110,6 +110,95 @@ func TestSimProfileAndSnapshotter(t *testing.T) {
 	}
 }
 
+// snapshotStream produces a Snapshotter-written JSONL stream of n+1
+// lines (n explicit snaps plus the Close line) and returns its bytes.
+func snapshotStream(t *testing.T, n int) []byte {
+	t.Helper()
+	r := NewRegistry()
+	p := NewSimProfile(r)
+	var buf bytes.Buffer
+	s := NewSnapshotter(&buf, time.Hour, r, p, NewProgress(r))
+	for i := 0; i < n; i++ {
+		p.SetPhase(PhaseMeasure)
+		p.Advance(64, 100)
+		s.Snap()
+	}
+	p.SetPhase(PhaseDone)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParseSnapshotsTruncatedTail pins the live-tail contract the
+// nocserver progress endpoint depends on: a stream whose producer died
+// (or is still writing) mid-line yields every complete line plus an
+// error, not nothing.
+func TestParseSnapshotsTruncatedTail(t *testing.T) {
+	stream := snapshotStream(t, 3)
+	if stream[len(stream)-1] != '\n' {
+		t.Fatal("stream does not end in a newline")
+	}
+	whole, err := ParseSnapshots(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(whole) != 4 {
+		t.Fatalf("complete stream parsed to %d lines, want 4", len(whole))
+	}
+
+	// Cut the final line in half: everything before it must survive.
+	cut := bytes.LastIndexByte(stream[:len(stream)-1], '\n') + 1 + 10
+	part, err := ParseSnapshots(bytes.NewReader(stream[:cut]))
+	if err == nil {
+		t.Fatal("truncated tail parsed without error")
+	}
+	if len(part) != 3 {
+		t.Fatalf("truncated stream yielded %d lines, want the 3 complete ones", len(part))
+	}
+	for i := range part {
+		if part[i].Cycles != whole[i].Cycles || part[i].Events != whole[i].Events {
+			t.Fatalf("prefix line %d differs from the complete parse", i)
+		}
+	}
+}
+
+// TestParseSnapshotsInterleaved covers the shapes a snapshot file
+// picks up outside the clean single-writer case: blank lines between
+// records and two sessions' streams concatenated into one file.
+func TestParseSnapshotsInterleaved(t *testing.T) {
+	a := snapshotStream(t, 2)
+	b := snapshotStream(t, 1)
+	var joined bytes.Buffer
+	joined.Write(a)
+	joined.WriteString("\n\n") // blank separator lines are skipped
+	joined.Write(b)
+
+	snaps, err := ParseSnapshots(&joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 + 2; len(snaps) != want {
+		t.Fatalf("concatenated streams parsed to %d lines, want %d", len(snaps), want)
+	}
+	// The second session restarts its clocks: totals drop at the seam,
+	// which is exactly how a reader detects the boundary.
+	if snaps[3].Cycles > snaps[2].Cycles {
+		t.Fatalf("expected the second stream to restart cycle totals (%d then %d)",
+			snaps[2].Cycles, snaps[3].Cycles)
+	}
+	// A line of non-JSON garbage mid-stream: prefix plus error.
+	garbled := append(append([]byte{}, a...), []byte("not json\n")...)
+	garbled = append(garbled, b...)
+	snaps, err = ParseSnapshots(bytes.NewReader(garbled))
+	if err == nil {
+		t.Fatal("garbage line parsed without error")
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("garbled stream yielded %d lines, want the 3 before the garbage", len(snaps))
+	}
+}
+
 // TestProgressETA pins the extrapolation: half the points done means
 // the ETA is about the elapsed time again.
 func TestProgressETA(t *testing.T) {

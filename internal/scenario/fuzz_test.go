@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzScenarioDecode drives the strict scenario loader with arbitrary
+// bytes. The seed corpus is every checked-in scenario file plus the
+// built-ins and a few adversarial fragments; the CI fuzz smoke runs it
+// for a short budget on every push (-fuzztime=10s), and longer local
+// runs go deeper with the same target.
+//
+// Invariants checked on every input the loader accepts:
+//   - the scenario validates (Load must never return an invalid value);
+//   - Save∘Load is the identity on canonical bytes (a decoded scenario
+//     re-encodes to a form that reloads to the same canonical bytes);
+//   - Fingerprint is defined and stable across the round trip — the
+//     nocserver cache depends on that.
+//
+// Inputs the loader rejects must fail with a positioned *ParseError, a
+// *FieldError naming the offending path, or a plain error — never a
+// panic (the fuzz engine catches those).
+func FuzzScenarioDecode(f *testing.F) {
+	for _, dir := range []string{"../../testdata", "../../examples/scenario"} {
+		paths, err := filepath.Glob(filepath.Join(dir, "*.scenario.json"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	for _, name := range Names() {
+		s, _ := Get(name)
+		canon, err := s.Canonical()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(canon)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"name":"x","fabric":{"topology":"mesh"},"workload":{"kind":"packet"}}`))
+	f.Add([]byte(`{"version":1,"unknown_field":true}`))
+	f.Add([]byte(`{"version":1,"name":"x","fabric":{"topology":"mesh"},"workload":{"kind":"soc","masters":[{"protocol":"axi","rate":0.5,"target":{"base":"0x5000_0000","size":"0x1000"}}]}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"version":1} trailing`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			var perr *ParseError
+			var ferr *FieldError
+			if errors.As(err, &perr) && perr.Line < 1 {
+				t.Fatalf("ParseError with non-positive line %d: %v", perr.Line, err)
+			}
+			_ = errors.As(err, &ferr)
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Load returned an invalid scenario: %v", err)
+		}
+		canon, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("loaded scenario does not canonicalize: %v", err)
+		}
+		s2, err := Load(bytes.NewReader(canon))
+		if err != nil {
+			t.Fatalf("canonical form does not reload: %v\n%s", err, canon)
+		}
+		canon2, err := s2.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form is not a fixed point:\n%s\nvs\n%s", canon, canon2)
+		}
+		fp1, err := s.Fingerprint()
+		if err != nil {
+			t.Fatalf("loaded scenario has no fingerprint: %v", err)
+		}
+		fp2, err := s2.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp1 != fp2 {
+			t.Fatalf("fingerprint unstable across round trip: %s vs %s", fp1, fp2)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// This file is the content-addressing face of the scenario layer.
+// Because a validated scenario plus its seed determines a run's result
+// bytes exactly (the repo's byte-identical-replay convention, pinned by
+// the golden and E14 tests), a canonical encoding of the scenario is a
+// complete cache key for the result: same fingerprint, same bytes, no
+// need to re-run. cmd/nocserver builds its result cache on this.
+
+// Canonical returns the canonical JSON encoding of a validated
+// scenario — the exact bytes Save writes, so Load(Canonical(s)) == s.
+func (s *Scenario) Canonical() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Fingerprint returns the scenario's content address: "sha256:<hex>"
+// over a normalized canonical encoding. Two scenarios share a
+// fingerprint exactly when they declare the same run, so equal
+// fingerprints mean byte-identical results:
+//
+//   - name and description are ignored (labels, not parameters — no
+//     result field carries them);
+//   - an omitted seed is made explicit (DefaultSeed), so {} and
+//     {"seed": 1} address the same run;
+//   - campaign workers are zeroed (worker-pool size never changes
+//     per-point results, only scheduling).
+//
+// The normalization is syntactic beyond those fields: a scenario
+// spelling a default out explicitly (e.g. "nodes": 16) addresses a
+// different cache slot than one omitting it, which costs a duplicate
+// run, never a wrong hit.
+func (s *Scenario) Fingerprint() (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	n := s.Clone()
+	n.Name = "-"
+	n.Description = ""
+	n.Seed = s.seed()
+	if n.Measure.Campaign != nil {
+		n.Measure.Campaign.Workers = 0
+	}
+	b, err := json.Marshal(n)
+	if err != nil {
+		return "", fmt.Errorf("scenario: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalIsSaveForm(t *testing.T) {
+	s, ok := Get("hotspot-dram")
+	if !ok {
+		t.Fatal("built-in hotspot-dram missing")
+	}
+	canon, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canon, buf.Bytes()) {
+		t.Fatal("Canonical and Save disagree")
+	}
+	reloaded, err := Load(bytes.NewReader(canon))
+	if err != nil {
+		t.Fatalf("canonical form does not reload: %v", err)
+	}
+	canon2, err := reloaded.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canon, canon2) {
+		t.Fatal("Canonical is not a fixed point of Load")
+	}
+}
+
+func TestCanonicalRejectsInvalid(t *testing.T) {
+	s := &Scenario{Version: Version} // no name, no fabric
+	if _, err := s.Canonical(); err == nil {
+		t.Fatal("Canonical accepted an invalid scenario")
+	}
+	if _, err := s.Fingerprint(); err == nil {
+		t.Fatal("Fingerprint accepted an invalid scenario")
+	}
+}
+
+func TestFingerprintIgnoresLabels(t *testing.T) {
+	base, _ := Get("hotspot-dram")
+	fp, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(fp, "sha256:") || len(fp) != len("sha256:")+64 {
+		t.Fatalf("malformed fingerprint %q", fp)
+	}
+
+	relabeled := base.Clone()
+	relabeled.Name = "same-run-different-label"
+	relabeled.Description = "entirely new words"
+	if got, _ := relabeled.Fingerprint(); got != fp {
+		t.Errorf("name/description changed the fingerprint: %s vs %s", got, fp)
+	}
+
+	// An omitted seed and the explicit default address the same run.
+	seeded := base.Clone()
+	seeded.Seed = DefaultSeed
+	unseeded := base.Clone()
+	unseeded.Seed = 0
+	fpSeeded, _ := seeded.Fingerprint()
+	fpUnseeded, _ := unseeded.Fingerprint()
+	if fpSeeded != fpUnseeded {
+		t.Errorf("seed default normalization broken: %s vs %s", fpSeeded, fpUnseeded)
+	}
+}
+
+func TestFingerprintSeparatesRuns(t *testing.T) {
+	a, _ := Get("hotspot-dram")
+	fpA, _ := a.Fingerprint()
+
+	b := a.Clone()
+	b.Seed = 99
+	fpB, _ := b.Fingerprint()
+	if fpA == fpB {
+		t.Error("different seeds share a fingerprint")
+	}
+
+	c := a.Clone()
+	c.Workload.Rate = 0.11
+	fpC, _ := c.Fingerprint()
+	if fpA == fpC {
+		t.Error("different rates share a fingerprint")
+	}
+}
+
+func TestFingerprintIgnoresCampaignWorkers(t *testing.T) {
+	s := &Scenario{
+		Version: Version,
+		Name:    "w",
+		Fabric:  Fabric{Topology: "mesh", Nodes: 4},
+		Workload: Workload{
+			Kind: KindPacket, Pattern: "uniform",
+		},
+		Measure: Measure{
+			Campaign: &Campaign{Rates: []float64{0.02}, Workers: 1},
+		},
+	}
+	fp1, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Measure.Campaign.Workers = 8
+	fp8, _ := s.Fingerprint()
+	if fp1 != fp8 {
+		t.Errorf("campaign worker count changed the fingerprint: %s vs %s", fp1, fp8)
+	}
+}

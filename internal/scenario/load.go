@@ -9,10 +9,25 @@ import (
 	"strings"
 )
 
+// ParseError is a malformed-document error with the position of the
+// problem: syntax errors, wrong types, unknown fields, trailing
+// content. Load returns it (wrapped) so callers that present errors
+// structurally — the nocserver 400 body — can extract line and column
+// with errors.As instead of re-parsing the message.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
 // Load reads, decodes, and validates one scenario. Errors carry either
 // the line:column of the malformed JSON (syntax errors, wrong types,
 // unknown fields — so a typoed field name is caught, not silently
-// ignored) or the JSON path of the offending field (validation).
+// ignored; a *ParseError via errors.As) or the JSON path of the
+// offending field (validation; a *FieldError).
 func Load(r io.Reader) (*Scenario, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -22,13 +37,14 @@ func Load(r io.Reader) (*Scenario, error) {
 	dec.DisallowUnknownFields()
 	var s Scenario
 	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("scenario: %s", describeJSONError(data, dec, err))
+		return nil, fmt.Errorf("scenario: %w", describeJSONError(data, dec, err))
 	}
 	// A scenario file is one document; trailing content is a merge
 	// accident worth naming.
 	if dec.More() {
 		line, col := lineCol(data, dec.InputOffset())
-		return nil, fmt.Errorf("scenario: %d:%d: trailing content after the scenario document", line, col)
+		return nil, fmt.Errorf("scenario: %w",
+			&ParseError{Line: line, Col: col, Msg: "trailing content after the scenario document"})
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -67,14 +83,10 @@ func Resolve(arg string) (*Scenario, error) {
 // Save writes the scenario as indented JSON — the exact form Load
 // reads, so Load∘Save is the identity on validated scenarios.
 func (s *Scenario) Save(w io.Writer) error {
-	if err := s.Validate(); err != nil {
-		return err
-	}
-	b, err := json.MarshalIndent(s, "", "  ")
+	b, err := s.Canonical()
 	if err != nil {
 		return err
 	}
-	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
 }
@@ -92,34 +104,36 @@ func (s *Scenario) SaveFile(path string) error {
 	return f.Close()
 }
 
-// describeJSONError turns encoding/json's errors into "line:col:
-// message" form. Syntax and type errors carry byte offsets; the
+// describeJSONError turns encoding/json's errors into positioned
+// *ParseError form. Syntax and type errors carry byte offsets; the
 // unknown-field error (from DisallowUnknownFields) does not, so the
 // decoder's input offset — which sits just past the offending field —
 // is used instead.
-func describeJSONError(data []byte, dec *json.Decoder, err error) string {
+func describeJSONError(data []byte, dec *json.Decoder, err error) error {
 	switch e := err.(type) {
 	case *json.SyntaxError:
 		line, col := lineCol(data, e.Offset)
-		return fmt.Sprintf("%d:%d: %s", line, col, e.Error())
+		return &ParseError{Line: line, Col: col, Msg: e.Error()}
 	case *json.UnmarshalTypeError:
 		line, col := lineCol(data, e.Offset)
 		field := e.Field
 		if field == "" {
 			field = "document"
 		}
-		return fmt.Sprintf("%d:%d: %s: cannot decode JSON %s into %s", line, col, field, e.Value, e.Type)
+		return &ParseError{Line: line, Col: col,
+			Msg: fmt.Sprintf("%s: cannot decode JSON %s into %s", field, e.Value, e.Type)}
 	}
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		line, col := lineCol(data, int64(len(data)))
-		return fmt.Sprintf("%d:%d: unexpected end of file (unbalanced braces?)", line, col)
+		return &ParseError{Line: line, Col: col, Msg: "unexpected end of file (unbalanced braces?)"}
 	}
 	if strings.HasPrefix(err.Error(), "json: unknown field ") {
 		line, col := lineCol(data, dec.InputOffset())
-		return fmt.Sprintf("%d:%d: %s (not part of scenario schema version %d; see docs/SCENARIOS.md)",
-			line, col, strings.TrimPrefix(err.Error(), "json: "), Version)
+		return &ParseError{Line: line, Col: col,
+			Msg: fmt.Sprintf("%s (not part of scenario schema version %d; see docs/SCENARIOS.md)",
+				strings.TrimPrefix(err.Error(), "json: "), Version)}
 	}
-	return err.Error()
+	return err
 }
 
 // lineCol converts a byte offset into 1-based line and column.

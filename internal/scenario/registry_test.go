@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Direct unit coverage for the registry and the Resolve lookup shared
+// by every CLI — previously exercised only indirectly through CLI runs.
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(builtins) {
+		t.Fatalf("Names returned %d entries, registry holds %d", len(names), len(builtins))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names not sorted: %v", names)
+	}
+	for _, n := range names {
+		if _, ok := Get(n); !ok {
+			t.Errorf("Names lists %q but Get misses it", n)
+		}
+	}
+}
+
+func TestGetUnknownName(t *testing.T) {
+	if s, ok := Get("no-such-scenario"); ok || s != nil {
+		t.Fatalf("Get on an unknown name returned (%v, %v), want (nil, false)", s, ok)
+	}
+}
+
+func TestGetHandsOutDeepCopies(t *testing.T) {
+	a, ok := Get("cpu-dma-display")
+	if !ok {
+		t.Fatal("built-in cpu-dma-display missing")
+	}
+	// Mutate every shared-pointer field a shallow copy would alias.
+	a.Name = "mutated"
+	*a.Workload.Masters[0].ReadFrac = 0.123
+	a.Workload.Masters[0].Target.Base = 0xdead
+	*a.Measure.Warmup = 77777
+
+	b, _ := Get("cpu-dma-display")
+	if b.Name == "mutated" {
+		t.Error("registry entry name aliased through Get")
+	}
+	if *b.Workload.Masters[0].ReadFrac == 0.123 {
+		t.Error("registry entry read_frac aliased through Get")
+	}
+	if b.Workload.Masters[0].Target.Base == 0xdead {
+		t.Error("registry entry target aliased through Get")
+	}
+	if *b.Measure.Warmup == 77777 {
+		t.Error("registry entry warmup aliased through Get")
+	}
+}
+
+func TestResolveBuiltinName(t *testing.T) {
+	s, err := Resolve("hotspot-dram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "hotspot-dram" {
+		t.Fatalf("Resolve returned scenario %q", s.Name)
+	}
+}
+
+func TestResolveFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.scenario.json")
+	src, _ := Get("hotspot-dram")
+	if err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "hotspot-dram" {
+		t.Fatalf("Resolve(%s) returned scenario %q", path, s.Name)
+	}
+}
+
+func TestResolveUnknownListsBuiltins(t *testing.T) {
+	_, err := Resolve("definitely-not-a-scenario")
+	if err == nil {
+		t.Fatal("Resolve accepted an unknown name")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("miss error does not list built-in %q: %v", name, err)
+		}
+	}
+}
+
+func TestResolveBrokenFileReportsPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "broken.scenario.json")
+	if err := os.WriteFile(path, []byte("{\"version\": 1,"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Resolve(path)
+	if err == nil {
+		t.Fatal("Resolve accepted a broken file")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error does not name the file: %v", err)
+	}
+}
+
+// TestResolveNameShadowsFile pins the lookup precedence: a built-in
+// name wins over a file of the same name in the working directory, so
+// "noctraffic -scenario hotspot-dram" always means the registry entry.
+// Files want a distinguishing path ("./hotspot-dram").
+func TestResolveNameShadowsFile(t *testing.T) {
+	dir := t.TempDir()
+	// A file literally named after the built-in, with different content.
+	imposter, _ := Get("ring-dateline-torture")
+	imposter.Name = "imposter"
+	if err := imposter.SaveFile(filepath.Join(dir, "hotspot-dram")); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	s, err := Resolve("hotspot-dram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "hotspot-dram" {
+		t.Fatalf("built-in name resolved to the file (%q), want the registry entry", s.Name)
+	}
+	// The explicit path still reaches the file.
+	s, err = Resolve("./hotspot-dram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "imposter" {
+		t.Fatalf("explicit path resolved to %q, want the file's scenario", s.Name)
+	}
+}

@@ -13,8 +13,21 @@ import (
 // (e.g. "workload.masters[2].protocol"), so a failing file is fixable
 // without reading this source.
 
+// FieldError is a semantic validation error carrying the JSON path of
+// the offending field. Validate (and therefore Load) returns it, so
+// structured consumers — the nocserver 400 body — can extract the path
+// with errors.As instead of re-parsing the message.
+type FieldError struct {
+	Field string // JSON path, e.g. "workload.masters[2].protocol"
+	Msg   string
+}
+
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("scenario: %s: %s", e.Field, e.Msg)
+}
+
 func errf(field, format string, args ...any) error {
-	return fmt.Errorf("scenario: %s: %s", field, fmt.Sprintf(format, args...))
+	return &FieldError{Field: field, Msg: fmt.Sprintf(format, args...)}
 }
 
 // protocols is the socket vocabulary of the SoC build, in driving order.

@@ -1,0 +1,329 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gonoc/internal/obs/metrics"
+	"gonoc/internal/scenario"
+	"gonoc/internal/stats"
+	"gonoc/internal/traffic"
+)
+
+// runState is a run's lifecycle position. Transitions only move
+// forward: queued → running → done|failed, or queued → cancelled.
+type runState string
+
+const (
+	stateQueued    runState = "queued"
+	stateRunning   runState = "running"
+	stateDone      runState = "done"
+	stateFailed    runState = "failed"
+	stateCancelled runState = "cancelled"
+)
+
+// run is one accepted scenario: its identity (the fingerprint-derived
+// id), its own metrics rig (registry + self-profile + progress, the
+// backing of the /progress stream), and the state machine the workers
+// and handlers share. The result bytes are written once, on the
+// queued→done transition, and never mutated — handlers hand them out
+// by reference.
+type run struct {
+	id string
+	fp string
+	sc *scenario.Scenario
+
+	reg  *metrics.Registry
+	prof *metrics.SimProfile
+	prog *metrics.Progress
+	coll *metrics.FabricCollector
+
+	submitted time.Time
+
+	mu     sync.Mutex
+	state  runState
+	errMsg string
+	result []byte
+
+	// doneCh closes on the first terminal transition; the progress
+	// stream and the conformance tests select on it.
+	doneCh chan struct{}
+}
+
+// runID derives the run id from the scenario fingerprint: the first 16
+// hex digits are plenty at any plausible cache size, and a shared
+// prefix makes "same content, same run" visible in the URL.
+func runID(fp string) string {
+	hex := strings.TrimPrefix(fp, "sha256:")
+	if len(hex) > 16 {
+		hex = hex[:16]
+	}
+	return "r" + hex
+}
+
+func newRun(id, fp string, sc *scenario.Scenario) *run {
+	reg := metrics.NewRegistry()
+	r := &run{
+		id: id, fp: fp, sc: sc,
+		reg:       reg,
+		prof:      metrics.NewSimProfile(reg),
+		submitted: time.Now(),
+		state:     stateQueued,
+		doneCh:    make(chan struct{}),
+	}
+	r.prog = metrics.NewProgress(reg)
+	r.coll = metrics.NewFabricCollector(reg)
+	return r
+}
+
+func (r *run) currentState() runState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+func (r *run) terminal() bool {
+	switch r.currentState() {
+	case stateDone, stateFailed, stateCancelled:
+		return true
+	}
+	return false
+}
+
+func (r *run) resultBytes() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.result
+}
+
+func (r *run) errorMessage() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.errMsg
+}
+
+// begin claims the run for a worker; false means it was cancelled
+// while queued.
+func (r *run) begin() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != stateQueued {
+		return false
+	}
+	r.state = stateRunning
+	return true
+}
+
+// complete lands the result; false means a terminal state (timeout)
+// won the race and the bytes are discarded.
+func (r *run) complete(result []byte) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != stateRunning {
+		return false
+	}
+	r.state = stateDone
+	r.result = result
+	close(r.doneCh)
+	return true
+}
+
+// fail marks the run failed (execution error, panic, or timeout);
+// false means it was already terminal.
+func (r *run) fail(msg string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != stateQueued && r.state != stateRunning {
+		return false
+	}
+	r.state = stateFailed
+	r.errMsg = msg
+	close(r.doneCh)
+	return true
+}
+
+// cancel marks a still-queued run cancelled (shutdown); a run a worker
+// already claimed keeps running.
+func (r *run) cancel(msg string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != stateQueued {
+		return false
+	}
+	r.state = stateCancelled
+	r.errMsg = msg
+	close(r.doneCh)
+	return true
+}
+
+// statusDoc is the run's wire status.
+type statusDoc struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	Scenario    string `json:"scenario"`
+	Mode        string `json:"mode"`
+	State       string `json:"state"`
+	Error       string `json:"error,omitempty"`
+	PointsDone  int    `json:"points_done"`
+	PointsTotal int    `json:"points_total"`
+	ResultURL   string `json:"result_url,omitempty"`
+	ProgressURL string `json:"progress_url"`
+}
+
+func (r *run) statusDoc() statusDoc {
+	r.mu.Lock()
+	state, errMsg := r.state, r.errMsg
+	r.mu.Unlock()
+	ps := r.prog.Snapshot()
+	d := statusDoc{
+		ID:          r.id,
+		Fingerprint: r.fp,
+		Scenario:    r.sc.Name,
+		Mode:        string(r.sc.Mode()),
+		State:       string(state),
+		Error:       errMsg,
+		PointsDone:  ps.PointsDone,
+		PointsTotal: ps.PointsTotal,
+		ProgressURL: "/v1/runs/" + r.id + "/progress",
+	}
+	if state == stateDone {
+		d.ResultURL = "/v1/runs/" + r.id + "/result"
+	}
+	return d
+}
+
+// ---- execution ----
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for r := range s.queue {
+		s.execute(r)
+	}
+}
+
+// execute drives one run to a terminal state. The simulation itself
+// runs in a child goroutine so a panic there is contained (recovered
+// into a failed state, never taking the worker down) and so the
+// watchdog can declare a timeout without waiting on it. Exactly one
+// terminal transition wins; a late result after a timeout is dropped.
+func (s *Server) execute(r *run) {
+	if !r.begin() {
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	type outcome struct {
+		body []byte
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("run panicked: %v", p)}
+			}
+		}()
+		body, err := s.exec(r)
+		ch <- outcome{body: body, err: err}
+	}()
+
+	var timeout <-chan time.Time
+	if s.cfg.RunTimeout > 0 {
+		t := time.NewTimer(s.cfg.RunTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			if r.fail(out.err.Error()) {
+				s.failed.Inc()
+			}
+			return
+		}
+		if r.complete(out.body) {
+			s.completed.Inc()
+		}
+	case <-timeout:
+		// The kernel has no cancellation point; the goroutine finishes
+		// in the background and its (buffered) outcome is discarded.
+		if r.fail(fmt.Sprintf("run exceeded the %s server timeout", s.cfg.RunTimeout)) {
+			s.failed.Inc()
+		}
+	}
+}
+
+// runScenario executes the run's scenario through the same traffic
+// entry points the noctraffic CLI uses, wired to the run's own metrics
+// rig, and serializes the mode result with stats.WriteJSON — the exact
+// bytes `noctraffic -scenario FILE -wall=false -json` prints.
+// CollectWall stays off: the wall-clock self-profile is the one
+// nondeterministic result field, and a cacheable result must be
+// deterministic.
+func (s *Server) runScenario(r *run) ([]byte, error) {
+	sc := r.sc
+	var v any
+	switch sc.Mode() {
+	case scenario.ModeTrans:
+		tc, err := sc.TransConfig()
+		if err != nil {
+			return nil, err
+		}
+		tc.Prof = r.prof
+		tc.Probe = r.coll
+		r.prog.SetTotal(1)
+		r.prog.PointStart()
+		start := time.Now()
+		res := traffic.RunTrans(tc)
+		r.prog.PointDone("trans", msSince(start))
+		v = res
+	case scenario.ModeCampaign:
+		cc, err := sc.CampaignConfig()
+		if err != nil {
+			return nil, err
+		}
+		cc.Base.Prof = r.prof
+		cc.Base.Metrics = r.reg
+		cc.Progress = r.prog
+		if limit := s.cfg.CampaignWorkers; limit > 0 && (cc.Workers <= 0 || cc.Workers > limit) {
+			cc.Workers = limit
+		}
+		v = traffic.Campaign(cc)
+	case scenario.ModeSweep:
+		cfg, err := sc.PacketConfig()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Prof, cfg.Metrics, cfg.Probe = r.prof, r.reg, r.coll
+		r.prog.SetTotal(len(sc.Measure.SweepRates))
+		v = traffic.SweepProgress(cfg, sc.Measure.SweepRates, func(pd traffic.PointDone) {
+			r.prog.PointStart()
+			r.prog.PointDone(pd.Label, pd.WallMS)
+		})
+	default:
+		cfg, err := sc.PacketConfig()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Prof, cfg.Metrics, cfg.Probe = r.prof, r.reg, r.coll
+		r.prog.SetTotal(1)
+		r.prog.PointStart()
+		start := time.Now()
+		res := traffic.Run(cfg)
+		r.prog.PointDone(fmt.Sprintf("%s/%s@%g", cfg.Topology, cfg.Pattern, cfg.Rate), msSince(start))
+		v = res
+	}
+	var buf bytes.Buffer
+	if err := stats.WriteJSON(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1e3
+}
