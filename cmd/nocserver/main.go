@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"gonoc/internal/server"
+	"gonoc/internal/transport"
 )
 
 var (
@@ -44,6 +45,7 @@ var (
 	maxBody         = flag.Int64("max-body", 1<<20, "largest accepted scenario document, bytes")
 	campaignWorkers = flag.Int("campaign-workers", 0, "cap on one campaign run's internal worker pool (0 = let the scenario decide)")
 	drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running runs to complete")
+	fidelity        = flag.String("fidelity", "", "default execution fidelity for scenarios that do not declare one: cycle|hybrid|loose (docs/PERFORMANCE.md); explicit scenarios are untouched")
 )
 
 func main() {
@@ -51,6 +53,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nocserver: ")
 
+	if _, err := transport.ParseFidelity(*fidelity); err != nil {
+		log.Fatalf("-fidelity: %v", err)
+	}
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
@@ -58,6 +63,7 @@ func main() {
 		RunTimeout:      *runTimeout,
 		MaxBodyBytes:    *maxBody,
 		CampaignWorkers: *campaignWorkers,
+		DefaultFidelity: *fidelity,
 	})
 	httpSrv := &http.Server{Handler: srv.Handler()}
 

@@ -96,6 +96,10 @@ var (
 	topo       = flag.String("topology", "crossbar", "fabric: crossbar, mesh, torus, ring, or tree")
 	nodes      = flag.Int("nodes", 16, "endpoint count")
 	mode       = flag.String("mode", "wormhole", "switching: wormhole or saf")
+	fidelity   = flag.String("fidelity", "cycle", "execution fidelity: cycle (exact), hybrid (analytic until links heat up), or loose (always analytic); approximate modes force a serial fabric (docs/PERFORMANCE.md)")
+	looseThr   = flag.Float64("loose-threshold", 0, "hybrid/loose: link-utilization fraction above which a region falls back to cycle-accurate (0 = default 0.35)")
+	looseHyst  = flag.Float64("loose-hysteresis", 0, "hybrid/loose: a hot region cools below threshold*hysteresis (0 = default 0.5)")
+	looseWin   = flag.Int64("loose-window", 0, "hybrid/loose: cycles per link-utilization epoch (0 = default 256)")
 	qos        = flag.Bool("qos", false, "priority arbitration in switches")
 	rate       = flag.Float64("rate", 0.05, "offered load, transactions/node/cycle (open loop)")
 	sweep      = flag.Bool("sweep", false, "walk injection rates; emit the latency-vs-offered-load curve")
@@ -178,6 +182,14 @@ func main() {
 	}
 	sk := newSinks(*traceFile, *eventsFile, *heatFile, *heatCSV, *heatBucket)
 
+	fid, err := transport.ParseFidelity(*fidelity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fid == transport.FidelityCycle && (*looseThr != 0 || *looseHyst != 0 || *looseWin != 0) {
+		log.Fatal("-loose-threshold/-loose-hysteresis/-loose-window need -fidelity hybrid or loose")
+	}
+
 	if *trans {
 		tc := traffic.TransConfig{
 			Seed: *seed, Topology: socTopology(top), Rate: *rate, Window: *window,
@@ -186,6 +198,10 @@ func main() {
 			Warmup: zeroAsNegI(*warmup), Measure: *measure, Drain: *drain,
 			Shards: *shardsN,
 		}
+		tc.Net.Fidelity = fid
+		tc.Net.LooseThreshold = *looseThr
+		tc.Net.LooseHysteresis = *looseHyst
+		tc.Net.LooseWindow = *looseWin
 		if *saveScenario != "" {
 			exportScenario(scenario.FromTransConfig(scenarioName(), tc))
 		}
@@ -213,6 +229,10 @@ func main() {
 		Shards: *shardsN,
 	}
 	cfg.Net.QoS = *qos
+	cfg.Net.Fidelity = fid
+	cfg.Net.LooseThreshold = *looseThr
+	cfg.Net.LooseHysteresis = *looseHyst
+	cfg.Net.LooseWindow = *looseWin
 	switch *mode {
 	case "wormhole":
 		cfg.Net.Mode = transport.Wormhole
@@ -633,6 +653,23 @@ func applyOverrides(sc *scenario.Scenario) error {
 			sc.Fabric.Nodes = *nodes
 		case "mode":
 			sc.Fabric.Mode = *mode
+		case "fidelity":
+			sc.Fabric.Fidelity = *fidelity
+			if fid, e := transport.ParseFidelity(*fidelity); e == nil && fid == transport.FidelityCycle {
+				// Canonical form: cycle is the implicit default, and an
+				// explicit "cycle" would reject the scenario's loose
+				// tuning fields if it carried any.
+				sc.Fabric.Fidelity = ""
+				sc.Fabric.LooseThreshold = 0
+				sc.Fabric.LooseHysteresis = 0
+				sc.Fabric.LooseWindow = 0
+			}
+		case "loose-threshold":
+			sc.Fabric.LooseThreshold = *looseThr
+		case "loose-hysteresis":
+			sc.Fabric.LooseHysteresis = *looseHyst
+		case "loose-window":
+			sc.Fabric.LooseWindow = *looseWin
 		case "qos":
 			sc.Fabric.QoS = *qos
 		case "warmup":

@@ -26,6 +26,10 @@
 //	E15 — self-profiled hotspot sweep: live metrics attached
 //	      (internal/obs/metrics) are a pure observer — results stay
 //	      byte-identical, and the events/sec trajectory is archived
+//	E16 — hybrid-fidelity error bounds: the loosely-timed analytic
+//	      link model vs cycle-accurate ground truth on its operating
+//	      envelope (latency within 5%, throughput within 1%, >= 2x
+//	      speedup), saturated built-ins as fallback stress rows
 //
 
 // The per-experiment handbook — which paper claim each experiment

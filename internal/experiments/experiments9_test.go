@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestE16ErrorBounds runs the full fidelity sweep and asserts the
+// envelope error bounds — the same verdict the CI fidelity job reads
+// from BENCH_fidelity_e16.json. Wall-clock speedup is host-dependent,
+// so the test only requires hybrid not be slower than cycle-accurate;
+// the >= 2x floor is enforced by the CI guard on a quiet runner.
+func TestE16ErrorBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fidelity sweep; skipped with -short")
+	}
+	r := E16FidelitySweep(1)
+	for _, p := range r.Points {
+		if !p.Asserted {
+			continue
+		}
+		if p.MeanErr > E16TolMean || p.P50Err > E16TolP50 || p.P99Err > E16TolP99 || p.TputErr > E16TolTput {
+			t.Errorf("%s (rate %g): errors mean=%.4f p50=%.4f p99=%.4f tput=%.4f exceed tolerances",
+				p.Scenario, p.Rate, p.MeanErr, p.P50Err, p.P99Err, p.TputErr)
+		}
+	}
+	if !r.Pass {
+		t.Errorf("envelope verdict failed: maxMean=%.4f maxP50=%.4f maxP99=%.4f maxTput=%.4f",
+			r.MaxMeanErr, r.MaxP50Err, r.MaxP99Err, r.MaxTputErr)
+	}
+	if r.Speedup < 1 {
+		t.Errorf("hybrid slower than cycle-accurate on the envelope: speedup %.2fx", r.Speedup)
+	}
+}

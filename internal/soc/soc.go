@@ -244,7 +244,7 @@ func (s *System) genCfg(master string, n int) ip.GenConfig {
 // BuildNoC assembles the Fig-1 system.
 func BuildNoC(cfg Config) *System {
 	cfg = cfg.withDefaults()
-	if cfg.Probe != nil || cfg.Shards <= 1 {
+	if cfg.Probe != nil || cfg.Net.Fidelity != transport.FidelityCycle || cfg.Shards <= 1 {
 		cfg.Shards = 0
 	}
 	cfg.Net.Shards = cfg.Shards

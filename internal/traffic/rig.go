@@ -103,6 +103,11 @@ func newRig(cfg *Config) *rig {
 		// making observability and parallelism a hard conflict.
 		shards = 1
 	}
+	if cfg.Net.Fidelity != transport.FidelityCycle && shards > 1 {
+		// The loose engine keeps global per-link state; approximate
+		// fidelity implies a serial fabric, same policy as probes.
+		shards = 1
+	}
 	if shards > 1 {
 		r.grp = sim.NewShardGroup("traffic", shards, sim.Nanosecond, 0)
 		r.clk = r.grp.Clock(0)

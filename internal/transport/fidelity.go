@@ -1,0 +1,507 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+
+	"gonoc/internal/noctypes"
+	"gonoc/internal/obs"
+)
+
+// Fidelity selects how much of the fabric is simulated flit-by-flit.
+//
+// The cycle-accurate path prices every flit of every packet through
+// every switch. Most of that work is wasted on uncongested links, where
+// the latency of a packet is a closed-form function of its length and
+// path (the approximately-timed observation of the SystemC TLM
+// literature the paper sits in). The loose path exploits that: packets
+// whose route is cold are priced by an analytic FIFO-server model and
+// delivered by a timer wheel, never touching a switch.
+type Fidelity uint8
+
+const (
+	// FidelityCycle is the default: every packet takes the
+	// cycle-accurate flit path. Results are byte-identical to fabrics
+	// built before the knob existed (the golden tests pin this).
+	FidelityCycle Fidelity = iota
+
+	// FidelityHybrid prices packets analytically while every link on
+	// their route stays below LooseThreshold utilization, and falls
+	// back to the cycle-accurate path for packets whose route crosses a
+	// hot link, until the link cools (LooseHysteresis). Exact at zero
+	// contention; bounded error under load (experiment E16 measures
+	// the bounds).
+	FidelityHybrid
+
+	// FidelityLoose prices every packet analytically, regardless of
+	// utilization. Fastest, least faithful under congestion.
+	FidelityLoose
+)
+
+// String renders the fidelity level in its scenario-schema spelling.
+func (f Fidelity) String() string {
+	switch f {
+	case FidelityHybrid:
+		return "hybrid"
+	case FidelityLoose:
+		return "loose"
+	default:
+		return "cycle"
+	}
+}
+
+// ParseFidelity resolves a fidelity name. The empty string is the
+// default (cycle-accurate) level.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "cycle":
+		return FidelityCycle, nil
+	case "hybrid":
+		return FidelityHybrid, nil
+	case "loose":
+		return FidelityLoose, nil
+	}
+	return 0, fmt.Errorf("unknown fidelity %q (want cycle|hybrid|loose)", s)
+}
+
+// Loose-model defaults (NetConfig zero values resolve to these when
+// Fidelity is hybrid or loose).
+const (
+	// DefaultLooseThreshold is the per-link utilization (flits moved
+	// per cycle over one epoch) above which a link is hot and hybrid
+	// sends crossing it fall back to the flit path.
+	DefaultLooseThreshold = 0.35
+	// DefaultLooseHysteresis scales the threshold for cooling: a hot
+	// link goes cold only when utilization drops below
+	// threshold*hysteresis, so a link oscillating near the threshold
+	// does not flap between paths every epoch.
+	DefaultLooseHysteresis = 0.5
+	// DefaultLooseWindow is the utilization epoch length in cycles.
+	DefaultLooseWindow = 256
+)
+
+// FidelityStats counts how the loose engine classified traffic.
+type FidelityStats struct {
+	AnalyticPkts uint64 // packets priced by the analytic model
+	FallbackPkts uint64 // hybrid sends routed to the flit path by a hot link
+	HotLinks     int    // links currently marked hot
+}
+
+// FidelityStats returns the loose engine's counters; zero for a
+// cycle-accurate fabric.
+func (n *Network) FidelityStats() FidelityStats {
+	if n.loose == nil {
+		return FidelityStats{}
+	}
+	return FidelityStats{
+		AnalyticPkts: n.loose.analyticPkts,
+		FallbackPkts: n.loose.fallbackPkts,
+		HotLinks:     n.loose.hotLinks,
+	}
+}
+
+// looseEvent is one scheduled action of the analytic path. The kinds
+// mirror the flit path's externally visible moments so that, at zero
+// contention, an analytic packet is indistinguishable from a simulated
+// one: the head leaving the send queue (inject), the tail leaving the
+// send queue (the send-window credit returning), and the tail finishing
+// reassembly (delivery).
+type looseEvent struct {
+	cycle int64
+	seq   uint64 // tie-break: schedule order
+	kind  uint8
+	ep    *Endpoint // source (evInject, evTailOut) or destination (evDeliver)
+	pkt   *Packet   // evDeliver: the fabric-owned copy to hand to recvQ
+
+	// evDeliver: TransitRecord fields resolved at delivery.
+	queued, inject int64
+	hops           int
+}
+
+const (
+	evInject uint8 = iota
+	evTailOut
+	evDeliver
+)
+
+// loosePath is one source→destination route, resolved once and cached:
+// the flat link indices the analytic servers are keyed by.
+type loosePath struct {
+	links []int32
+	hops  int
+}
+
+// looseEngine is the loosely-timed half of a hybrid fabric. Every
+// shared resource a packet serializes on — the source injection port,
+// each switch output link on its route, the destination ejection port —
+// is modeled as a FIFO server with a "next free" cycle. A send walks
+// its route through those servers:
+//
+//	t0   = max(now+1, srcFree)          head leaves the send queue
+//	ti   = max(t(i-1)+step, linkFree)   head crosses link i
+//	feed = max(th+1,  dstFree)          first flit reaches reassembly
+//	eject = feed + flits - 1            tail finishes reassembly
+//
+// with step = 1 for wormhole (the head advances one hop per cycle) and
+// step = flits for store-and-forward (a switch buffers the whole packet
+// before competing for the next link). Each server then blocks for the
+// packet's serialization time (flits cycles). At zero contention every
+// max resolves to its first argument and the model reproduces the
+// cycle-accurate latency exactly (FuzzLooseLatencyExact pins this);
+// under load the servers degrade into a FIFO queueing estimate.
+//
+// The exactness domain is zero contention: spaced packets anywhere,
+// and back-to-back same-route trains while buffers never squeeze. A
+// store-and-forward train whose consecutive packets overflow one lane
+// (prev flits + next flits > BufDepth) stalls on whole-packet
+// admission — an initiation-interval of flits + (2*flits - BufDepth)
+// per link for equal sizes — which is genuine queueing and is covered
+// by the hybrid error-bound harness (experiment E16), not this model.
+//
+// Hybrid fallback: per-link utilization is accumulated per epoch
+// (window cycles) from both analytic traffic (offered flits) and
+// cycle-path traffic (RouterStats.OutBusy deltas). A link above
+// threshold goes hot; hybrid sends whose route crosses a hot link take
+// the flit path until the link cools below threshold*hysteresis.
+type looseEngine struct {
+	n         *Network
+	level     Fidelity
+	threshold float64
+	hyster    float64
+	window    int64
+
+	// Topology-derived state, built on first send (the engine is
+	// created before the topology builder adds switches).
+	ready    bool
+	linkBase []int32 // per-router base into the flat link arrays
+	linkFree []int64 // FIFO server: next cycle each link is free
+	linkLoad []int64 // analytic flits offered this epoch, per link
+	lastBusy []uint64
+	hot      []bool
+	hotLinks int
+	epFree   []int64 // per endpoint (attach order): injection server
+	ejFree   []int64 // per endpoint (attach order): ejection server
+	paths    map[uint32]*loosePath
+	epochEnd int64
+
+	heap     []looseEvent
+	seq      uint64
+	inFlight int // analytic packets accepted, not yet delivered
+
+	analyticPkts uint64
+	fallbackPkts uint64
+}
+
+func newLooseEngine(n *Network, cfg NetConfig) *looseEngine {
+	le := &looseEngine{
+		n:         n,
+		level:     cfg.Fidelity,
+		threshold: cfg.LooseThreshold,
+		hyster:    cfg.LooseHysteresis,
+		window:    cfg.LooseWindow,
+	}
+	if le.threshold <= 0 {
+		le.threshold = DefaultLooseThreshold
+	}
+	if le.hyster <= 0 {
+		le.hyster = DefaultLooseHysteresis
+	}
+	if le.window <= 0 {
+		le.window = DefaultLooseWindow
+	}
+	return le
+}
+
+// init sizes the per-resource server arrays against the finished
+// topology. Deferred to the first send because the engine is created
+// before the builder attaches switches and endpoints.
+func (le *looseEngine) init() {
+	n := le.n
+	le.linkBase = make([]int32, len(n.routers)+1)
+	base := int32(0)
+	for i, r := range n.routers {
+		le.linkBase[i] = base
+		base += int32(r.Ports())
+	}
+	le.linkBase[len(n.routers)] = base
+	le.linkFree = make([]int64, base)
+	le.linkLoad = make([]int64, base)
+	le.lastBusy = make([]uint64, base)
+	le.hot = make([]bool, base)
+	le.epFree = make([]int64, len(n.epList))
+	le.ejFree = make([]int64, len(n.epList))
+	le.paths = make(map[uint32]*loosePath)
+	le.epochEnd = n.clk.Cycle() + le.window
+	le.ready = true
+}
+
+// pathFor resolves (and caches) the route from ep to dst as flat link
+// indices. Routing tables are static, so one walk per pair suffices.
+func (le *looseEngine) pathFor(ep *Endpoint, dst noctypes.NodeID) *loosePath {
+	key := uint32(uint16(ep.node))<<16 | uint32(uint16(dst))
+	if pa, ok := le.paths[key]; ok {
+		return pa
+	}
+	lids := le.n.Path(ep.node, dst)
+	pa := &loosePath{links: make([]int32, len(lids)), hops: len(lids)}
+	for i, l := range lids {
+		pa.links[i] = le.linkBase[l.Router] + int32(l.Port)
+	}
+	le.paths[key] = pa
+	return pa
+}
+
+// admits reports whether this send may be priced analytically. Legacy
+// lock sequences interact with switch state (path reservations) the
+// model cannot see, so lock-capable fabrics stay entirely on the flit
+// path; hybrid additionally requires the route to be cold.
+func (le *looseEngine) admits(ep *Endpoint, p *Packet) bool {
+	if le.n.cfg.LegacyLock || p.Locked || p.Unlock {
+		return false
+	}
+	if le.level != FidelityHybrid {
+		return true
+	}
+	if !le.ready {
+		le.init()
+	}
+	if le.hotLinks == 0 {
+		return true
+	}
+	pa := le.pathFor(ep, p.Dst)
+	for _, li := range pa.links {
+		if le.hot[li] {
+			le.fallbackPkts++
+			return false
+		}
+	}
+	return true
+}
+
+// send prices one accepted packet through the FIFO servers and
+// schedules its externally visible moments. The caller has already
+// checked CanSend and admits; send cannot fail.
+func (le *looseEngine) send(ep *Endpoint, p *Packet) bool {
+	if !le.ready {
+		le.init()
+	}
+	n := le.n
+	if p.Src != ep.node {
+		panic(fmt.Sprintf("transport: %v sending packet with Src=%v", ep.node, p.Src))
+	}
+	n.nextPktID++
+	p.ID = n.nextPktID
+	p.PayloadLen = uint32(len(p.Payload))
+	fb := n.cfg.FlitBytes
+	wireLen := HeaderBytes + len(p.Payload)
+	nf := (wireLen + fb - 1) / fb
+	if (n.cfg.Mode == StoreAndForward || n.cutThrough) && nf > n.cfg.BufDepth {
+		panic(fmt.Sprintf("transport: packet of %d flits exceeds BufDepth %d (whole-packet buffering required)", nf, n.cfg.BufDepth))
+	}
+
+	now := ep.clk.Cycle()
+	pa := le.pathFor(ep, p.Dst)
+	flits := int64(nf)
+
+	// Source injection port: one flit per cycle out of the send queue.
+	t := now + 1
+	if f := le.epFree[ep.idOrd]; f > t {
+		t = f
+	}
+	le.epFree[ep.idOrd] = t + flits
+	inject := t
+
+	// Route links. Wormhole heads advance one hop per cycle;
+	// store-and-forward buffers the whole packet per hop.
+	step := int64(1)
+	if n.cfg.Mode == StoreAndForward {
+		step = flits
+	}
+	for _, li := range pa.links {
+		nt := t + step
+		if f := le.linkFree[li]; f > nt {
+			nt = f
+		}
+		le.linkFree[li] = nt + flits
+		le.linkLoad[li] += flits
+		t = nt
+	}
+
+	// Destination ejection port: reassembly consumes one flit per cycle.
+	dst := n.eps[p.Dst]
+	if dst == nil {
+		panic(fmt.Sprintf("transport: %v sending to unknown node %v", ep.node, p.Dst))
+	}
+	feed := t + 1
+	if f := le.ejFree[dst.idOrd]; f > feed {
+		feed = f
+	}
+	le.ejFree[dst.idOrd] = feed + flits
+	eject := feed + flits - 1
+
+	// The fabric owns its copy from the moment of acceptance — the
+	// caller may reuse or Recycle p immediately, same contract as the
+	// flit path (which serializes into flit slots during the call).
+	cl := ep.pool.newPacket(len(p.Payload))
+	payload := cl.Payload
+	cl.Header = p.Header
+	cl.ID = p.ID
+	cl.Payload = payload
+	copy(cl.Payload, p.Payload)
+
+	ep.pending++
+	le.inFlight++
+	le.analyticPkts++
+	le.push(looseEvent{cycle: inject, kind: evInject, ep: ep, pkt: cl})
+	le.push(looseEvent{cycle: inject + flits - 1, kind: evTailOut, ep: ep})
+	le.push(looseEvent{cycle: eject, kind: evDeliver, ep: dst, pkt: cl,
+		queued: now, inject: inject, hops: pa.hops})
+
+	if ep.probe != nil {
+		ep.probe.Event(obs.Event{
+			Kind: obs.KindQueued, Cycle: now,
+			PktID: p.ID, Src: p.Src, Dst: p.Dst, Val: nf,
+		})
+	}
+	return true
+}
+
+// tick fires every due event and rolls the utilization epoch. Runs at
+// the head of the fabric's Eval, before switches and endpoints — the
+// same intra-cycle position the flit path's corresponding actions
+// occupy, so send-window credits and deliveries are visible to traffic
+// sources on exactly the cycle the flit path would make them visible.
+func (le *looseEngine) tick(cycle int64) {
+	if !le.ready {
+		return
+	}
+	for len(le.heap) > 0 && le.heap[0].cycle <= cycle {
+		ev := le.pop()
+		switch ev.kind {
+		case evInject:
+			le.n.injected++
+			if ev.ep.probe != nil {
+				ev.ep.probe.Event(obs.Event{
+					Kind: obs.KindInject, Cycle: ev.cycle,
+					PktID: ev.pkt.ID, Src: ev.pkt.Src, Dst: ev.pkt.Dst,
+				})
+			}
+		case evTailOut:
+			ev.ep.pending--
+		case evDeliver:
+			dst := ev.ep
+			if !dst.recvQ.CanPush(1) {
+				// Receiver backpressure: retry next cycle, preserving
+				// arrival order through the fresh sequence number.
+				ev.cycle = cycle + 1
+				le.push(ev)
+				continue
+			}
+			le.n.ejected++
+			le.inFlight--
+			dst.recvQ.Push(ev.pkt)
+			if dst.probe != nil {
+				dst.probe.Event(obs.Event{
+					Kind: obs.KindEject, Cycle: cycle,
+					PktID: ev.pkt.ID, Src: ev.pkt.Src, Dst: dst.node, Val: ev.hops,
+				})
+			}
+			if le.n.OnTransit != nil {
+				le.n.OnTransit(TransitRecord{
+					Pkt:         ev.pkt,
+					QueuedCycle: ev.queued,
+					InjectCycle: ev.inject,
+					EjectCycle:  cycle,
+					Hops:        ev.hops,
+				})
+			}
+		}
+	}
+	if cycle >= le.epochEnd {
+		le.rollEpoch(cycle)
+	}
+}
+
+// rollEpoch recomputes per-link utilization over the closing epoch and
+// updates the hot set with hysteresis. Cycle-path flits are read from
+// the switches' OutBusy counters; analytic flits were accumulated at
+// send time (offered load on the links the model kept dark).
+func (le *looseEngine) rollEpoch(cycle int64) {
+	idx := 0
+	for _, r := range le.n.routers {
+		busyN := len(r.stats.OutBusy)
+		for p := 0; p < busyN; p++ {
+			busy := r.stats.OutBusy[p]
+			flits := le.linkLoad[idx] + int64(busy-le.lastBusy[idx])
+			util := float64(flits) / float64(le.window)
+			if le.hot[idx] {
+				if util < le.threshold*le.hyster {
+					le.hot[idx] = false
+					le.hotLinks--
+				}
+			} else if util > le.threshold {
+				le.hot[idx] = true
+				le.hotLinks++
+			}
+			le.lastBusy[idx] = busy
+			le.linkLoad[idx] = 0
+			idx++
+		}
+	}
+	le.epochEnd = cycle + le.window
+}
+
+// idle reports whether the engine holds no undelivered work.
+func (le *looseEngine) idle() bool {
+	return le.inFlight == 0 && len(le.heap) == 0
+}
+
+// ---- binary min-heap on (cycle, seq) ----
+
+func (le *looseEngine) push(ev looseEvent) {
+	le.seq++
+	ev.seq = le.seq
+	le.heap = append(le.heap, ev)
+	i := len(le.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !evLess(&le.heap[i], &le.heap[p]) {
+			break
+		}
+		le.heap[i], le.heap[p] = le.heap[p], le.heap[i]
+		i = p
+	}
+}
+
+func (le *looseEngine) pop() looseEvent {
+	h := le.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = looseEvent{}
+	le.heap = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && evLess(&le.heap[l], &le.heap[s]) {
+			s = l
+		}
+		if r < last && evLess(&le.heap[r], &le.heap[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		le.heap[i], le.heap[s] = le.heap[s], le.heap[i]
+		i = s
+	}
+	return top
+}
+
+func evLess(a, b *looseEvent) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
+	}
+	return a.seq < b.seq
+}

@@ -22,6 +22,24 @@ type NetConfig struct {
 	// Results are byte-identical for any shard count; only wall-clock
 	// behaviour changes. Not compatible with probes.
 	Shards int
+
+	// Fidelity selects the execution mode (see the Fidelity type).
+	// FidelityCycle — the zero value — is the cycle-accurate fabric,
+	// provably inert with respect to this knob; hybrid and loose route
+	// cold-path packets through the analytic latency model in
+	// fidelity.go. Non-cycle fidelity forces a serial fabric (Shards is
+	// ignored): the loose engine is a fabric-global scheduler.
+	Fidelity Fidelity
+
+	// LooseThreshold is the per-link utilization (flits/cycle over one
+	// LooseWindow epoch) above which hybrid mode falls back to the
+	// cycle-accurate path for routes crossing that link (default 0.35).
+	LooseThreshold float64
+	// LooseHysteresis scales the threshold for cooling: a hot link goes
+	// cold below LooseThreshold*LooseHysteresis (default 0.5).
+	LooseHysteresis float64
+	// LooseWindow is the utilization epoch in cycles (default 256).
+	LooseWindow int64
 }
 
 // WithDefaults returns the configuration with zero fields filled the
@@ -39,6 +57,20 @@ func (c NetConfig) WithDefaults() NetConfig {
 	}
 	if c.MaxPendingPkts == 0 {
 		c.MaxPendingPkts = 4
+	}
+	if c.Fidelity != FidelityCycle {
+		// The loose engine schedules against fabric-global server state;
+		// a partitioned fabric cannot host it.
+		c.Shards = 0
+		if c.LooseThreshold <= 0 {
+			c.LooseThreshold = DefaultLooseThreshold
+		}
+		if c.LooseHysteresis <= 0 {
+			c.LooseHysteresis = DefaultLooseHysteresis
+		}
+		if c.LooseWindow <= 0 {
+			c.LooseWindow = DefaultLooseWindow
+		}
 	}
 	return c
 }
@@ -121,11 +153,26 @@ type Network struct {
 	// fabric (see SetProbe).
 	probe obs.Probe
 
+	// loose is the analytic fast path; nil on a cycle-accurate fabric,
+	// which keeps the flit path's behaviour (and its zero-alloc
+	// contract) byte-identical to a fabric built before the knob
+	// existed. looseCycleActive counts flit-path packets between
+	// TrySend acceptance and reassembly completion; when the engine is
+	// on and the count is zero, the per-cycle switch/endpoint sweep is
+	// skipped entirely (looseSkippedEval) — the speedup the loose mode
+	// exists for.
+	loose            *looseEngine
+	looseCycleActive int
+	looseSkippedEval bool
+
 	injected, ejected uint64
 }
 
 func newNetwork(clk *sim.Clock, cfg NetConfig) *Network {
 	n := &Network{clk: clk, cfg: cfg.WithDefaults(), eps: make(map[noctypes.NodeID]*Endpoint)}
+	if n.cfg.Fidelity != FidelityCycle {
+		n.loose = newLooseEngine(n, n.cfg)
+	}
 	clk.Register(netTick{n})
 	return n
 }
@@ -148,6 +195,18 @@ func (t netTick) Eval(cycle int64) {
 	case modeForkJoin:
 		t.n.forkJoin(func(s int) { t.n.shardEval(s, cycle) })
 	default:
+		if le := t.n.loose; le != nil {
+			le.tick(cycle)
+			if t.n.looseCycleActive == 0 {
+				// No flit-path packets anywhere in the fabric: every
+				// lane is empty, so the switch/endpoint sweep would be
+				// a no-op. Skipping it is where the loose mode's
+				// speedup comes from.
+				t.n.looseSkippedEval = true
+				return
+			}
+			t.n.looseSkippedEval = false
+		}
 		for _, r := range t.n.routers {
 			r.eval(cycle)
 		}
@@ -169,11 +228,19 @@ func (t netTick) Update(cycle int64) {
 		}
 		t.n.forkJoin(func(s int) { t.n.shardUpdate(s, cycle) })
 	default:
-		for _, q := range t.n.qs {
-			q.commit()
-		}
-		for _, r := range t.n.routers {
-			r.clearFreed()
+		// When the switch sweep was skipped this cycle and no flit-path
+		// send was staged afterwards (traffic sources run after the
+		// fabric tick), no lane holds staged or committed flits and no
+		// output-freed marks were set — the commit sweep would be a
+		// no-op too. The receive queues still tick: the loose engine
+		// stages deliveries into them.
+		if !(t.n.looseSkippedEval && t.n.looseCycleActive == 0) {
+			for _, q := range t.n.qs {
+				q.commit()
+			}
+			for _, r := range t.n.routers {
+				r.clearFreed()
+			}
 		}
 		for _, ep := range t.n.epList {
 			if !ep.recvQ.Quiescent() {
@@ -359,6 +426,9 @@ func (n *Network) Drained() bool {
 	if n.InFlight() != 0 {
 		return false
 	}
+	if n.loose != nil && !n.loose.idle() {
+		return false
+	}
 	for _, ep := range n.epList {
 		if ep.sendQ.occupancy() > 0 {
 			return false
@@ -460,6 +530,14 @@ func (ep *Endpoint) CanSend() bool { return ep.pending < ep.net.cfg.MaxPendingPk
 func (ep *Endpoint) TrySend(p *Packet) bool {
 	if !ep.CanSend() {
 		return false
+	}
+	if le := ep.net.loose; le != nil {
+		if le.admits(ep, p) {
+			return le.send(ep, p)
+		}
+		// Hot route (or lock traffic): this packet rides the
+		// cycle-accurate flit path below.
+		ep.net.looseCycleActive++
 	}
 	if ep.net.mode == modeShardClocks {
 		// Per-endpoint ID streams: the fabric-wide counter would make IDs
@@ -623,6 +701,9 @@ func (ep *Endpoint) eval(cycle int64) {
 			panic(fmt.Sprintf("transport: %v: %v", ep.node, err))
 		}
 		if pkt != nil {
+			if ep.net.loose != nil {
+				ep.net.looseCycleActive--
+			}
 			if ep.net.shards != nil {
 				ep.net.shards[ep.shard].ejected++
 			} else {
